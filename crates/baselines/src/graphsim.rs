@@ -1,0 +1,350 @@
+//! GraphSim — the household linkage approach of Fu, Christen & Zhou
+//! (PAKDD 2014), the Table 7 baseline.
+//!
+//! The method first computes a *highly selective* one-shot 1:1 record
+//! mapping: only pairs that are the unambiguous mutual best match above a
+//! high threshold survive. It then scores every household pair connected
+//! by at least one surviving link with the average record similarity and
+//! an edge similarity over the initial links, and keeps the pairs above a
+//! group threshold. Because record pairs filtered out by the strict 1:1
+//! constraint can never contribute, correct group links are missed — the
+//! recall ceiling the paper exploits (§5.3 ¶3).
+
+use census_model::{CensusDataset, GroupMapping, HouseholdId, PersonRecord, RecordMapping};
+use hhgraph::{EnrichedGraph, SubgraphConfig};
+use linkage_core::{candidate_pairs, BlockingStrategy, SimFunc};
+use std::collections::HashMap;
+use textsim::age_difference_similarity;
+
+/// Configuration of the GraphSim baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSimConfig {
+    /// Record similarity function.
+    pub sim_func: SimFunc,
+    /// Threshold of the initial one-shot record matching.
+    pub record_threshold: f64,
+    /// Margin by which a pair must beat the runner-up on both sides to
+    /// survive the strict 1:1 filter (ambiguous pairs are dropped).
+    pub ambiguity_margin: f64,
+    /// Weight of the average record similarity in the group score.
+    pub alpha: f64,
+    /// Weight of the edge similarity in the group score (α + β = 1).
+    pub beta: f64,
+    /// Minimum group score for a household link.
+    pub group_threshold: f64,
+    /// Age-difference tolerance for edge similarity.
+    pub subgraph: SubgraphConfig,
+    /// Candidate generation strategy.
+    pub blocking: BlockingStrategy,
+}
+
+impl Default for GraphSimConfig {
+    fn default() -> Self {
+        Self {
+            sim_func: SimFunc::omega2(0.8),
+            record_threshold: 0.8,
+            ambiguity_margin: 0.05,
+            alpha: 0.5,
+            beta: 0.5,
+            group_threshold: 0.3,
+            subgraph: SubgraphConfig::default(),
+            blocking: BlockingStrategy::Standard,
+        }
+    }
+}
+
+/// The output of GraphSim: the initial strict record mapping and the
+/// derived group mapping.
+#[derive(Debug, Clone)]
+pub struct GraphSimResult {
+    /// The highly selective 1:1 record mapping.
+    pub records: RecordMapping,
+    /// The thresholded household mapping.
+    pub groups: GroupMapping,
+}
+
+/// Run the GraphSim baseline.
+#[must_use]
+pub fn graphsim_link(
+    old: &CensusDataset,
+    new: &CensusDataset,
+    config: &GraphSimConfig,
+) -> GraphSimResult {
+    let year_gap = i64::from(new.year - old.year);
+    let old_recs: Vec<&PersonRecord> = old.records().iter().collect();
+    let new_recs: Vec<&PersonRecord> = new.records().iter().collect();
+    let old_profiles: Vec<Vec<String>> = old_recs
+        .iter()
+        .map(|r| config.sim_func.profile(r))
+        .collect();
+    let new_profiles: Vec<Vec<String>> = new_recs
+        .iter()
+        .map(|r| config.sim_func.profile(r))
+        .collect();
+
+    // one-shot scoring
+    let mut scored: Vec<(f64, u32, u32)> = Vec::new();
+    for (i, j) in candidate_pairs(&old_recs, &new_recs, year_gap, config.blocking) {
+        let s = config
+            .sim_func
+            .aggregate_profiles(&old_profiles[i as usize], &new_profiles[j as usize]);
+        if s >= config.record_threshold {
+            scored.push((s, i, j));
+        }
+    }
+
+    // strict 1:1: a pair survives only as the mutual best with a margin;
+    // ambiguous pairs are dropped entirely (not re-assigned) — this is
+    // the recall-limiting filter of the original method
+    let mut best_old: HashMap<u32, (f64, f64)> = HashMap::new();
+    let mut best_new: HashMap<u32, (f64, f64)> = HashMap::new();
+    for &(s, i, j) in &scored {
+        let e = best_old.entry(i).or_insert((f64::MIN, f64::MIN));
+        if s > e.0 {
+            e.1 = e.0;
+            e.0 = s;
+        } else if s > e.1 {
+            e.1 = s;
+        }
+        let e = best_new.entry(j).or_insert((f64::MIN, f64::MIN));
+        if s > e.0 {
+            e.1 = e.0;
+            e.0 = s;
+        } else if s > e.1 {
+            e.1 = s;
+        }
+    }
+    let mut records = RecordMapping::new();
+    let mut pair_sims: HashMap<(u32, u32), f64> = HashMap::new();
+    for &(s, i, j) in &scored {
+        let bo = best_old[&i];
+        let bn = best_new[&j];
+        let unambiguous = s >= bo.0
+            && s >= bn.0
+            && (bo.1 == f64::MIN || s - bo.1 >= config.ambiguity_margin)
+            && (bn.1 == f64::MIN || s - bn.1 >= config.ambiguity_margin);
+        if unambiguous && records.insert(old_recs[i as usize].id, new_recs[j as usize].id) {
+            pair_sims.insert((i, j), s);
+        }
+    }
+
+    // group scoring over household pairs connected by surviving links
+    let old_graphs = EnrichedGraph::build_all(old);
+    let new_graphs = EnrichedGraph::build_all(new);
+    let old_gidx: HashMap<HouseholdId, usize> = old_graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (g.household, i))
+        .collect();
+    let new_gidx: HashMap<HouseholdId, usize> = new_graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (g.household, i))
+        .collect();
+
+    // links grouped by household pair
+    type PairLinks = Vec<(census_model::RecordId, census_model::RecordId, f64)>;
+    let mut by_pair: HashMap<(HouseholdId, HouseholdId), PairLinks> = HashMap::new();
+    for (&(i, j), &s) in &pair_sims {
+        let ro = old_recs[i as usize];
+        let rn = new_recs[j as usize];
+        by_pair
+            .entry((ro.household, rn.household))
+            .or_default()
+            .push((ro.id, rn.id, s));
+    }
+
+    let mut groups = GroupMapping::new();
+    for ((go, gn), links) in by_pair {
+        let g_old = &old_graphs[old_gidx[&go]];
+        let g_new = &new_graphs[new_gidx[&gn]];
+        let avg: f64 = links.iter().map(|&(_, _, s)| s).sum::<f64>() / links.len() as f64;
+        // edge similarity over the initial links only
+        let mut e_sum = 0.0;
+        for a in 0..links.len() {
+            for b in a + 1..links.len() {
+                let (o1, n1, _) = links[a];
+                let (o2, n2, _) = links[b];
+                let (Some(i1), Some(i2)) = (g_old.index_of(o1), g_old.index_of(o2)) else {
+                    continue;
+                };
+                let (Some(j1), Some(j2)) = (g_new.index_of(n1), g_new.index_of(n2)) else {
+                    continue;
+                };
+                let (Some((rel_o, d_o)), Some((rel_n, d_n))) =
+                    (g_old.directed_edge(i1, i2), g_new.directed_edge(j1, j2))
+                else {
+                    continue;
+                };
+                if rel_o != rel_n {
+                    continue;
+                }
+                e_sum += match (d_o, d_n) {
+                    (Some(a), Some(b)) => {
+                        age_difference_similarity(a, b, config.subgraph.age_diff_tolerance)
+                    }
+                    _ => config.subgraph.missing_age_sim,
+                };
+            }
+        }
+        let e_sim = 2.0 * e_sum / (g_old.edge_count() + g_new.edge_count()).max(1) as f64;
+        let score = config.alpha * avg + config.beta * e_sim;
+        if score >= config.group_threshold {
+            groups.insert(go, gn);
+        }
+    }
+
+    GraphSimResult { records, groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_model::{Household, HouseholdId, RecordId, Role, Sex};
+
+    fn rec(id: u64, hh: u64, fname: &str, sname: &str, age: u32, role: Role) -> PersonRecord {
+        let mut r = PersonRecord::empty(RecordId(id), HouseholdId(hh), role);
+        r.first_name = fname.into();
+        r.surname = sname.into();
+        r.sex = Some(if matches!(role, Role::Spouse | Role::Daughter) {
+            Sex::Female
+        } else {
+            Sex::Male
+        });
+        r.age = Some(age);
+        r.address = "mill lane".into();
+        r.occupation = "weaver".into();
+        r
+    }
+
+    fn dataset(year: i32, records: Vec<PersonRecord>) -> CensusDataset {
+        let mut hh: std::collections::BTreeMap<HouseholdId, Vec<RecordId>> =
+            std::collections::BTreeMap::new();
+        for r in &records {
+            hh.entry(r.household).or_default().push(r.id);
+        }
+        let households = hh
+            .into_iter()
+            .map(|(id, members)| Household::new(id, members))
+            .collect();
+        CensusDataset::new(year, records, households).unwrap()
+    }
+
+    #[test]
+    fn clean_family_links_as_group() {
+        let old = dataset(
+            1871,
+            vec![
+                rec(0, 0, "john", "ashworth", 39, Role::Head),
+                rec(1, 0, "elizabeth", "ashworth", 37, Role::Spouse),
+            ],
+        );
+        let new = dataset(
+            1881,
+            vec![
+                rec(0, 0, "john", "ashworth", 49, Role::Head),
+                rec(1, 0, "elizabeth", "ashworth", 47, Role::Spouse),
+            ],
+        );
+        let r = graphsim_link(&old, &new, &GraphSimConfig::default());
+        assert_eq!(r.records.len(), 2);
+        assert!(r.groups.contains(HouseholdId(0), HouseholdId(0)));
+    }
+
+    #[test]
+    fn ambiguous_records_are_dropped_entirely() {
+        // two identical old johns in different households, one new john:
+        // the strict filter drops ALL of them, so no group link either —
+        // the recall weakness reproduced
+        let old = dataset(
+            1871,
+            vec![
+                rec(0, 0, "john", "ashworth", 39, Role::Head),
+                rec(1, 1, "john", "ashworth", 39, Role::Head),
+            ],
+        );
+        let new = dataset(1881, vec![rec(0, 0, "john", "ashworth", 49, Role::Head)]);
+        let r = graphsim_link(&old, &new, &GraphSimConfig::default());
+        assert!(r.records.is_empty());
+        assert!(r.groups.is_empty());
+    }
+
+    #[test]
+    fn noisy_records_below_threshold_cannot_link() {
+        // similarity ~0.7 < 0.75: the one-shot threshold blocks what the
+        // iterative approach would recover
+        let mut r_old = rec(0, 0, "elizbeth", "ashwerth", 37, Role::Head);
+        r_old.address = "4 bank street".into();
+        r_old.occupation = "winder".into();
+        let old = dataset(1871, vec![r_old]);
+        let new = dataset(
+            1881,
+            vec![rec(0, 0, "elizabeth", "ashworth", 47, Role::Head)],
+        );
+        let r = graphsim_link(&old, &new, &GraphSimConfig::default());
+        assert!(r.records.is_empty());
+    }
+
+    #[test]
+    fn group_threshold_rejects_weak_pairs() {
+        // single lodger shared between two large, otherwise-different
+        // households: avg is high but e_sim ~ 0 and the lodger's edges
+        // do not match — group score below threshold
+        let mut old_records = vec![rec(9, 0, "isaac", "lord", 30, Role::Lodger)];
+        for i in 0..5 {
+            old_records.push(rec(
+                i,
+                0,
+                "john",
+                "ashworth",
+                30 + i as u32,
+                if i == 0 { Role::Head } else { Role::Son },
+            ));
+        }
+        let mut new_records = vec![rec(9, 0, "isaac", "lord", 40, Role::Lodger)];
+        for i in 0..5 {
+            new_records.push(rec(
+                i,
+                0,
+                "peter",
+                "grimshaw",
+                41 + i as u32,
+                if i == 0 { Role::Head } else { Role::Son },
+            ));
+        }
+        let old = dataset(1871, old_records);
+        let new = dataset(1881, new_records);
+        let config = GraphSimConfig {
+            group_threshold: 0.6,
+            ..GraphSimConfig::default()
+        };
+        let r = graphsim_link(&old, &new, &config);
+        // isaac lord links as a record…
+        assert!(r.records.contains(RecordId(9), RecordId(9)));
+        // …but one weak link cannot carry a household pair at τ = 0.6
+        assert!(!r.groups.contains(HouseholdId(0), HouseholdId(0)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let old = dataset(
+            1871,
+            vec![
+                rec(0, 0, "john", "ashworth", 39, Role::Head),
+                rec(1, 0, "elizabeth", "ashworth", 37, Role::Spouse),
+            ],
+        );
+        let new = dataset(
+            1881,
+            vec![
+                rec(0, 0, "john", "ashworth", 49, Role::Head),
+                rec(1, 0, "elizabeth", "ashworth", 47, Role::Spouse),
+            ],
+        );
+        let run = || {
+            let r = graphsim_link(&old, &new, &GraphSimConfig::default());
+            (r.records.len(), r.groups.len())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,23 @@
+//! Comparator algorithms re-implemented for the paper's §5.3 evaluation.
+//!
+//! * [`collective_link`] — the collective entity-resolution approach of
+//!   Lacoste-Julien et al. (SiGMa, KDD 2013), as the paper describes its
+//!   own re-implementation: seed links at similarity ≥ 0.9, greedy
+//!   priority-queue expansion through the neighbourhood of linked
+//!   records scoring attribute + relational similarity, an age-difference
+//!   filter of 3 normalised years, and a strict 1:1 constraint. Compared
+//!   against the record mapping (Table 6).
+//! * [`graphsim_link`] — the household linkage approach of Fu, Christen
+//!   and Zhou (PAKDD 2014): a highly selective one-shot 1:1 record
+//!   mapping first, then per-group-pair average record similarity and
+//!   edge similarity thresholded into group links. Compared against the
+//!   group mapping (Table 7). The initial hard 1:1 filter is what costs
+//!   it recall — reproduced faithfully.
+
+#![warn(missing_docs)]
+
+mod collective;
+mod graphsim;
+
+pub use collective::{collective_link, CollectiveConfig};
+pub use graphsim::{graphsim_link, GraphSimConfig, GraphSimResult};

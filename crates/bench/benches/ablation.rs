@@ -1,0 +1,130 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! blocking strategy, the min_g_sim acceptance threshold, the age filter,
+//! iterative vs one-shot scheduling, and worker-thread scaling.
+
+use census_bench::bench_context;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linkage_core::{link, BlockingStrategy, LinkageConfig, Linker};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static census_eval::experiments::ExperimentContext {
+    static CTX: OnceLock<census_eval::experiments::ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(bench_context)
+}
+
+fn bench_blocking_strategy(c: &mut Criterion) {
+    let ctx = ctx();
+    let (old, new) = ctx.eval_datasets();
+    let mut group = c.benchmark_group("ablation_blocking");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("standard", BlockingStrategy::Standard),
+        ("full_cross_product", BlockingStrategy::Full),
+    ] {
+        let config = LinkageConfig {
+            blocking: strategy,
+            ..LinkageConfig::default()
+        };
+        group.bench_function(name, |b| b.iter(|| black_box(link(old, new, &config))));
+    }
+    group.finish();
+}
+
+fn bench_min_g_sim(c: &mut Criterion) {
+    let ctx = ctx();
+    let (old, new) = ctx.eval_datasets();
+    let mut group = c.benchmark_group("ablation_min_g_sim");
+    group.sample_size(10);
+    for min_g_sim in [0.0, 0.2, 0.4] {
+        let config = LinkageConfig {
+            min_g_sim,
+            ..LinkageConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(min_g_sim),
+            &config,
+            |b, config| b.iter(|| black_box(link(old, new, config))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_age_filter(c: &mut Criterion) {
+    let ctx = ctx();
+    let (old, new) = ctx.eval_datasets();
+    let mut group = c.benchmark_group("ablation_age_filter");
+    group.sample_size(10);
+    for (name, gap) in [("with_filter_3y", Some(3)), ("no_filter", None)] {
+        let config = LinkageConfig {
+            prematch_max_age_gap: gap,
+            ..LinkageConfig::default()
+        };
+        group.bench_function(name, |b| b.iter(|| black_box(link(old, new, &config))));
+    }
+    group.finish();
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let ctx = ctx();
+    let (old, new) = ctx.eval_datasets();
+    let mut group = c.benchmark_group("ablation_schedule");
+    group.sample_size(10);
+    group.bench_function("iterative_0.7_to_0.5", |b| {
+        let config = LinkageConfig::paper_best();
+        b.iter(|| black_box(link(old, new, &config)))
+    });
+    group.bench_function("oneshot_0.5", |b| {
+        let config = LinkageConfig::non_iterative();
+        b.iter(|| black_box(link(old, new, &config)))
+    });
+    group.finish();
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let ctx = ctx();
+    let (old, new) = ctx.eval_datasets();
+    let mut group = c.benchmark_group("ablation_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let config = LinkageConfig {
+            threads,
+            ..LinkageConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &config,
+            |b, config| b.iter(|| black_box(link(old, new, config))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_linker_reuse(c: &mut Criterion) {
+    // sweeps re-link the same pair with many configs; the Linker caches
+    // enrichment — measure what that reuse is worth
+    let ctx = ctx();
+    let (old, new) = ctx.eval_datasets();
+    let config = LinkageConfig::paper_best();
+    let mut group = c.benchmark_group("ablation_linker_reuse");
+    group.sample_size(10);
+    group.bench_function("fresh_link_each_time", |b| {
+        b.iter(|| black_box(link(old, new, &config)))
+    });
+    let linker = Linker::new(old, new);
+    group.bench_function("cached_enrichment", |b| {
+        b.iter(|| black_box(linker.run(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    ablation,
+    bench_blocking_strategy,
+    bench_min_g_sim,
+    bench_age_filter,
+    bench_schedule,
+    bench_threads,
+    bench_linker_reuse
+);
+criterion_main!(ablation);

@@ -1,0 +1,42 @@
+//! Regenerate and benchmark the paper's Figure 6 (evolution pattern
+//! frequencies per successive census pair).
+
+use census_bench::bench_context;
+use census_eval::experiments::fig6;
+use criterion::{criterion_group, criterion_main, Criterion};
+use evolution::detect_patterns;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static census_eval::experiments::ExperimentContext {
+    static CTX: OnceLock<census_eval::experiments::ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let c = bench_context();
+        let _ = c.best_links();
+        c
+    })
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let ctx = ctx();
+    println!("{}", fig6::run(ctx).render());
+    let mut group = c.benchmark_group("fig6_evolution_patterns");
+    group.sample_size(20);
+    group.bench_function("all_pairs", |b| b.iter(|| black_box(fig6::run(ctx))));
+    group.finish();
+}
+
+fn bench_pattern_detection(c: &mut Criterion) {
+    // isolate detect_patterns on the largest pair
+    let ctx = ctx();
+    let links = ctx.best_links();
+    let last = links.len() - 1;
+    let (old, new) = ctx.pair(last);
+    let (records, groups) = &links[last];
+    c.bench_function("detect_patterns_single_pair", |b| {
+        b.iter(|| black_box(detect_patterns(old, new, records, groups)))
+    });
+}
+
+criterion_group!(figures, bench_fig6, bench_pattern_detection);
+criterion_main!(figures);

@@ -1,0 +1,41 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! Every bench target regenerates a paper artifact (table or figure) on a
+//! deterministic synthetic series, then measures the runtime of the
+//! pipeline stage behind it. The printed tables come from the same
+//! experiment runners the `repro` binary uses, so `cargo bench` both
+//! re-derives the paper's rows and tracks performance.
+
+#![warn(missing_docs)]
+
+use census_eval::experiments::ExperimentContext;
+use census_synth::SimConfig;
+
+/// Scale used by the bench suite: small enough for Criterion iteration,
+/// large enough for the paper's qualitative shapes to hold.
+#[must_use]
+pub fn bench_sim_config() -> SimConfig {
+    let mut config = SimConfig::small();
+    config.initial_households = 250;
+    config.snapshots = 6;
+    config.seed = 1851;
+    config
+}
+
+/// A memoised experiment context at bench scale.
+#[must_use]
+pub fn bench_context() -> ExperimentContext {
+    ExperimentContext::new(&bench_sim_config())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_context_builds() {
+        let ctx = bench_context();
+        assert_eq!(ctx.series.snapshots.len(), 6);
+        assert_eq!(ctx.eval_datasets().0.year, 1871);
+    }
+}

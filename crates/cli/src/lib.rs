@@ -1,0 +1,377 @@
+//! Library backing the `census-linkage` command-line tool.
+//!
+//! The CLI drives the full pipeline over CSV files on disk:
+//!
+//! ```text
+//! census-linkage generate --out DIR [--scale small|medium|paper] [--seed N]
+//! census-linkage stats FILE.csv --year YEAR
+//! census-linkage link OLD.csv NEW.csv --old-year Y --new-year Y --out DIR
+//! census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
+//! ```
+//!
+//! All subcommand logic lives here so it is unit-testable; `main.rs` only
+//! parses `std::env::args`.
+
+#![warn(missing_docs)]
+
+use census_model::csv::{
+    read_dataset, read_group_mapping, read_record_mapping, write_dataset, write_group_mapping,
+    write_record_mapping,
+};
+use census_model::{CensusDataset, GroupMapping, RecordMapping};
+use census_synth::{generate_series, SimConfig};
+use evolution::{detect_patterns, largest_component, preserve_chain_counts, EvolutionGraph};
+use linkage_core::{link, LinkageConfig};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+/// CLI error: message plus exit code 1.
+pub type CliError = String;
+
+fn io_err(context: &str, e: impl std::fmt::Display) -> CliError {
+    format!("{context}: {e}")
+}
+
+/// `generate`: write a synthetic census series (and its truth mappings)
+/// as CSV files into `out`.
+///
+/// Returns the written file paths.
+///
+/// # Errors
+///
+/// Fails on I/O errors or unknown scale names.
+pub fn cmd_generate(out: &Path, scale: &str, seed: Option<u64>) -> Result<Vec<PathBuf>, CliError> {
+    let mut config = match scale {
+        "small" => {
+            let mut c = SimConfig::small();
+            c.snapshots = 6;
+            c
+        }
+        "medium" => SimConfig::medium(),
+        "paper" => SimConfig::paper_scale(),
+        other => return Err(format!("unknown scale {other:?} (small|medium|paper)")),
+    };
+    if let Some(s) = seed {
+        config.seed = s;
+    }
+    std::fs::create_dir_all(out).map_err(|e| io_err("creating output dir", e))?;
+    let series = generate_series(&config);
+    let mut written = Vec::new();
+    for ds in &series.snapshots {
+        let path = out.join(format!("census_{}.csv", ds.year));
+        let f = File::create(&path).map_err(|e| io_err("creating snapshot file", e))?;
+        write_dataset(ds, BufWriter::new(f)).map_err(|e| io_err("writing snapshot", e))?;
+        written.push(path);
+    }
+    for (i, w) in series.snapshots.windows(2).enumerate() {
+        let truth = series.truth_between(i, i + 1).expect("in range");
+        let path = out.join(format!("truth_records_{}_{}.csv", w[0].year, w[1].year));
+        let f = File::create(&path).map_err(|e| io_err("creating truth file", e))?;
+        write_record_mapping(&truth.records, BufWriter::new(f))
+            .map_err(|e| io_err("writing truth records", e))?;
+        written.push(path);
+        let path = out.join(format!("truth_groups_{}_{}.csv", w[0].year, w[1].year));
+        let f = File::create(&path).map_err(|e| io_err("creating truth file", e))?;
+        write_group_mapping(&truth.groups, BufWriter::new(f))
+            .map_err(|e| io_err("writing truth groups", e))?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// `stats`: render the Table 1 row of one snapshot.
+///
+/// # Errors
+///
+/// Fails on I/O or parse errors.
+pub fn cmd_stats(file: &Path, year: i32) -> Result<String, CliError> {
+    let ds = load(file, year)?;
+    let s = ds.stats();
+    let mut out = String::new();
+    let _ = writeln!(out, "file:        {}", file.display());
+    let _ = writeln!(out, "year:        {}", s.year);
+    let _ = writeln!(out, "records:     {}", s.records);
+    let _ = writeln!(out, "households:  {}", s.households);
+    let _ = writeln!(out, "|fn+sn|:     {}", s.unique_names);
+    let _ = writeln!(out, "missing:     {:.2}%", s.missing_ratio * 100.0);
+    let _ = writeln!(out, "ambiguity:   {:.2}", s.name_ambiguity);
+    let _ = writeln!(out, "mean hh:     {:.2}", s.mean_household_size);
+    Ok(out)
+}
+
+/// `link`: run the full iterative linkage over two snapshot CSVs; write
+/// `record_mapping.csv` and `group_mapping.csv` into `out` and return a
+/// human-readable summary.
+///
+/// # Errors
+///
+/// Fails on I/O or parse errors.
+pub fn cmd_link(
+    old_file: &Path,
+    new_file: &Path,
+    old_year: i32,
+    new_year: i32,
+    out: &Path,
+) -> Result<String, CliError> {
+    let old = load(old_file, old_year)?;
+    let new = load(new_file, new_year)?;
+    let result = link(&old, &new, &LinkageConfig::default());
+    std::fs::create_dir_all(out).map_err(|e| io_err("creating output dir", e))?;
+    let rec_path = out.join("record_mapping.csv");
+    let f = File::create(&rec_path).map_err(|e| io_err("creating mapping file", e))?;
+    write_record_mapping(&result.records, BufWriter::new(f))
+        .map_err(|e| io_err("writing record mapping", e))?;
+    let grp_path = out.join("group_mapping.csv");
+    let f = File::create(&grp_path).map_err(|e| io_err("creating mapping file", e))?;
+    write_group_mapping(&result.groups, BufWriter::new(f))
+        .map_err(|e| io_err("writing group mapping", e))?;
+
+    let patterns = detect_patterns(&old, &new, &result.records, &result.groups);
+    let c = patterns.counts;
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "linked {} record pairs and {} household pairs in {} iteration(s)",
+        result.records.len(),
+        result.groups.len(),
+        result.iterations.len()
+    );
+    let _ = writeln!(
+        summary,
+        "patterns: {} preserved households, {} moves, {} splits, {} merges, +{} new, -{} gone",
+        c.preserve_g, c.moves, c.splits, c.merges, c.add_g, c.remove_g
+    );
+    let _ = writeln!(summary, "wrote {}", rec_path.display());
+    let _ = writeln!(summary, "wrote {}", grp_path.display());
+    Ok(summary)
+}
+
+/// `evolve`: link a whole series of snapshot CSVs and print the evolution
+/// analysis (Fig. 6 counts, Table 8 chains, largest component).
+///
+/// # Errors
+///
+/// Fails on I/O or parse errors, or when fewer than two files are given.
+pub fn cmd_evolve(
+    files: &[PathBuf],
+    start_year: i32,
+    interval: i32,
+    out: Option<&Path>,
+) -> Result<String, CliError> {
+    if files.len() < 2 {
+        return Err("evolve needs at least two snapshot files".into());
+    }
+    let mut snapshots = Vec::new();
+    for (i, file) in files.iter().enumerate() {
+        snapshots.push(load(file, start_year + interval * i as i32)?);
+    }
+    let config = LinkageConfig::default();
+    let mut mappings: Vec<(RecordMapping, GroupMapping)> = Vec::new();
+    for w in snapshots.windows(2) {
+        let r = link(&w[0], &w[1], &config);
+        mappings.push((r.records, r.groups));
+    }
+    let refs: Vec<&CensusDataset> = snapshots.iter().collect();
+    let graph = EvolutionGraph::build(&refs, &mappings);
+
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "pair        preserve  add  remove  move  split  merge"
+    );
+    for (i, p) in graph.pair_patterns.iter().enumerate() {
+        let c = p.counts;
+        let _ = writeln!(
+            summary,
+            "{}→{}  {:8} {:4} {:7} {:5} {:6} {:6}",
+            refs[i].year,
+            refs[i + 1].year,
+            c.preserve_g,
+            c.add_g,
+            c.remove_g,
+            c.moves,
+            c.splits,
+            c.merges
+        );
+    }
+    let chains = preserve_chain_counts(&graph);
+    let _ = writeln!(summary, "\npreserved households per interval:");
+    for (k, count) in chains.iter().enumerate() {
+        let _ = writeln!(summary, "  {} years: {count}", interval * (k as i32 + 1));
+    }
+    let (components, largest, total) = largest_component(&graph);
+    let _ = writeln!(
+        summary,
+        "\n{components} connected components; largest spans {largest}/{total} households ({:.1}%)",
+        largest as f64 / total.max(1) as f64 * 100.0
+    );
+
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("creating output dir", e))?;
+        for (i, (records, groups)) in mappings.iter().enumerate() {
+            let tag = format!("{}_{}", refs[i].year, refs[i + 1].year);
+            let f = File::create(dir.join(format!("record_mapping_{tag}.csv")))
+                .map_err(|e| io_err("creating mapping file", e))?;
+            write_record_mapping(records, BufWriter::new(f))
+                .map_err(|e| io_err("writing record mapping", e))?;
+            let f = File::create(dir.join(format!("group_mapping_{tag}.csv")))
+                .map_err(|e| io_err("creating mapping file", e))?;
+            write_group_mapping(groups, BufWriter::new(f))
+                .map_err(|e| io_err("writing group mapping", e))?;
+        }
+        let _ = writeln!(summary, "mappings written to {}", dir.display());
+    }
+    Ok(summary)
+}
+
+/// `evaluate`: compare a found mapping CSV against a truth mapping CSV
+/// and print precision / recall / F-measure. `kind` is "records" or
+/// "groups".
+///
+/// # Errors
+///
+/// Fails on I/O or parse errors or an unknown kind.
+pub fn cmd_evaluate(found: &Path, truth: &Path, kind: &str) -> Result<String, CliError> {
+    let open = |p: &Path| File::open(p).map_err(|e| io_err(&format!("opening {}", p.display()), e));
+    let quality = match kind {
+        "records" => {
+            let f = read_record_mapping(BufReader::new(open(found)?))
+                .map_err(|e| io_err("parsing found mapping", e))?;
+            let t = read_record_mapping(BufReader::new(open(truth)?))
+                .map_err(|e| io_err("parsing truth mapping", e))?;
+            census_eval::evaluate_record_mapping(&f, &t)
+        }
+        "groups" => {
+            let f = read_group_mapping(BufReader::new(open(found)?))
+                .map_err(|e| io_err("parsing found mapping", e))?;
+            let t = read_group_mapping(BufReader::new(open(truth)?))
+                .map_err(|e| io_err("parsing truth mapping", e))?;
+            census_eval::evaluate_group_mapping(&f, &t)
+        }
+        other => return Err(format!("unknown kind {other:?} (records|groups)")),
+    };
+    Ok(format!(
+        "precision: {:.2}%
+recall:    {:.2}%
+f-measure: {:.2}%
+",
+        quality.precision * 100.0,
+        quality.recall * 100.0,
+        quality.f1 * 100.0
+    ))
+}
+
+fn load(file: &Path, year: i32) -> Result<CensusDataset, CliError> {
+    let f = File::open(file).map_err(|e| io_err(&format!("opening {}", file.display()), e))?;
+    read_dataset(year, BufReader::new(f))
+        .map_err(|e| io_err(&format!("parsing {}", file.display()), e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("census-cli-test-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn generate_then_stats_then_link() {
+        let dir = tmp_dir("e2e");
+        let written = cmd_generate(&dir, "small", Some(5)).unwrap();
+        // 6 snapshots + 5 × 2 truth files
+        assert_eq!(written.len(), 16);
+        let first = dir.join("census_1851.csv");
+        assert!(first.exists());
+
+        let stats = cmd_stats(&first, 1851).unwrap();
+        assert!(stats.contains("records:"), "{stats}");
+
+        let out = dir.join("linked");
+        let summary = cmd_link(
+            &dir.join("census_1851.csv"),
+            &dir.join("census_1861.csv"),
+            1851,
+            1861,
+            &out,
+        )
+        .unwrap();
+        assert!(summary.contains("record pairs"), "{summary}");
+        assert!(out.join("record_mapping.csv").exists());
+        assert!(out.join("group_mapping.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evolve_over_three_snapshots() {
+        let dir = tmp_dir("evolve");
+        cmd_generate(&dir, "small", Some(9)).unwrap();
+        let files: Vec<PathBuf> = (0..3)
+            .map(|i| dir.join(format!("census_{}.csv", 1851 + 10 * i)))
+            .collect();
+        let summary = cmd_evolve(&files, 1851, 10, Some(&dir.join("maps"))).unwrap();
+        assert!(
+            summary.contains("preserved households per interval"),
+            "{summary}"
+        );
+        assert!(dir.join("maps/record_mapping_1851_1861.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evaluate_against_truth() {
+        let dir = tmp_dir("eval");
+        cmd_generate(&dir, "small", Some(3)).unwrap();
+        let out = dir.join("linked");
+        cmd_link(
+            &dir.join("census_1851.csv"),
+            &dir.join("census_1861.csv"),
+            1851,
+            1861,
+            &out,
+        )
+        .unwrap();
+        let report = cmd_evaluate(
+            &out.join("record_mapping.csv"),
+            &dir.join("truth_records_1851_1861.csv"),
+            "records",
+        )
+        .unwrap();
+        assert!(report.contains("f-measure"), "{report}");
+        // F must be high on generated data
+        let f_line = report.lines().find(|l| l.starts_with("f-measure")).unwrap();
+        let value: f64 = f_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(value > 80.0, "F {value}");
+        // groups too
+        let g = cmd_evaluate(
+            &out.join("group_mapping.csv"),
+            &dir.join("truth_groups_1851_1861.csv"),
+            "groups",
+        )
+        .unwrap();
+        assert!(g.contains("recall"));
+        assert!(cmd_evaluate(&out.join("record_mapping.csv"), &dir.join("x"), "bogus").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        // a path under a regular file can never become a directory
+        assert!(cmd_generate(Path::new("/dev/null/x"), "small", None).is_err());
+        assert!(cmd_generate(&tmp_dir("bad"), "gigantic", None).is_err());
+        assert!(cmd_stats(Path::new("/no/such/file.csv"), 1851).is_err());
+        assert!(cmd_evolve(&[PathBuf::from("one.csv")], 1851, 10, None).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Union-find used to build the transitive closure of match pairs into
+//! pre-matching clusters (§3.2).
+
+/// A classic disjoint-set forest with path compression and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // path compression
+        let mut cur = x;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        true
+    }
+
+    /// Size of `x`'s set.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_are_disjoint() {
+        let mut uf = UnionFind::new(4);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.set_size(2), 1);
+        assert_eq!(uf.len(), 4);
+    }
+
+    #[test]
+    fn union_merges_and_reports() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2)); // already together
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.set_size(1), 3);
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn transitive_closure_shape() {
+        // pairs (0,1) (2,3) (1,2) → one component {0,1,2,3}, plus {4}
+        let mut uf = UnionFind::new(5);
+        for (a, b) in [(0, 1), (2, 3), (1, 2)] {
+            uf.union(a, b);
+        }
+        assert_eq!(uf.set_size(0), 4);
+        assert_eq!(uf.set_size(4), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_find_is_idempotent_and_consistent(
+            n in 1usize..50,
+            unions in proptest::collection::vec((0usize..50, 0usize..50), 0..80)
+        ) {
+            let mut uf = UnionFind::new(n);
+            for (a, b) in unions {
+                let (a, b) = (a % n, b % n);
+                uf.union(a, b);
+                prop_assert!(uf.connected(a, b));
+            }
+            // total size over distinct roots equals n
+            let mut roots = std::collections::HashMap::new();
+            for x in 0..n {
+                let r = uf.find(x);
+                *roots.entry(r).or_insert(0usize) += 1;
+            }
+            for (r, count) in roots {
+                prop_assert_eq!(uf.set_size(r), count);
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! A reusable linker for one snapshot pair.
+//!
+//! Parameter sweeps (the paper's Tables 3–5) run the pipeline many times
+//! over the *same* pair of censuses; group enrichment and the household
+//! index never change between runs. [`Linker`] computes them once and
+//! lets each [`Linker::run`] reuse them.
+
+use crate::config::LinkageConfig;
+use crate::prematch::prematch;
+use crate::remainder::match_remaining;
+use crate::selection::{select_and_extract, ScoredSubgroup};
+use crate::{IterationStats, LinkPhase, LinkageResult};
+use census_model::{CensusDataset, GroupMapping, HouseholdId, PersonRecord, RecordMapping};
+use hhgraph::{match_subgraph, EnrichedGraph};
+use std::collections::{BTreeSet, HashMap};
+
+/// Precomputed state for linking one snapshot pair repeatedly.
+pub struct Linker<'a> {
+    old: &'a CensusDataset,
+    new: &'a CensusDataset,
+    old_graphs: Vec<EnrichedGraph>,
+    new_graphs: Vec<EnrichedGraph>,
+    old_gidx: HashMap<HouseholdId, usize>,
+    new_gidx: HashMap<HouseholdId, usize>,
+}
+
+impl<'a> Linker<'a> {
+    /// Enrich both snapshots once (`completeGroups`, §3.1).
+    #[must_use]
+    pub fn new(old: &'a CensusDataset, new: &'a CensusDataset) -> Self {
+        let old_graphs = EnrichedGraph::build_all(old);
+        let new_graphs = EnrichedGraph::build_all(new);
+        let old_gidx = old_graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.household, i))
+            .collect();
+        let new_gidx = new_graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.household, i))
+            .collect();
+        Self {
+            old,
+            new,
+            old_graphs,
+            new_graphs,
+            old_gidx,
+            new_gidx,
+        }
+    }
+
+    /// The enriched graphs of the old census, in household order.
+    #[must_use]
+    pub fn old_graphs(&self) -> &[EnrichedGraph] {
+        &self.old_graphs
+    }
+
+    /// The enriched graphs of the new census, in household order.
+    #[must_use]
+    pub fn new_graphs(&self) -> &[EnrichedGraph] {
+        &self.new_graphs
+    }
+
+    /// Match and score the subgraphs of candidate household pairs,
+    /// in parallel across worker threads. Order of the result follows
+    /// the (sorted) input order, so runs stay deterministic.
+    fn score_candidates(
+        &self,
+        cand_list: &[(HouseholdId, HouseholdId)],
+        pm: &crate::PreMatch,
+        config: &LinkageConfig,
+        delta: f64,
+    ) -> Vec<ScoredSubgroup> {
+        let score_one = |&(go, gn): &(HouseholdId, HouseholdId)| -> Option<ScoredSubgroup> {
+            let g_old = &self.old_graphs[*self.old_gidx.get(&go)?];
+            let g_new = &self.new_graphs[*self.new_gidx.get(&gn)?];
+            let sub = match_subgraph(
+                g_old,
+                g_new,
+                |r| pm.label_old.get(&r).copied(),
+                |r| pm.label_new.get(&r).copied(),
+                |o, n| pm.pair_sims.contains_key(&(o, n)),
+                &config.subgraph,
+            );
+            if sub.is_empty() {
+                return None;
+            }
+            Some(ScoredSubgroup::new(go, gn, sub, pm, config.weights, delta))
+        };
+        let threads = config.threads.max(1);
+        if threads == 1 || cand_list.len() < 2048 {
+            return cand_list.iter().filter_map(score_one).collect();
+        }
+        let chunk = cand_list.len().div_ceil(threads);
+        let mut out = Vec::with_capacity(cand_list.len());
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = cand_list
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move |_| slice.iter().filter_map(score_one).collect::<Vec<_>>())
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("candidate scorer panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        out
+    }
+
+    /// Run Algorithm 1 with the given configuration, reusing the cached
+    /// enrichment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    #[must_use]
+    pub fn run(&self, config: &LinkageConfig) -> LinkageResult {
+        config.validate();
+        let year_gap = i64::from(self.new.year - self.old.year);
+        // labels above this base mark anchor pairs; they cannot collide
+        // with union-find roots, which are bounded by the record count
+        const ANCHOR_BASE: u64 = 1 << 40;
+
+        let mut remaining_old: Vec<&PersonRecord> = self.old.records().iter().collect();
+        let mut remaining_new: Vec<&PersonRecord> = self.new.records().iter().collect();
+        let mut records = RecordMapping::new();
+        let mut groups = GroupMapping::new();
+        let mut iterations = Vec::new();
+        let mut provenance = HashMap::new();
+
+        let mut delta = config.delta_high;
+        loop {
+            let sim = config.sim_func.with_threshold(delta);
+            let mut pm = prematch(
+                &remaining_old,
+                &remaining_new,
+                year_gap,
+                &sim,
+                config.blocking,
+                config.threads,
+                config.prematch_max_age_gap,
+            );
+
+            // inject confirmed links as high-confidence anchors
+            for (idx, (o, n)) in records.iter().enumerate() {
+                let label = ANCHOR_BASE + idx as u64;
+                pm.label_old.insert(o, label);
+                pm.label_new.insert(n, label);
+                pm.cluster_size.insert(label, 2);
+                pm.pair_sims.insert((o, n), 1.0);
+            }
+
+            // candidate group pairs: households connected by ≥1 match pair
+            let mut cand_pairs: BTreeSet<(HouseholdId, HouseholdId)> = BTreeSet::new();
+            for &(o, n) in pm.pair_sims.keys() {
+                let (Some(ro), Some(rn)) = (self.old.record(o), self.new.record(n)) else {
+                    continue;
+                };
+                cand_pairs.insert((ro.household, rn.household));
+            }
+
+            let cand_list: Vec<(HouseholdId, HouseholdId)> = cand_pairs.into_iter().collect();
+            let candidates = self.score_candidates(&cand_list, &pm, config, delta);
+
+            let records_before = records.len();
+            let groups_before = groups.len();
+            let (accepted, added) = select_and_extract(
+                &candidates,
+                &pm,
+                delta,
+                config.min_g_sim,
+                &mut groups,
+                &mut records,
+            );
+            for (o, n, cand_idx) in added {
+                provenance.insert(
+                    (o, n),
+                    LinkPhase::Subgraph {
+                        delta,
+                        g_sim: candidates[cand_idx].g_sim,
+                    },
+                );
+            }
+            let record_links = records.len() - records_before;
+            let group_links = groups.len() - groups_before;
+            let progress = accepted > 0 && (group_links > 0 || record_links > 0);
+
+            iterations.push(IterationStats {
+                delta,
+                prematch_pairs: pm.match_count(),
+                candidates: candidates.len(),
+                group_links,
+                record_links,
+            });
+
+            if record_links > 0 {
+                remaining_old.retain(|r| !records.contains_old(r.id));
+                remaining_new.retain(|r| !records.contains_new(r.id));
+            }
+
+            if config.delta_step <= 0.0 {
+                break;
+            }
+            delta -= config.delta_step;
+            if !progress || delta < config.delta_low - 1e-9 {
+                break;
+            }
+        }
+
+        let remainder_added = match_remaining(
+            self.old,
+            self.new,
+            &remaining_old,
+            &remaining_new,
+            &config.remainder,
+            config.blocking,
+            &mut records,
+            &mut groups,
+        );
+        for &(o, n) in &remainder_added {
+            provenance.insert((o, n), LinkPhase::Remainder);
+        }
+
+        LinkageResult {
+            records,
+            groups,
+            iterations,
+            remainder_links: remainder_added.len(),
+            provenance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_synth::{generate_series, SimConfig};
+
+    #[test]
+    fn linker_matches_free_function() {
+        let series = generate_series(&SimConfig::small());
+        let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+        let config = LinkageConfig::default();
+        let direct = crate::link(old, new, &config);
+        let linker = Linker::new(old, new);
+        let cached = linker.run(&config);
+        let a: std::collections::BTreeSet<_> = direct.records.iter().collect();
+        let b: std::collections::BTreeSet<_> = cached.records.iter().collect();
+        assert_eq!(a, b);
+        let ga: std::collections::BTreeSet<_> = direct.groups.iter().collect();
+        let gb: std::collections::BTreeSet<_> = cached.groups.iter().collect();
+        assert_eq!(ga, gb);
+    }
+
+    #[test]
+    fn provenance_covers_every_link() {
+        let series = generate_series(&SimConfig::small());
+        let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+        let result = Linker::new(old, new).run(&LinkageConfig::default());
+        for (o, n) in result.records.iter() {
+            let phase = result.explain(o, n);
+            assert!(phase.is_some(), "link {o}->{n} has no provenance");
+        }
+        // subgraph links dominate; their deltas are within the schedule
+        let mut subgraph = 0;
+        let mut remainder = 0;
+        for (&_, phase) in &result.provenance {
+            match phase {
+                crate::LinkPhase::Subgraph { delta, g_sim } => {
+                    subgraph += 1;
+                    assert!(*delta > 0.5 - 1e-9 && *delta < 0.7 + 1e-9); // float-stepped schedule
+                    assert!((0.0..=1.0).contains(g_sim));
+                }
+                crate::LinkPhase::Remainder => remainder += 1,
+            }
+        }
+        assert!(subgraph > remainder);
+        assert_eq!(subgraph + remainder, result.records.len());
+    }
+
+    #[test]
+    fn linker_reuses_across_configs() {
+        let series = generate_series(&SimConfig::small());
+        let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+        let linker = Linker::new(old, new);
+        let iter = linker.run(&LinkageConfig::paper_best());
+        let oneshot = linker.run(&LinkageConfig::non_iterative());
+        assert!(iter.iterations.len() > oneshot.iterations.len());
+        // graphs cover every household
+        assert_eq!(linker.old_graphs().len(), old.household_count());
+        assert_eq!(linker.new_graphs().len(), new.household_count());
+    }
+}

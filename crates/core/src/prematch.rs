@@ -1,0 +1,407 @@
+//! Pre-matching (§3.2): attribute-based matching and clustering of the
+//! records of two censuses.
+//!
+//! Candidate pairs from the blocking layer are scored with the weighted
+//! attribute similarity (Eq. 3); pairs at or above δ become match pairs;
+//! the connected components of the match pairs become clusters, and every
+//! record is assigned its cluster label. Scoring is parallelised across
+//! worker threads with `crossbeam` scoped threads.
+
+use crate::blocking::{candidate_pairs, BlockingStrategy};
+use crate::cluster::UnionFind;
+use crate::simfunc::SimFunc;
+use census_model::{PersonRecord, RecordId};
+use std::collections::HashMap;
+
+/// Whether a candidate pair is age-plausible: the new age must lie within
+/// `tolerance` years of `old age + year_gap` (the paper's footnote 2:
+/// pairs whose normalised age difference exceeds 3 years are never
+/// accepted). Pairs with a missing age on either side pass.
+fn age_plausible(old: &PersonRecord, new: &PersonRecord, year_gap: i64, tolerance: u32) -> bool {
+    match (old.age, new.age) {
+        (Some(a), Some(b)) => {
+            let expected = i64::from(a) + year_gap;
+            (i64::from(b) - expected).unsigned_abs() <= u64::from(tolerance)
+        }
+        _ => true,
+    }
+}
+
+/// The pre-matching result: cluster labels per record side, cluster
+/// sizes, and the aggregated similarity of every match pair.
+#[derive(Debug, Clone, Default)]
+pub struct PreMatch {
+    /// Cluster label of each old-census record (every record gets one;
+    /// unmatched records form singleton clusters).
+    pub label_old: HashMap<RecordId, u64>,
+    /// Cluster label of each new-census record.
+    pub label_new: HashMap<RecordId, u64>,
+    /// Number of records (both censuses) per cluster label.
+    pub cluster_size: HashMap<u64, u32>,
+    /// `agg_sim` of every `(old, new)` pair that reached the threshold.
+    pub pair_sims: HashMap<(RecordId, RecordId), f64>,
+}
+
+impl PreMatch {
+    /// Number of match pairs.
+    #[must_use]
+    pub fn match_count(&self) -> usize {
+        self.pair_sims.len()
+    }
+
+    /// The size of the cluster a label names (0 for unknown labels).
+    #[must_use]
+    pub fn size_of_label(&self, label: u64) -> u32 {
+        self.cluster_size.get(&label).copied().unwrap_or(0)
+    }
+}
+
+/// Score candidate pairs in parallel; returns `(old_idx, new_idx, sim)`
+/// for pairs at or above the threshold.
+fn score_pairs(
+    pairs: &[(u32, u32)],
+    old_profiles: &[Vec<String>],
+    new_profiles: &[Vec<String>],
+    sim: &SimFunc,
+    threads: usize,
+) -> Vec<(u32, u32, f64)> {
+    let threads = threads.max(1);
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    if threads == 1 || pairs.len() < 4096 {
+        return pairs
+            .iter()
+            .filter_map(|&(i, j)| {
+                let s =
+                    sim.aggregate_profiles(&old_profiles[i as usize], &new_profiles[j as usize]);
+                (s >= sim.threshold).then_some((i, j, s))
+            })
+            .collect();
+    }
+    let chunk = pairs.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(pairs.len() / 4);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| {
+                    slice
+                        .iter()
+                        .filter_map(|&(i, j)| {
+                            let s = sim.aggregate_profiles(
+                                &old_profiles[i as usize],
+                                &new_profiles[j as usize],
+                            );
+                            (s >= sim.threshold).then_some((i, j, s))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("scoring worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    out
+}
+
+/// Run pre-matching over two record sets.
+///
+/// `year_gap` is `new.year - old.year` (used by the blocking age bands
+/// and the age-plausibility filter). `max_age_gap` rejects candidate
+/// pairs whose normalised age difference exceeds the tolerance — the
+/// paper's footnote 2 guarantee; `None` disables the filter.
+#[must_use]
+pub fn prematch(
+    old: &[&PersonRecord],
+    new: &[&PersonRecord],
+    year_gap: i64,
+    sim: &SimFunc,
+    strategy: BlockingStrategy,
+    threads: usize,
+    max_age_gap: Option<u32>,
+) -> PreMatch {
+    let old_profiles: Vec<Vec<String>> = old.iter().map(|r| sim.profile(r)).collect();
+    let new_profiles: Vec<Vec<String>> = new.iter().map(|r| sim.profile(r)).collect();
+    let mut pairs = candidate_pairs(old, new, year_gap, strategy);
+    if let Some(tol) = max_age_gap {
+        pairs.retain(|&(i, j)| age_plausible(old[i as usize], new[j as usize], year_gap, tol));
+    }
+    let matches = score_pairs(&pairs, &old_profiles, &new_profiles, sim, threads);
+
+    // transitive closure: indices 0..n_old are old records, n_old.. new
+    let n_old = old.len();
+    let mut uf = UnionFind::new(n_old + new.len());
+    let mut pair_sims = HashMap::with_capacity(matches.len());
+    for &(i, j, s) in &matches {
+        uf.union(i as usize, n_old + j as usize);
+        pair_sims.insert((old[i as usize].id, new[j as usize].id), s);
+    }
+
+    let mut label_old = HashMap::with_capacity(n_old);
+    let mut label_new = HashMap::with_capacity(new.len());
+    let mut cluster_size: HashMap<u64, u32> = HashMap::new();
+    for (i, r) in old.iter().enumerate() {
+        let label = uf.find(i) as u64;
+        label_old.insert(r.id, label);
+        *cluster_size.entry(label).or_insert(0) += 1;
+    }
+    for (j, r) in new.iter().enumerate() {
+        let label = uf.find(n_old + j) as u64;
+        label_new.insert(r.id, label);
+        *cluster_size.entry(label).or_insert(0) += 1;
+    }
+
+    PreMatch {
+        label_old,
+        label_new,
+        cluster_size,
+        pair_sims,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_model::{HouseholdId, Role, Sex};
+
+    fn rec(id: u64, fname: &str, sname: &str, sex: Sex, age: u32) -> PersonRecord {
+        let mut r = PersonRecord::empty(RecordId(id), HouseholdId(0), Role::Head);
+        r.first_name = fname.into();
+        r.surname = sname.into();
+        r.sex = Some(sex);
+        r.age = Some(age);
+        r.address = "mill lane".into();
+        r.occupation = "weaver".into();
+        r
+    }
+
+    /// The paper's Fig. 3 scenario: exact name matching at threshold 1
+    /// over first name + surname.
+    fn fig3_simfunc() -> SimFunc {
+        use crate::simfunc::AttributeSpec;
+        use census_model::Attribute;
+        use textsim::StringMeasure;
+        SimFunc::new(
+            vec![
+                AttributeSpec {
+                    attribute: Attribute::FirstName,
+                    measure: StringMeasure::QGram(2),
+                    weight: 0.5,
+                },
+                AttributeSpec {
+                    attribute: Attribute::Surname,
+                    measure: StringMeasure::QGram(2),
+                    weight: 0.5,
+                },
+            ],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn fig3_clusters_by_full_name() {
+        // 1871: john ashworth, alice ashworth; 1881: john ashworth ×2,
+        // alice smith
+        let o1 = rec(0, "john", "ashworth", Sex::Male, 39);
+        let o2 = rec(1, "alice", "ashworth", Sex::Female, 8);
+        let n1 = rec(0, "john", "ashworth", Sex::Male, 49);
+        let n2 = rec(1, "john", "ashworth", Sex::Male, 30);
+        let n3 = rec(2, "alice", "smith", Sex::Female, 18);
+        let pm = prematch(
+            &[&o1, &o2],
+            &[&n1, &n2, &n3],
+            10,
+            &fig3_simfunc(),
+            BlockingStrategy::Full,
+            1,
+            None,
+        );
+        // john_old clusters with both new johns
+        let l_john = pm.label_old[&RecordId(0)];
+        assert_eq!(pm.label_new[&RecordId(0)], l_john);
+        assert_eq!(pm.label_new[&RecordId(1)], l_john);
+        assert_eq!(pm.size_of_label(l_john), 3);
+        // alice ashworth does not cluster with alice smith at threshold 1
+        assert_ne!(pm.label_old[&RecordId(1)], pm.label_new[&RecordId(2)]);
+        assert_eq!(pm.size_of_label(pm.label_old[&RecordId(1)]), 1);
+        assert_eq!(pm.match_count(), 2);
+    }
+
+    #[test]
+    fn pair_sims_store_aggregate() {
+        let o = rec(0, "john", "ashworth", Sex::Male, 39);
+        let n = rec(0, "john", "ashworth", Sex::Male, 49);
+        let pm = prematch(
+            &[&o],
+            &[&n],
+            10,
+            &fig3_simfunc(),
+            BlockingStrategy::Full,
+            1,
+            None,
+        );
+        let s = pm.pair_sims[&(RecordId(0), RecordId(0))];
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn below_threshold_pairs_are_not_stored() {
+        let o = rec(0, "john", "ashworth", Sex::Male, 39);
+        let n = rec(0, "john", "ashwerth", Sex::Male, 49); // one letter off
+        let pm = prematch(
+            &[&o],
+            &[&n],
+            10,
+            &fig3_simfunc(),
+            BlockingStrategy::Full,
+            1,
+            None,
+        );
+        assert_eq!(pm.match_count(), 0);
+        // …but both records still get (distinct singleton) labels
+        assert_ne!(pm.label_old[&RecordId(0)], pm.label_new[&RecordId(0)]);
+    }
+
+    #[test]
+    fn lower_threshold_recovers_typos() {
+        let o = rec(0, "john", "ashworth", Sex::Male, 39);
+        let n = rec(0, "john", "ashwerth", Sex::Male, 49);
+        let f = fig3_simfunc().with_threshold(0.8);
+        let pm = prematch(&[&o], &[&n], 10, &f, BlockingStrategy::Full, 1, None);
+        assert_eq!(pm.match_count(), 1);
+        assert_eq!(pm.label_old[&RecordId(0)], pm.label_new[&RecordId(0)]);
+    }
+
+    #[test]
+    fn transitive_closure_joins_within_one_side() {
+        // two distinct old spellings both match one new record → all three
+        // share a cluster
+        let o1 = rec(0, "jon", "ashworth", Sex::Male, 39);
+        let o2 = rec(1, "john", "ashworth", Sex::Male, 41);
+        let n = rec(0, "john", "ashworth", Sex::Male, 49);
+        let f = fig3_simfunc().with_threshold(0.8);
+        let pm = prematch(&[&o1, &o2], &[&n], 10, &f, BlockingStrategy::Full, 1, None);
+        let l = pm.label_new[&RecordId(0)];
+        assert_eq!(pm.label_old[&RecordId(0)], l);
+        assert_eq!(pm.label_old[&RecordId(1)], l);
+        assert_eq!(pm.size_of_label(l), 3);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        // build a few hundred records and compare 1-thread vs 4-thread
+        let olds: Vec<PersonRecord> = (0..150)
+            .map(|i| {
+                rec(
+                    i,
+                    if i % 3 == 0 { "john" } else { "mary" },
+                    "ashworth",
+                    Sex::Male,
+                    30,
+                )
+            })
+            .collect();
+        let news: Vec<PersonRecord> = (0..150)
+            .map(|i| {
+                rec(
+                    i,
+                    if i % 2 == 0 { "john" } else { "marey" },
+                    "ashworth",
+                    Sex::Male,
+                    40,
+                )
+            })
+            .collect();
+        let or: Vec<&PersonRecord> = olds.iter().collect();
+        let nr: Vec<&PersonRecord> = news.iter().collect();
+        let f = fig3_simfunc().with_threshold(0.8);
+        let seq = prematch(&or, &nr, 10, &f, BlockingStrategy::Full, 1, None);
+        let par = prematch(&or, &nr, 10, &f, BlockingStrategy::Full, 4, None);
+        assert_eq!(seq.match_count(), par.match_count());
+        assert_eq!(seq.pair_sims, par.pair_sims);
+        // labels are root indices; same unions → same partition (roots may
+        // differ in principle, so compare partition structure)
+        let part = |pm: &PreMatch| {
+            let mut groups: HashMap<u64, Vec<String>> = HashMap::new();
+            for (r, l) in &pm.label_old {
+                groups.entry(*l).or_default().push(format!("o{}", r.raw()));
+            }
+            for (r, l) in &pm.label_new {
+                groups.entry(*l).or_default().push(format!("n{}", r.raw()));
+            }
+            let mut v: Vec<Vec<String>> = groups
+                .into_values()
+                .map(|mut g| {
+                    g.sort();
+                    g
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(part(&seq), part(&par));
+    }
+
+    #[test]
+    fn age_filter_rejects_implausible_pairs() {
+        // a dead 3-year-old vs a child born after the old census: names
+        // identical, ages impossible
+        let o = rec(0, "john", "smith", Sex::Male, 3);
+        let n = rec(0, "john", "smith", Sex::Male, 5);
+        let with_filter = prematch(
+            &[&o],
+            &[&n],
+            10,
+            &fig3_simfunc(),
+            BlockingStrategy::Full,
+            1,
+            Some(3),
+        );
+        assert_eq!(with_filter.match_count(), 0);
+        let without = prematch(
+            &[&o],
+            &[&n],
+            10,
+            &fig3_simfunc(),
+            BlockingStrategy::Full,
+            1,
+            None,
+        );
+        assert_eq!(without.match_count(), 1);
+    }
+
+    #[test]
+    fn age_filter_passes_missing_ages() {
+        let mut o = rec(0, "john", "smith", Sex::Male, 3);
+        o.age = None;
+        let n = rec(0, "john", "smith", Sex::Male, 5);
+        let pm = prematch(
+            &[&o],
+            &[&n],
+            10,
+            &fig3_simfunc(),
+            BlockingStrategy::Full,
+            1,
+            Some(3),
+        );
+        assert_eq!(pm.match_count(), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let pm = prematch(
+            &[],
+            &[],
+            10,
+            &fig3_simfunc(),
+            BlockingStrategy::Full,
+            2,
+            None,
+        );
+        assert_eq!(pm.match_count(), 0);
+        assert!(pm.label_old.is_empty());
+    }
+}

@@ -1,0 +1,334 @@
+//! Greedy selection of group links (Algorithm 2) and record-link
+//! extraction from the accepted subgraphs.
+
+use crate::group_sim::{score_subgraph, GroupScore, SelectionWeights};
+use crate::prematch::PreMatch;
+use census_model::{GroupMapping, HouseholdId, RecordId, RecordMapping};
+use hhgraph::MatchedSubgraph;
+use std::collections::{HashMap, HashSet};
+
+/// One candidate group pair with its matched subgraph and scores — the
+/// quadruple `⟨g_i, g_{i+1}, g_sub, g_sim⟩` of Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct ScoredSubgroup {
+    /// Old-census household.
+    pub old: HouseholdId,
+    /// New-census household.
+    pub new: HouseholdId,
+    /// The matched common subgraph.
+    pub sub: MatchedSubgraph,
+    /// Component scores (Eq. 5–7).
+    pub score: GroupScore,
+    /// Aggregated similarity (Eq. 4).
+    pub g_sim: f64,
+}
+
+impl ScoredSubgroup {
+    /// Score a subgraph candidate.
+    #[must_use]
+    pub fn new(
+        old: HouseholdId,
+        new: HouseholdId,
+        sub: MatchedSubgraph,
+        pre: &PreMatch,
+        weights: SelectionWeights,
+        fallback_sim: f64,
+    ) -> Self {
+        let score = score_subgraph(&sub, pre, fallback_sim);
+        let g_sim = weights.g_sim(&score);
+        Self {
+            old,
+            new,
+            sub,
+            score,
+            g_sim,
+        }
+    }
+}
+
+/// Algorithm 2: greedily accept candidate group pairs in descending
+/// `g_sim` order, subject to record-disjointness per household —
+/// a household may link to several counterparts (N:M), but only through
+/// disjoint member subsets.
+///
+/// `min_g_sim` extends the paper's algorithm with a minimum acceptance
+/// score: single-vertex, zero-edge subgraphs between unrelated households
+/// otherwise sail through unopposed (the paper's hand-curated reference
+/// set of large households hides this case). Pass `0.0` for the strict
+/// paper behaviour.
+///
+/// Returns, for each accepted group pair in acceptance order, the index
+/// into `candidates` it came from.
+#[must_use]
+pub fn select_group_links(candidates: &[ScoredSubgroup], min_g_sim: f64) -> Vec<usize> {
+    // descending g_sim; deterministic tie-break on household ids
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ca = &candidates[a];
+        let cb = &candidates[b];
+        cb.g_sim
+            .partial_cmp(&ca.g_sim)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (ca.old, ca.new).cmp(&(cb.old, cb.new)))
+    });
+
+    // lookup: records of each household already claimed by accepted links
+    let mut linked_old: HashMap<HouseholdId, HashSet<RecordId>> = HashMap::new();
+    let mut linked_new: HashMap<HouseholdId, HashSet<RecordId>> = HashMap::new();
+    let mut accepted = Vec::new();
+
+    for idx in order {
+        let cand = &candidates[idx];
+        if cand.sub.vertices.is_empty() || cand.g_sim < min_g_sim {
+            continue;
+        }
+        let old_records: HashSet<RecordId> = cand.sub.vertices.iter().map(|&(o, _)| o).collect();
+        let new_records: HashSet<RecordId> = cand.sub.vertices.iter().map(|&(_, n)| n).collect();
+        let old_clash = linked_old
+            .get(&cand.old)
+            .is_some_and(|s| !s.is_disjoint(&old_records));
+        let new_clash = linked_new
+            .get(&cand.new)
+            .is_some_and(|s| !s.is_disjoint(&new_records));
+        if old_clash || new_clash {
+            continue;
+        }
+        linked_old.entry(cand.old).or_default().extend(&old_records);
+        linked_new.entry(cand.new).or_default().extend(&new_records);
+        accepted.push(idx);
+    }
+    accepted
+}
+
+/// Extract record links from an accepted subgraph into the global record
+/// mapping (paper line 11, `extractRecordMapping`).
+///
+/// Vertices may share records when a household contains several
+/// equal-label members; links are taken greedily in descending
+/// (edge-degree, pair-similarity) order so the structurally
+/// best-supported pair wins, and the 1:1 constraint of
+/// [`RecordMapping::insert`] rejects the rest. Returns the links added,
+/// in acceptance order.
+pub fn extract_record_links(
+    sub: &MatchedSubgraph,
+    pre: &PreMatch,
+    fallback_sim: f64,
+    mapping: &mut RecordMapping,
+) -> Vec<(RecordId, RecordId)> {
+    let mut degree = vec![0usize; sub.vertices.len()];
+    for e in &sub.edges {
+        degree[e.u] += 1;
+        degree[e.v] += 1;
+    }
+    let mut order: Vec<usize> = (0..sub.vertices.len()).collect();
+    order.sort_by(|&a, &b| {
+        let sa = sub
+            .vertices
+            .get(a)
+            .and_then(|v| pre.pair_sims.get(&(v.0, v.1)))
+            .copied()
+            .unwrap_or(fallback_sim);
+        let sb = sub
+            .vertices
+            .get(b)
+            .and_then(|v| pre.pair_sims.get(&(v.0, v.1)))
+            .copied()
+            .unwrap_or(fallback_sim);
+        degree[b]
+            .cmp(&degree[a])
+            .then(sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal))
+            .then_with(|| sub.vertices[a].cmp(&sub.vertices[b]))
+    });
+    let mut added = Vec::new();
+    for idx in order {
+        let (o, n) = sub.vertices[idx];
+        if !mapping.contains_old(o) && !mapping.contains_new(n) && mapping.insert(o, n) {
+            added.push((o, n));
+        }
+    }
+    added
+}
+
+/// Convenience: run selection and extraction, extending `groups` and
+/// `records`. Returns the number of accepted group links plus, for every
+/// record link added, the subgroup it was extracted from (for
+/// provenance).
+pub fn select_and_extract(
+    candidates: &[ScoredSubgroup],
+    pre: &PreMatch,
+    fallback_sim: f64,
+    min_g_sim: f64,
+    groups: &mut GroupMapping,
+    records: &mut RecordMapping,
+) -> (usize, Vec<(RecordId, RecordId, usize)>) {
+    let accepted = select_group_links(candidates, min_g_sim);
+    let mut added = Vec::new();
+    for &idx in &accepted {
+        let cand = &candidates[idx];
+        groups.insert(cand.old, cand.new);
+        for (o, n) in extract_record_links(&cand.sub, pre, fallback_sim, records) {
+            added.push((o, n, idx));
+        }
+    }
+    (accepted.len(), added)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhgraph::SubgraphEdge;
+
+    fn sub(vertices: Vec<(u64, u64)>, edges: usize) -> MatchedSubgraph {
+        let n = vertices.len();
+        MatchedSubgraph {
+            vertices: vertices
+                .into_iter()
+                .map(|(o, n)| (RecordId(o), RecordId(n)))
+                .collect(),
+            edges: (0..edges.min(n.saturating_sub(1)))
+                .map(|i| SubgraphEdge {
+                    u: i,
+                    v: i + 1,
+                    rp_sim: 1.0,
+                })
+                .collect(),
+            old_edge_count: 10,
+            new_edge_count: 3,
+        }
+    }
+
+    fn scored(old: u64, new: u64, vertices: Vec<(u64, u64)>, g_sim: f64) -> ScoredSubgroup {
+        let edges = vertices.len().saturating_sub(1);
+        ScoredSubgroup {
+            old: HouseholdId(old),
+            new: HouseholdId(new),
+            sub: sub(vertices, edges),
+            score: GroupScore {
+                avg_sim: 1.0,
+                e_sim: 0.5,
+                unique: 0.5,
+            },
+            g_sim,
+        }
+    }
+
+    #[test]
+    fn highest_g_sim_wins_conflicts() {
+        // the paper's Fig. 4: household 0 links either new 0 (g_sim high)
+        // or new 1 (low); shared old records force a choice
+        let cands = vec![
+            scored(0, 0, vec![(0, 10), (1, 11), (3, 12)], 0.9),
+            scored(0, 1, vec![(0, 13), (1, 14), (3, 15)], 0.4),
+        ];
+        let accepted = select_group_links(&cands, 0.0);
+        assert_eq!(accepted, vec![0]);
+    }
+
+    #[test]
+    fn disjoint_subgroups_allow_n_to_m() {
+        // household 0 splits into new 0 and new 1 with disjoint members
+        let cands = vec![
+            scored(0, 0, vec![(0, 10), (1, 11)], 0.9),
+            scored(0, 1, vec![(2, 20), (3, 21)], 0.8),
+        ];
+        let accepted = select_group_links(&cands, 0.0);
+        assert_eq!(accepted.len(), 2);
+    }
+
+    #[test]
+    fn new_side_conflicts_also_block() {
+        // two old households claim the same new records
+        let cands = vec![
+            scored(0, 5, vec![(0, 10), (1, 11)], 0.9),
+            scored(1, 5, vec![(2, 10), (3, 11)], 0.8),
+        ];
+        let accepted = select_group_links(&cands, 0.0);
+        assert_eq!(accepted, vec![0]);
+    }
+
+    #[test]
+    fn empty_subgraphs_are_skipped() {
+        let cands = vec![scored(0, 0, vec![], 0.9)];
+        assert!(select_group_links(&cands, 0.0).is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let cands = vec![
+            scored(1, 1, vec![(5, 15)], 0.5),
+            scored(0, 0, vec![(4, 14)], 0.5),
+        ];
+        let accepted = select_group_links(&cands, 0.0);
+        // same score: (old, new) ascending decides; both disjoint → both in
+        assert_eq!(accepted, vec![1, 0]);
+    }
+
+    #[test]
+    fn min_g_sim_filters_weak_candidates() {
+        let cands = vec![
+            scored(0, 0, vec![(0, 10)], 0.15),
+            scored(1, 1, vec![(1, 11)], 0.35),
+        ];
+        let accepted = select_group_links(&cands, 0.2);
+        assert_eq!(accepted, vec![1]);
+        // strict paper behaviour keeps both
+        assert_eq!(select_group_links(&cands, 0.0).len(), 2);
+    }
+
+    #[test]
+    fn extraction_respects_one_to_one() {
+        // two vertices sharing the same new record: only one survives
+        let s = MatchedSubgraph {
+            vertices: vec![
+                (RecordId(0), RecordId(10)),
+                (RecordId(1), RecordId(10)),
+                (RecordId(2), RecordId(12)),
+            ],
+            edges: vec![SubgraphEdge {
+                u: 0,
+                v: 2,
+                rp_sim: 1.0,
+            }],
+            old_edge_count: 3,
+            new_edge_count: 3,
+        };
+        let pre = PreMatch::default();
+        let mut m = RecordMapping::new();
+        let added = extract_record_links(&s, &pre, 0.5, &mut m);
+        assert_eq!(added.len(), 2);
+        // the degree-1 vertex (0,10) wins over the degree-0 (1,10)
+        assert!(m.contains(RecordId(0), RecordId(10)));
+        assert!(m.contains(RecordId(2), RecordId(12)));
+        assert!(!m.contains_old(RecordId(1)));
+    }
+
+    #[test]
+    fn extraction_prefers_higher_similarity_on_equal_degree() {
+        let s = MatchedSubgraph {
+            vertices: vec![(RecordId(0), RecordId(10)), (RecordId(1), RecordId(10))],
+            edges: vec![],
+            old_edge_count: 1,
+            new_edge_count: 1,
+        };
+        let mut pre = PreMatch::default();
+        pre.pair_sims.insert((RecordId(0), RecordId(10)), 0.6);
+        pre.pair_sims.insert((RecordId(1), RecordId(10)), 0.9);
+        let mut m = RecordMapping::new();
+        extract_record_links(&s, &pre, 0.5, &mut m);
+        assert!(m.contains(RecordId(1), RecordId(10)));
+    }
+
+    #[test]
+    fn select_and_extract_populates_both_mappings() {
+        let cands = vec![scored(0, 0, vec![(0, 10), (1, 11)], 0.9)];
+        let pre = PreMatch::default();
+        let mut groups = GroupMapping::new();
+        let mut records = RecordMapping::new();
+        let (n, added) = select_and_extract(&cands, &pre, 0.5, 0.0, &mut groups, &mut records);
+        assert_eq!(n, 1);
+        assert_eq!(added.len(), 2);
+        assert!(added.iter().all(|&(_, _, idx)| idx == 0));
+        assert!(groups.contains(HouseholdId(0), HouseholdId(0)));
+        assert_eq!(records.len(), 2);
+    }
+}

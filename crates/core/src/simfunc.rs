@@ -1,0 +1,279 @@
+//! Attribute similarity functions (`Sim_func` of the paper, Table 2).
+
+use census_model::{Attribute, PersonRecord};
+use serde::{Deserialize, Serialize};
+use textsim::{normalize_value, StringMeasure};
+
+/// One attribute comparison: which attribute, with which string measure,
+/// at which weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttributeSpec {
+    /// Attribute to compare.
+    pub attribute: Attribute,
+    /// String measure to apply.
+    pub measure: StringMeasure,
+    /// Weight in the aggregated similarity (weights should sum to 1).
+    pub weight: f64,
+}
+
+/// A weighted attribute similarity function with a match threshold δ.
+///
+/// `agg_sim(a, b) = Σ_k ω_k · sim_k(a, b)` (Eq. 3); a pair *matches* when
+/// `agg_sim ≥ δ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimFunc {
+    specs: Vec<AttributeSpec>,
+    /// Match threshold δ; mutated by the iterative driver.
+    pub threshold: f64,
+}
+
+/// Serializable summary of a [`SimFunc`] (for experiment reports).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimFuncSummary {
+    /// `(attribute, weight)` pairs.
+    pub weights: Vec<(String, f64)>,
+    /// Threshold δ.
+    pub threshold: f64,
+}
+
+impl SimFunc {
+    /// Build a similarity function from specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights do not sum to 1 (within 1e-6), if `specs` is
+    /// empty, or if the threshold is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(specs: Vec<AttributeSpec>, threshold: f64) -> Self {
+        assert!(!specs.is_empty(), "SimFunc needs at least one attribute");
+        let total: f64 = specs.iter().map(|s| s.weight).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "attribute weights must sum to 1, got {total}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1]"
+        );
+        Self { specs, threshold }
+    }
+
+    /// The paper's ω1: equal weight 0.2 on first name, sex, surname,
+    /// address and occupation (Table 2), q-gram for strings, exact for sex.
+    #[must_use]
+    pub fn omega1(threshold: f64) -> Self {
+        Self::weighted(&[0.2, 0.2, 0.2, 0.2, 0.2], threshold)
+    }
+
+    /// The paper's ω2: first name 0.4, sex 0.2, surname 0.2, address 0.1,
+    /// occupation 0.1 (Table 2) — the better configuration.
+    #[must_use]
+    pub fn omega2(threshold: f64) -> Self {
+        Self::weighted(&[0.4, 0.2, 0.2, 0.1, 0.1], threshold)
+    }
+
+    /// Build a Table 2-shaped function with custom weights over
+    /// `[first name, sex, surname, address, occupation]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly five weights summing to 1 are given.
+    #[must_use]
+    pub fn weighted(weights: &[f64; 5], threshold: f64) -> Self {
+        let attrs = Attribute::SIM_FUNC_SET;
+        let specs = attrs
+            .iter()
+            .zip(weights.iter())
+            .map(|(&attribute, &weight)| AttributeSpec {
+                attribute,
+                measure: if attribute == Attribute::Sex {
+                    StringMeasure::Exact
+                } else {
+                    StringMeasure::QGram(2)
+                },
+                weight,
+            })
+            .collect();
+        Self::new(specs, threshold)
+    }
+
+    /// The attribute specs.
+    #[must_use]
+    pub fn specs(&self) -> &[AttributeSpec] {
+        &self.specs
+    }
+
+    /// A copy with a different threshold.
+    #[must_use]
+    pub fn with_threshold(&self, threshold: f64) -> Self {
+        Self {
+            specs: self.specs.clone(),
+            threshold,
+        }
+    }
+
+    /// Precompute the normalised attribute values of a record, in spec
+    /// order. Comparing profiles avoids re-normalising in the O(n·m)
+    /// comparison loop.
+    #[must_use]
+    pub fn profile(&self, r: &PersonRecord) -> Vec<String> {
+        self.specs
+            .iter()
+            .map(|s| normalize_value(&r.attribute_value(s.attribute)))
+            .collect()
+    }
+
+    /// Aggregated similarity of two precomputed profiles (Eq. 3).
+    #[must_use]
+    pub fn aggregate_profiles(&self, a: &[String], b: &[String]) -> f64 {
+        debug_assert_eq!(a.len(), self.specs.len());
+        debug_assert_eq!(b.len(), self.specs.len());
+        self.specs
+            .iter()
+            .zip(a.iter().zip(b.iter()))
+            .map(|(s, (va, vb))| s.weight * s.measure.similarity(va, vb))
+            .sum()
+    }
+
+    /// Aggregated similarity of two records (convenience; profile-based
+    /// code paths are faster in bulk).
+    #[must_use]
+    pub fn aggregate(&self, a: &PersonRecord, b: &PersonRecord) -> f64 {
+        self.aggregate_profiles(&self.profile(a), &self.profile(b))
+    }
+
+    /// `Some(agg_sim)` if the pair matches at the current threshold.
+    #[must_use]
+    pub fn matches(&self, a: &PersonRecord, b: &PersonRecord) -> Option<f64> {
+        let s = self.aggregate(a, b);
+        (s >= self.threshold).then_some(s)
+    }
+
+    /// Serializable summary for reports.
+    #[must_use]
+    pub fn summary(&self) -> SimFuncSummary {
+        SimFuncSummary {
+            weights: self
+                .specs
+                .iter()
+                .map(|s| (s.attribute.to_string(), s.weight))
+                .collect(),
+            threshold: self.threshold,
+        }
+    }
+}
+
+impl Default for SimFunc {
+    /// The paper's best pre-matching configuration: ω2 at δ_low = 0.5.
+    fn default() -> Self {
+        Self::omega2(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_model::{HouseholdId, RecordId, Role, Sex};
+
+    fn rec(fname: &str, sname: &str, sex: Sex, addr: &str, occ: &str) -> PersonRecord {
+        let mut r = PersonRecord::empty(RecordId(0), HouseholdId(0), Role::Head);
+        r.first_name = fname.into();
+        r.surname = sname.into();
+        r.sex = Some(sex);
+        r.address = addr.into();
+        r.occupation = occ.into();
+        r
+    }
+
+    #[test]
+    fn identical_records_score_one() {
+        let a = rec("john", "ashworth", Sex::Male, "4 mill lane", "weaver");
+        for f in [SimFunc::omega1(0.5), SimFunc::omega2(0.5)] {
+            assert!((f.aggregate(&a, &a) - 1.0).abs() < 1e-9);
+            assert!(f.matches(&a, &a).is_some());
+        }
+    }
+
+    #[test]
+    fn completely_different_records_score_low() {
+        let a = rec("john", "ashworth", Sex::Male, "4 mill lane", "weaver");
+        let b = rec("mary", "pilkington", Sex::Female, "90 bury road", "spinner");
+        assert!(SimFunc::omega2(0.5).aggregate(&a, &b) < 0.2);
+        assert!(SimFunc::omega2(0.5).matches(&a, &b).is_none());
+    }
+
+    #[test]
+    fn omega2_upweights_first_name() {
+        // same first name, all else different: ω2 (0.4 on fn) > ω1 (0.2)
+        let a = rec("john", "ashworth", Sex::Male, "4 mill lane", "weaver");
+        let b = rec("john", "pilkington", Sex::Female, "90 bury road", "spinner");
+        let s1 = SimFunc::omega1(0.0).aggregate(&a, &b);
+        let s2 = SimFunc::omega2(0.0).aggregate(&a, &b);
+        assert!(s2 > s1, "ω2 {s2} should exceed ω1 {s1}");
+    }
+
+    #[test]
+    fn missing_values_contribute_zero() {
+        let a = rec("john", "ashworth", Sex::Male, "", "");
+        let b = rec("john", "ashworth", Sex::Male, "", "");
+        // fn + sex + sn match = 0.4 + 0.2 + 0.2 under ω2; addr/occ missing
+        let s = SimFunc::omega2(0.5).aggregate(&a, &b);
+        assert!((s - 0.8).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn typo_tolerance_via_qgrams() {
+        let a = rec(
+            "elizabeth",
+            "ashworth",
+            Sex::Female,
+            "4 mill lane",
+            "spinner",
+        );
+        let b = rec(
+            "elizabteh",
+            "ashworth",
+            Sex::Female,
+            "4 mill lane",
+            "spinner",
+        );
+        let s = SimFunc::omega2(0.5).aggregate(&a, &b);
+        assert!(s > 0.8, "typo should keep similarity high, got {s}");
+    }
+
+    #[test]
+    fn profiles_equal_direct_aggregation() {
+        let f = SimFunc::omega2(0.5);
+        let a = rec("John", "ASHWORTH", Sex::Male, "4, Mill Lane", "Weaver");
+        let b = rec("john", "ashworth", Sex::Male, "4 mill lane", "weaver");
+        let pa = f.profile(&a);
+        let pb = f.profile(&b);
+        assert!((f.aggregate_profiles(&pa, &pb) - f.aggregate(&a, &b)).abs() < 1e-12);
+        // normalisation makes the two spellings identical
+        assert!((f.aggregate(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_threshold_copies() {
+        let f = SimFunc::omega2(0.7);
+        let g = f.with_threshold(0.4);
+        assert_eq!(g.threshold, 0.4);
+        assert_eq!(f.threshold, 0.7);
+        assert_eq!(f.specs(), g.specs());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_weights_panic() {
+        let _ = SimFunc::weighted(&[0.5, 0.5, 0.5, 0.0, 0.0], 0.5);
+    }
+
+    #[test]
+    fn summary_round_trip() {
+        let f = SimFunc::omega2(0.55);
+        let s = f.summary();
+        assert_eq!(s.threshold, 0.55);
+        assert_eq!(s.weights.len(), 5);
+        assert_eq!(s.weights[0], ("first_name".to_string(), 0.4));
+    }
+}

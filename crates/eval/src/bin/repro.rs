@@ -1,0 +1,143 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale small|medium|paper] [--seed N] [--out DIR] [--only LIST]
+//! ```
+//!
+//! Prints each table in the paper's layout and, when `--out` is given,
+//! writes machine-readable JSON reports alongside.
+
+use census_eval::experiments::{self, ExperimentContext};
+use census_eval::write_json;
+use census_synth::SimConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    config: SimConfig,
+    out: Option<PathBuf>,
+    only: Option<Vec<String>>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = SimConfig::medium();
+    let mut out = None;
+    let mut only = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = argv.next().ok_or("--scale needs a value")?;
+                config = match v.as_str() {
+                    "small" => {
+                        let mut c = SimConfig::small();
+                        c.snapshots = 6;
+                        c
+                    }
+                    "medium" => SimConfig::medium(),
+                    "paper" => SimConfig::paper_scale(),
+                    other => return Err(format!("unknown scale {other:?}")),
+                };
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                config.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a value")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--only" => {
+                let v = argv.next().ok_or("--only needs a value")?;
+                only = Some(v.split(',').map(|s| s.trim().to_owned()).collect());
+            }
+            "--help" | "-h" => {
+                return Err("usage: repro [--scale small|medium|paper] [--seed N] [--out DIR] [--only table1,table3,...]".to_owned());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args { config, out, only })
+}
+
+fn wanted(only: &Option<Vec<String>>, name: &str) -> bool {
+    only.as_ref()
+        .is_none_or(|list| list.iter().any(|x| x == name))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "# Temporal group linkage — paper reproduction\n# scale: {} initial households, {} snapshots, seed {}\n",
+        args.config.initial_households, args.config.snapshots, args.config.seed
+    );
+    let t0 = Instant::now();
+    let ctx = ExperimentContext::new(&args.config);
+    println!(
+        "generated series in {:?}; evaluation pair: {}→{}\n",
+        t0.elapsed(),
+        ctx.eval_datasets().0.year,
+        ctx.eval_datasets().1.year
+    );
+
+    macro_rules! experiment {
+        ($name:literal, $module:ident) => {
+            if wanted(&args.only, $name) {
+                let t = Instant::now();
+                let report = experiments::$module::run(&ctx);
+                println!("{}", report.render());
+                println!("[{} finished in {:?}]\n", $name, t.elapsed());
+                if let Some(dir) = &args.out {
+                    if let Err(e) = write_json(dir, $name, &report) {
+                        eprintln!("failed to write {} report: {e}", $name);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        };
+    }
+
+    experiment!("table1", table1);
+    experiment!("table2", table2);
+    experiment!("table3", table3);
+    experiment!("table4", table4);
+    experiment!("table5", table5);
+    experiment!("table6", table6);
+    experiment!("table7", table7);
+    experiment!("fig6", fig6);
+    experiment!("table8", table8);
+    // extra ablations are off by default (slow); select with --only
+    macro_rules! optional_experiment {
+        ($name:literal, $module:ident) => {
+            if args
+                .only
+                .as_ref()
+                .is_some_and(|list| list.iter().any(|x| x == $name))
+            {
+                let t = Instant::now();
+                let report = experiments::$module::run(&ctx);
+                println!("{}", report.render());
+                println!("[{} finished in {:?}]\n", $name, t.elapsed());
+                if let Some(dir) = &args.out {
+                    if let Err(e) = write_json(dir, $name, &report) {
+                        eprintln!("failed to write {} report: {e}", $name);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        };
+    }
+    optional_experiment!("scaling", scaling);
+    optional_experiment!("noise", noise_sweep);
+    optional_experiment!("trace", iteration_trace);
+
+    println!("total: {:?}", t0.elapsed());
+    ExitCode::SUCCESS
+}

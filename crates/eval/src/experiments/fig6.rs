@@ -1,0 +1,117 @@
+//! Figure 6: frequencies of the group evolution patterns for every
+//! successive census pair.
+
+use super::ExperimentContext;
+use crate::report::render_table;
+use evolution::{detect_patterns, PatternCounts};
+use serde::{Deserialize, Serialize};
+
+/// One pair's pattern frequencies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Pair label, e.g. "1851→1861".
+    pub pair: String,
+    /// The pattern counts.
+    pub counts: PatternCounts,
+}
+
+/// The Fig. 6 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Report {
+    /// One row per successive pair.
+    pub rows: Vec<Fig6Row>,
+}
+
+/// Run the evolution-pattern frequency analysis over the whole series.
+#[must_use]
+pub fn run(ctx: &ExperimentContext) -> Fig6Report {
+    let links = ctx.best_links();
+    let rows = links
+        .iter()
+        .enumerate()
+        .map(|(i, (records, groups))| {
+            let (old, new) = ctx.pair(i);
+            let patterns = detect_patterns(old, new, records, groups);
+            Fig6Row {
+                pair: format!("{}→{}", old.year, new.year),
+                counts: patterns.counts,
+            }
+        })
+        .collect();
+    Fig6Report { rows }
+}
+
+impl Fig6Report {
+    /// Render the pattern frequency table (the data behind the paper's
+    /// bar chart).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let c = &r.counts;
+                vec![
+                    r.pair.clone(),
+                    c.preserve_g.to_string(),
+                    c.add_g.to_string(),
+                    c.remove_g.to_string(),
+                    c.moves.to_string(),
+                    c.splits.to_string(),
+                    c.merges.to_string(),
+                ]
+            })
+            .collect();
+        format!(
+            "Figure 6 — group evolution pattern frequencies per census pair\n{}",
+            render_table(
+                &[
+                    "pair",
+                    "preserve_G",
+                    "add_G",
+                    "remove_G",
+                    "move",
+                    "split",
+                    "merge"
+                ],
+                &rows,
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_synth::SimConfig;
+
+    #[test]
+    fn pattern_shape_matches_paper() {
+        let mut config = SimConfig::small();
+        config.initial_households = 200;
+        config.snapshots = 4;
+        let ctx = ExperimentContext::new(&config);
+        let report = run(&ctx);
+        assert_eq!(report.rows.len(), 3);
+        for row in &report.rows {
+            let c = &row.counts;
+            // the paper's qualitative findings: the region grows
+            // (add_G > remove_G is the trend; allow slack per pair),
+            // preserve dominates, splits and merges are rare
+            assert!(c.preserve_g > 0, "preserve must dominate: {c:?}");
+            assert!(
+                c.preserve_g > c.splits && c.preserve_g > c.merges,
+                "preserve must outnumber splits/merges: {c:?}"
+            );
+            assert!(c.add_g > 0);
+        }
+        // growth across the whole series
+        let total_add: usize = report.rows.iter().map(|r| r.counts.add_g).sum();
+        let total_remove: usize = report.rows.iter().map(|r| r.counts.remove_g).sum();
+        assert!(
+            total_add > total_remove,
+            "household count must grow: +{total_add} vs -{total_remove}"
+        );
+        assert!(report.render().contains("preserve_G"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Experiment runners, one per paper table / figure.
+
+pub mod fig6;
+pub mod iteration_trace;
+pub mod noise_sweep;
+pub mod scaling;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+
+use census_model::{CensusDataset, GroupMapping, RecordMapping};
+use census_synth::{generate_series, CensusSeries, GroundTruth, SimConfig};
+use linkage_core::{link, LinkageConfig};
+use std::sync::OnceLock;
+
+/// Shared state for the experiment suite: the generated census series,
+/// its ground truths, and a memoised best-configuration linkage of every
+/// successive pair.
+pub struct ExperimentContext {
+    /// The synthetic census series standing in for Rawtenstall 1851–1901.
+    pub series: CensusSeries,
+    /// Index of the snapshot pair used for the quality experiments
+    /// (Tables 3–7). For a six-snapshot series this is pair 2, the
+    /// analogue of the paper's 1871→1881 evaluation pair.
+    pub eval_pair: usize,
+    best_links: OnceLock<Vec<(RecordMapping, GroupMapping)>>,
+}
+
+impl ExperimentContext {
+    /// Generate the series and set up the context.
+    #[must_use]
+    pub fn new(config: &SimConfig) -> Self {
+        let series = generate_series(config);
+        let eval_pair = if config.snapshots >= 4 { 2 } else { 0 };
+        Self {
+            series,
+            eval_pair,
+            best_links: OnceLock::new(),
+        }
+    }
+
+    /// The datasets of successive pair `i`.
+    #[must_use]
+    pub fn pair(&self, i: usize) -> (&CensusDataset, &CensusDataset) {
+        (&self.series.snapshots[i], &self.series.snapshots[i + 1])
+    }
+
+    /// Ground truth of successive pair `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i + 1` is out of range.
+    #[must_use]
+    pub fn truth(&self, i: usize) -> GroundTruth {
+        self.series
+            .truth_between(i, i + 1)
+            .expect("pair index in range")
+    }
+
+    /// The evaluation pair (Tables 3–7).
+    #[must_use]
+    pub fn eval_datasets(&self) -> (&CensusDataset, &CensusDataset) {
+        self.pair(self.eval_pair)
+    }
+
+    /// Ground truth of the evaluation pair.
+    #[must_use]
+    pub fn eval_truth(&self) -> GroundTruth {
+        self.truth(self.eval_pair)
+    }
+
+    /// Best-configuration linkage of every successive pair, computed once
+    /// and shared by Fig. 6 and Table 8.
+    #[must_use]
+    pub fn best_links(&self) -> &[(RecordMapping, GroupMapping)] {
+        self.best_links.get_or_init(|| {
+            let config = LinkageConfig::paper_best();
+            (0..self.series.snapshots.len() - 1)
+                .map(|i| {
+                    let (old, new) = self.pair(i);
+                    let r = link(old, new, &config);
+                    (r.records, r.groups)
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_and_memoises() {
+        let ctx = ExperimentContext::new(&SimConfig::small());
+        assert_eq!(ctx.eval_pair, 0); // small config has 3 snapshots
+        let a = ctx.best_links().as_ptr();
+        let b = ctx.best_links().as_ptr();
+        assert_eq!(a, b, "best links must be memoised");
+        assert_eq!(ctx.best_links().len(), 2);
+    }
+
+    #[test]
+    fn eval_pair_is_1871_for_full_series() {
+        let mut config = SimConfig::small();
+        config.snapshots = 6;
+        let ctx = ExperimentContext::new(&config);
+        let (old, new) = ctx.eval_datasets();
+        assert_eq!(old.year, 1871);
+        assert_eq!(new.year, 1881);
+    }
+}

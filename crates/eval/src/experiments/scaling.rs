@@ -1,0 +1,124 @@
+//! Scaling experiment: runtime and quality as the dataset grows — the
+//! paper's stated future work ("apply and evaluate the proposed approach
+//! on larger census datasets").
+
+use crate::metrics::{evaluate_record_mapping, Quality};
+use crate::report::render_table;
+use census_synth::{generate_series, SimConfig};
+use linkage_core::{link, LinkageConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One scale point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// Initial households of the generated series.
+    pub initial_households: usize,
+    /// Records in the evaluation pair (old side).
+    pub records_old: usize,
+    /// Records in the evaluation pair (new side).
+    pub records_new: usize,
+    /// Wall-clock seconds for one full linkage.
+    pub link_seconds: f64,
+    /// Record mapping quality at this scale.
+    pub record: Quality,
+}
+
+/// The scaling report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingReport {
+    /// One row per scale point, ascending.
+    pub rows: Vec<ScalingRow>,
+}
+
+/// Run the scaling sweep over the given initial-household counts.
+#[must_use]
+pub fn run_with_scales(scales: &[usize], seed: u64) -> ScalingReport {
+    let rows = scales
+        .iter()
+        .map(|&initial_households| {
+            let mut config = SimConfig::small();
+            config.initial_households = initial_households;
+            config.snapshots = 2;
+            config.seed = seed;
+            let series = generate_series(&config);
+            let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+            let truth = series.truth_between(0, 1).expect("pair");
+            let t = Instant::now();
+            let result = link(old, new, &LinkageConfig::default());
+            let link_seconds = t.elapsed().as_secs_f64();
+            ScalingRow {
+                initial_households,
+                records_old: old.record_count(),
+                records_new: new.record_count(),
+                link_seconds,
+                record: evaluate_record_mapping(&result.records, &truth.records),
+            }
+        })
+        .collect();
+    ScalingReport { rows }
+}
+
+/// Default scale points (fast enough for the repro binary).
+#[must_use]
+pub fn run(_ctx: &super::ExperimentContext) -> ScalingReport {
+    run_with_scales(&[100, 200, 400, 800, 1600], 1851)
+}
+
+impl ScalingReport {
+    /// Render the scaling table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let q = r.record.percent_row();
+                vec![
+                    r.initial_households.to_string(),
+                    format!("{}×{}", r.records_old, r.records_new),
+                    format!("{:.2}s", r.link_seconds),
+                    q[0].clone(),
+                    q[1].clone(),
+                    q[2].clone(),
+                ]
+            })
+            .collect();
+        format!(
+            "Scaling — runtime and quality vs dataset size (future work §7)\n{}",
+            render_table(
+                &[
+                    "households",
+                    "records",
+                    "link time",
+                    "rec P",
+                    "rec R",
+                    "rec F"
+                ],
+                &rows,
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_is_stable_and_runtime_subquadratic() {
+        let report = run_with_scales(&[100, 400], 7);
+        assert_eq!(report.rows.len(), 2);
+        let small = &report.rows[0];
+        let large = &report.rows[1];
+        assert!(large.records_old > small.records_old * 3);
+        // quality does not collapse with scale
+        assert!(
+            large.record.f1 > small.record.f1 - 0.1,
+            "F1 degraded too fast: {:.3} -> {:.3}",
+            small.record.f1,
+            large.record.f1
+        );
+        assert!(report.render().contains("link time"));
+    }
+}

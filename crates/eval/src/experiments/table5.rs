@@ -1,0 +1,100 @@
+//! Table 5: iterative vs non-iterative linkage.
+
+use super::ExperimentContext;
+use crate::metrics::{evaluate_group_mapping, evaluate_record_mapping, Quality};
+use crate::report::render_table;
+use linkage_core::{link, LinkageConfig};
+use serde::{Deserialize, Serialize};
+
+/// Quality of one method variant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodQuality {
+    /// Variant label.
+    pub method: String,
+    /// Group mapping quality.
+    pub group: Quality,
+    /// Record mapping quality.
+    pub record: Quality,
+}
+
+/// The Table 5 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5Report {
+    /// Non-iterative (single δ = 0.5 pass) result.
+    pub non_iterative: MethodQuality,
+    /// Iterative (δ 0.7 → 0.5) result.
+    pub iterative: MethodQuality,
+}
+
+/// Run the iterative / non-iterative comparison.
+#[must_use]
+pub fn run(ctx: &ExperimentContext) -> Table5Report {
+    let (old, new) = ctx.eval_datasets();
+    let truth = ctx.eval_truth();
+    let evaluate = |config: &LinkageConfig, name: &str| {
+        let result = link(old, new, config);
+        MethodQuality {
+            method: name.to_owned(),
+            group: evaluate_group_mapping(&result.groups, &truth.groups),
+            record: evaluate_record_mapping(&result.records, &truth.records),
+        }
+    };
+    Table5Report {
+        non_iterative: evaluate(&LinkageConfig::non_iterative(), "non-iterative"),
+        iterative: evaluate(&LinkageConfig::paper_best(), "iterative"),
+    }
+}
+
+impl Table5Report {
+    /// Render the paper-shaped table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = [&self.non_iterative, &self.iterative]
+            .iter()
+            .map(|m| {
+                let g = m.group.percent_row();
+                let r = m.record.percent_row();
+                vec![
+                    m.method.clone(),
+                    g[0].clone(),
+                    g[1].clone(),
+                    g[2].clone(),
+                    r[0].clone(),
+                    r[1].clone(),
+                    r[2].clone(),
+                ]
+            })
+            .collect();
+        format!(
+            "Table 5 — iterative vs non-iterative linkage\n{}",
+            render_table(
+                &["method", "grp P", "grp R", "grp F", "rec P", "rec R", "rec F"],
+                &rows,
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_synth::SimConfig;
+
+    #[test]
+    fn iterative_does_not_lose() {
+        let mut config = SimConfig::small();
+        config.initial_households = 200;
+        let ctx = ExperimentContext::new(&config);
+        let report = run(&ctx);
+        // the paper's headline: the iterative schedule wins overall; on
+        // synthetic truth the gain shows primarily in recall/F
+        assert!(
+            report.iterative.record.recall >= report.non_iterative.record.recall - 0.005,
+            "iterative recall {:.4} vs non-iterative {:.4}",
+            report.iterative.record.recall,
+            report.non_iterative.record.recall
+        );
+        assert!(report.iterative.record.f1 >= report.non_iterative.record.f1 - 0.01);
+        assert!(report.render().contains("non-iterative"));
+    }
+}

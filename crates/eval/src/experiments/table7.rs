@@ -1,0 +1,90 @@
+//! Table 7: the GraphSim baseline vs the iterative subgraph approach, on
+//! the group mapping.
+
+use super::ExperimentContext;
+use crate::metrics::{evaluate_group_mapping, Quality};
+use crate::report::render_table;
+use baselines::{graphsim_link, GraphSimConfig};
+use linkage_core::{link, LinkageConfig};
+use serde::{Deserialize, Serialize};
+
+/// The Table 7 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table7Report {
+    /// GraphSim baseline group quality.
+    pub graphsim: Quality,
+    /// Our approach's group quality.
+    pub iter_sub: Quality,
+}
+
+/// Run the GraphSim comparison.
+#[must_use]
+pub fn run(ctx: &ExperimentContext) -> Table7Report {
+    let (old, new) = ctx.eval_datasets();
+    let truth = ctx.eval_truth();
+    let gs = graphsim_link(old, new, &GraphSimConfig::default());
+    let ours = link(old, new, &LinkageConfig::paper_best());
+    Table7Report {
+        graphsim: evaluate_group_mapping(&gs.groups, &truth.groups),
+        iter_sub: evaluate_group_mapping(&ours.groups, &truth.groups),
+    }
+}
+
+impl Table7Report {
+    /// Render the paper-shaped table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let rows = vec![
+            {
+                let q = self.graphsim.percent_row();
+                vec![
+                    "GraphSim".to_owned(),
+                    q[0].clone(),
+                    q[1].clone(),
+                    q[2].clone(),
+                ]
+            },
+            {
+                let q = self.iter_sub.percent_row();
+                vec![
+                    "iter-sub".to_owned(),
+                    q[0].clone(),
+                    q[1].clone(),
+                    q[2].clone(),
+                ]
+            },
+        ];
+        format!(
+            "Table 7 — GraphSim vs iter-sub, group mapping\n{}",
+            render_table(&["method", "P", "R", "F"], &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_synth::SimConfig;
+
+    #[test]
+    fn ours_beats_graphsim_on_recall() {
+        let mut config = SimConfig::small();
+        config.initial_households = 200;
+        let ctx = ExperimentContext::new(&config);
+        let report = run(&ctx);
+        // the paper's headline: GraphSim's strict initial 1:1 filter
+        // costs recall (90.1 vs 94.8) while precision stays comparable
+        assert!(
+            report.iter_sub.recall > report.graphsim.recall,
+            "iter-sub recall {:.4} must beat GraphSim {:.4}",
+            report.iter_sub.recall,
+            report.graphsim.recall
+        );
+        assert!(
+            report.iter_sub.f1 > report.graphsim.f1 - 0.005,
+            "iter-sub F1 {:.4} must not trail GraphSim {:.4}",
+            report.iter_sub.f1,
+            report.graphsim.f1
+        );
+    }
+}

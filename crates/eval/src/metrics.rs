@@ -1,0 +1,130 @@
+//! Precision / recall / F-measure against ground truth.
+
+use census_model::{GroupMapping, RecordMapping};
+use serde::{Deserialize, Serialize};
+
+/// Standard linkage quality triple, in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quality {
+    /// Fraction of found links that are correct.
+    pub precision: f64,
+    /// Fraction of true links that were found.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl Quality {
+    /// Build from raw counts.
+    #[must_use]
+    pub fn from_counts(found: usize, truth: usize, correct: usize) -> Self {
+        let precision = if found == 0 {
+            0.0
+        } else {
+            correct as f64 / found as f64
+        };
+        let recall = if truth == 0 {
+            0.0
+        } else {
+            correct as f64 / truth as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self {
+            precision,
+            recall,
+            f1,
+        }
+    }
+
+    /// Render as `P/R/F` percentages.
+    #[must_use]
+    pub fn percent_row(&self) -> [String; 3] {
+        [
+            format!("{:.1}", self.precision * 100.0),
+            format!("{:.1}", self.recall * 100.0),
+            format!("{:.1}", self.f1 * 100.0),
+        ]
+    }
+}
+
+/// Evaluate a found record mapping against the true one.
+#[must_use]
+pub fn evaluate_record_mapping(found: &RecordMapping, truth: &RecordMapping) -> Quality {
+    let correct = found.iter().filter(|&(o, n)| truth.contains(o, n)).count();
+    Quality::from_counts(found.len(), truth.len(), correct)
+}
+
+/// Evaluate a found group mapping against the true one.
+#[must_use]
+pub fn evaluate_group_mapping(found: &GroupMapping, truth: &GroupMapping) -> Quality {
+    let correct = found.iter().filter(|&(o, n)| truth.contains(o, n)).count();
+    Quality::from_counts(found.len(), truth.len(), correct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_model::{HouseholdId, RecordId};
+
+    #[test]
+    fn perfect_mapping_scores_one() {
+        let truth: RecordMapping = [(RecordId(1), RecordId(2))].into_iter().collect();
+        let q = evaluate_record_mapping(&truth.clone(), &truth);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f1, 1.0);
+    }
+
+    #[test]
+    fn half_right() {
+        let truth: RecordMapping = [(RecordId(1), RecordId(1)), (RecordId(2), RecordId(2))]
+            .into_iter()
+            .collect();
+        let found: RecordMapping = [(RecordId(1), RecordId(1)), (RecordId(3), RecordId(9))]
+            .into_iter()
+            .collect();
+        let q = evaluate_record_mapping(&found, &truth);
+        assert_eq!(q.precision, 0.5);
+        assert_eq!(q.recall, 0.5);
+        assert_eq!(q.f1, 0.5);
+    }
+
+    #[test]
+    fn empty_found_is_zero() {
+        let truth: RecordMapping = [(RecordId(1), RecordId(1))].into_iter().collect();
+        let q = evaluate_record_mapping(&RecordMapping::new(), &truth);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.f1, 0.0);
+    }
+
+    #[test]
+    fn group_mapping_evaluation() {
+        let truth: GroupMapping = [
+            (HouseholdId(0), HouseholdId(0)),
+            (HouseholdId(1), HouseholdId(1)),
+            (HouseholdId(2), HouseholdId(2)),
+        ]
+        .into_iter()
+        .collect();
+        let found: GroupMapping = [
+            (HouseholdId(0), HouseholdId(0)),
+            (HouseholdId(1), HouseholdId(1)),
+        ]
+        .into_iter()
+        .collect();
+        let q = evaluate_group_mapping(&found, &truth);
+        assert_eq!(q.precision, 1.0);
+        assert!((q.recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_row_formats() {
+        let q = Quality::from_counts(100, 100, 95);
+        assert_eq!(q.percent_row(), ["95.0", "95.0", "95.0"]);
+    }
+}

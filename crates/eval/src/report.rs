@@ -1,0 +1,114 @@
+//! Plain-text table rendering and JSON persistence for experiment
+//! reports.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// Render a simple aligned text table with a header row.
+///
+/// ```
+/// let t = census_eval::render_table(
+///     &["year", "records"],
+///     &[vec!["1871".into(), "26229".into()]],
+/// );
+/// assert!(t.contains("1871"));
+/// assert!(t.lines().count() >= 3);
+/// ```
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            for _ in cell.chars().count()..widths[i] {
+                out.push(' ');
+            }
+        }
+        // trim trailing padding
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+    );
+    let rule: String = widths
+        .iter()
+        .map(|&w| "-".repeat(w))
+        .collect::<Vec<_>>()
+        .join("  ");
+    out.push_str(&rule);
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Serialize a report value as pretty JSON into `dir/name.json`.
+///
+/// # Errors
+///
+/// Propagates I/O and serialization failures.
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut f = std::fs::File::create(path)?;
+    let text = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    f.write_all(text.as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer-cell".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // the header separator spans both columns
+        assert!(lines[1].starts_with("---"));
+        // cells align: "1" and "22" start at the same column
+        let col = lines[0].find("long-header").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+        assert_eq!(&lines[3][col..col + 2], "22");
+    }
+
+    #[test]
+    fn empty_rows_is_header_only() {
+        let t = render_table(&["h"], &[]);
+        assert_eq!(t.lines().count(), 2);
+    }
+
+    #[test]
+    fn write_json_round_trips() {
+        let dir = std::env::temp_dir().join("census-eval-test");
+        write_json(&dir, "sample", &serde_json::json!({"x": 1})).unwrap();
+        let text = std::fs::read_to_string(dir.join("sample.json")).unwrap();
+        assert!(text.contains("\"x\": 1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,212 @@
+//! Graph mining over the evolution graph: preserve-chains (Table 8) and
+//! connected components (the ~52 % largest-component observation).
+
+use crate::detect::GroupPatternKind;
+use crate::graph::EvolutionGraph;
+use census_model::HouseholdId;
+use std::collections::HashMap;
+
+/// Count `preserve_G` chains per interval length.
+///
+/// `result[k]` (for `k ≥ 1`) is the number of paths of exactly `k`
+/// consecutive preserve edges anywhere in the series — the paper's
+/// Table 8: at a 10-year census interval, `result[1]` counts households
+/// preserved over 10 years (the per-pair `preserve_G` totals of Fig. 6),
+/// `result[2]` those preserved over 20 years, and so on up to the full
+/// series length.
+#[must_use]
+pub fn preserve_chain_counts(graph: &EvolutionGraph) -> Vec<usize> {
+    let t_max = graph.snapshot_count();
+    if t_max < 2 {
+        return Vec::new();
+    }
+    // preserve edges by (snapshot, old household) → new household; a
+    // preserve edge is unique per endpoint by definition
+    let mut next: HashMap<(usize, HouseholdId), HouseholdId> = HashMap::new();
+    for e in graph.edges_of_kind(GroupPatternKind::Preserve) {
+        next.insert((e.from_snapshot, e.old), e.new);
+    }
+    let max_len = t_max - 1;
+    let mut counts = vec![0usize; max_len + 1];
+    // walk every maximal chain start
+    for &(t, h) in next.keys() {
+        // count chains *starting* here of each feasible length
+        let mut cur = h;
+        let mut len = 0;
+        let mut snapshot = t;
+        while let Some(&n) = next.get(&(snapshot, cur)) {
+            len += 1;
+            if len <= max_len {
+                counts[len] += 1;
+            }
+            snapshot += 1;
+            cur = n;
+        }
+    }
+    counts.remove(0);
+    counts
+}
+
+/// Compute connected components over the household vertices of the
+/// evolution graph using *all* group edges (any pattern kind).
+///
+/// Returns `(component count, largest component size, vertex count)`.
+#[must_use]
+pub fn largest_component(graph: &EvolutionGraph) -> (usize, usize, usize) {
+    // dense vertex numbering: (snapshot, household) → index
+    let mut index: HashMap<(usize, HouseholdId), usize> = HashMap::new();
+    let id_of = |key: (usize, HouseholdId), index: &mut HashMap<(usize, HouseholdId), usize>| {
+        let n = index.len();
+        *index.entry(key).or_insert(n)
+    };
+    // union-find over edge-touched vertices; untouched households are
+    // singleton components
+    let mut parent: Vec<usize> = Vec::new();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for e in &graph.edges {
+        let a = id_of((e.from_snapshot, e.old), &mut index);
+        while parent.len() <= a {
+            let n = parent.len();
+            parent.push(n);
+        }
+        let b = id_of((e.from_snapshot + 1, e.new), &mut index);
+        while parent.len() <= b {
+            let n = parent.len();
+            parent.push(n);
+        }
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    let mut sizes: HashMap<usize, usize> = HashMap::new();
+    let touched = parent.len();
+    for i in 0..touched {
+        let r = find(&mut parent, i);
+        *sizes.entry(r).or_insert(0) += 1;
+    }
+    let vertex_count = graph.vertex_count();
+    let singletons = vertex_count - touched;
+    let component_count = sizes.len() + singletons;
+    let largest = sizes
+        .values()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(usize::from(singletons > 0));
+    (component_count, largest, vertex_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GroupEdge;
+
+    fn edge(t: usize, old: u64, new: u64, kind: GroupPatternKind) -> GroupEdge {
+        GroupEdge {
+            from_snapshot: t,
+            old: HouseholdId(old),
+            new: HouseholdId(new),
+            kind,
+            shared: 2,
+        }
+    }
+
+    fn graph(per_snapshot: Vec<usize>, edges: Vec<GroupEdge>) -> EvolutionGraph {
+        EvolutionGraph {
+            households_per_snapshot: per_snapshot,
+            edges,
+            pair_patterns: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn chain_counts_for_full_series() {
+        // one household preserved across 4 snapshots (3 edges)
+        let g = graph(
+            vec![1, 1, 1, 1],
+            (0..3)
+                .map(|t| edge(t, 0, 0, GroupPatternKind::Preserve))
+                .collect(),
+        );
+        let c = preserve_chain_counts(&g);
+        // chains of length 1: starting at t=0,1,2 → 3
+        // length 2: starts t=0,1 → 2; length 3: start t=0 → 1
+        assert_eq!(c, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn broken_chain_stops_counting() {
+        // preserve at t=0 and t=2, but a move at t=1 breaks the chain
+        let g = graph(
+            vec![1, 1, 1, 1],
+            vec![
+                edge(0, 0, 0, GroupPatternKind::Preserve),
+                edge(1, 0, 0, GroupPatternKind::Move),
+                edge(2, 0, 0, GroupPatternKind::Preserve),
+            ],
+        );
+        let c = preserve_chain_counts(&g);
+        assert_eq!(c, vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph(vec![3, 3], vec![]);
+        assert_eq!(preserve_chain_counts(&g), vec![0]);
+        let (components, largest, vertices) = largest_component(&g);
+        assert_eq!(vertices, 6);
+        assert_eq!(components, 6); // all singletons
+        assert_eq!(largest, 1);
+    }
+
+    #[test]
+    fn components_follow_any_edge_kind() {
+        // snapshot sizes 2,2; household 0 connected by move, household 1
+        // isolated in both snapshots
+        let g = graph(vec![2, 2], vec![edge(0, 0, 0, GroupPatternKind::Move)]);
+        let (components, largest, vertices) = largest_component(&g);
+        assert_eq!(vertices, 4);
+        assert_eq!(components, 3); // {0@0,0@1}, {1@0}, {1@1}
+        assert_eq!(largest, 2);
+    }
+
+    #[test]
+    fn split_connects_three_households() {
+        let g = graph(
+            vec![1, 2],
+            vec![
+                edge(0, 0, 0, GroupPatternKind::Split),
+                edge(0, 0, 1, GroupPatternKind::Split),
+            ],
+        );
+        let (components, largest, vertices) = largest_component(&g);
+        assert_eq!(vertices, 3);
+        assert_eq!(components, 1);
+        assert_eq!(largest, 3);
+    }
+
+    #[test]
+    fn chain_counts_decay_monotonically() {
+        // mixed graph: verify the Table 8 property counts[k] ≥ counts[k+1]
+        let mut edges = Vec::new();
+        for t in 0..5usize {
+            for h in 0..3u64 {
+                if !(t as u64 + h).is_multiple_of(4) {
+                    edges.push(edge(t, h, h, GroupPatternKind::Preserve));
+                }
+            }
+        }
+        let g = graph(vec![3; 6], edges);
+        let c = preserve_chain_counts(&g);
+        for w in c.windows(2) {
+            assert!(w[0] >= w[1], "chain counts must decay: {c:?}");
+        }
+    }
+}

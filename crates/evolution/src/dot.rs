@@ -1,0 +1,163 @@
+//! Graphviz DOT export of the evolution graph for visual inspection.
+
+use crate::detect::GroupPatternKind;
+use crate::graph::EvolutionGraph;
+use std::fmt::Write;
+
+/// Options for the DOT export.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name.
+    pub name: String,
+    /// Only emit households touched by at least one edge (isolated
+    /// households usually dominate and drown the picture).
+    pub skip_isolated: bool,
+    /// Census year labels per snapshot (defaults to `t0, t1, …`).
+    pub years: Vec<i32>,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        Self {
+            name: "evolution".to_owned(),
+            skip_isolated: true,
+            years: Vec::new(),
+        }
+    }
+}
+
+fn edge_style(kind: GroupPatternKind) -> (&'static str, &'static str) {
+    match kind {
+        GroupPatternKind::Preserve => ("solid", "black"),
+        GroupPatternKind::Move => ("dashed", "gray50"),
+        GroupPatternKind::Split => ("solid", "firebrick"),
+        GroupPatternKind::Merge => ("solid", "royalblue"),
+    }
+}
+
+/// Render the evolution graph as Graphviz DOT. Snapshots become ranked
+/// columns (clusters), pattern kinds become edge styles: preserve solid
+/// black, move dashed gray, split red, merge blue.
+#[must_use]
+pub fn to_dot(graph: &EvolutionGraph, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", options.name);
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=9];");
+
+    // vertex name helper
+    let vid = |t: usize, h: census_model::HouseholdId| format!("t{t}_h{}", h.raw());
+
+    // emit snapshot clusters
+    for (t, &count) in graph.households_per_snapshot.iter().enumerate() {
+        let label = options
+            .years
+            .get(t)
+            .map_or_else(|| format!("t{t}"), ToString::to_string);
+        let _ = writeln!(out, "  subgraph cluster_{t} {{");
+        let _ = writeln!(out, "    label=\"{label}\";");
+        if options.skip_isolated {
+            // only touched vertices
+            let mut touched: Vec<_> = graph
+                .edges
+                .iter()
+                .flat_map(|e| [(e.from_snapshot, e.old), (e.from_snapshot + 1, e.new)])
+                .filter(|&(tt, _)| tt == t)
+                .map(|(_, h)| h)
+                .collect();
+            touched.sort();
+            touched.dedup();
+            for h in touched {
+                let _ = writeln!(out, "    {} [label=\"{}\"];", vid(t, h), h);
+            }
+        } else {
+            for i in 0..count {
+                let h = census_model::HouseholdId(i as u64);
+                let _ = writeln!(out, "    {} [label=\"{}\"];", vid(t, h), h);
+            }
+        }
+        let _ = writeln!(out, "  }}");
+    }
+
+    for e in &graph.edges {
+        let (style, color) = edge_style(e.kind);
+        let _ = writeln!(
+            out,
+            "  {} -> {} [style={style}, color={color}, label=\"{}\"];",
+            vid(e.from_snapshot, e.old),
+            vid(e.from_snapshot + 1, e.new),
+            e.shared
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GroupEdge;
+    use census_model::HouseholdId;
+
+    fn tiny_graph() -> EvolutionGraph {
+        EvolutionGraph {
+            households_per_snapshot: vec![2, 2],
+            edges: vec![
+                GroupEdge {
+                    from_snapshot: 0,
+                    old: HouseholdId(0),
+                    new: HouseholdId(0),
+                    kind: GroupPatternKind::Preserve,
+                    shared: 3,
+                },
+                GroupEdge {
+                    from_snapshot: 0,
+                    old: HouseholdId(0),
+                    new: HouseholdId(1),
+                    kind: GroupPatternKind::Move,
+                    shared: 1,
+                },
+            ],
+            pair_patterns: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn dot_has_clusters_edges_and_styles() {
+        let dot = to_dot(&tiny_graph(), &DotOptions::default());
+        assert!(dot.starts_with("digraph evolution {"));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("t0_h0 -> t1_h0 [style=solid, color=black, label=\"3\"]"));
+        assert!(dot.contains("t0_h0 -> t1_h1 [style=dashed, color=gray50, label=\"1\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn skip_isolated_omits_untouched_households() {
+        let dot = to_dot(&tiny_graph(), &DotOptions::default());
+        // household 1 of snapshot 0 has no edges
+        assert!(!dot.contains("t0_h1 ["));
+        let full = to_dot(
+            &tiny_graph(),
+            &DotOptions {
+                skip_isolated: false,
+                ..DotOptions::default()
+            },
+        );
+        assert!(full.contains("t0_h1 ["));
+    }
+
+    #[test]
+    fn year_labels_are_used() {
+        let dot = to_dot(
+            &tiny_graph(),
+            &DotOptions {
+                years: vec![1871, 1881],
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.contains("label=\"1871\""));
+        assert!(dot.contains("label=\"1881\""));
+    }
+}

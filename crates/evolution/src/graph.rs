@@ -1,0 +1,169 @@
+//! The evolution graph `G-Evolution` (§4.2): households of every census
+//! as vertices, typed group-pattern edges between successive censuses.
+
+use crate::detect::{detect_patterns, GroupPatternKind, PairPatterns};
+use census_model::{CensusDataset, GroupMapping, HouseholdId, RecordMapping};
+
+/// A typed group edge between snapshot `t` and `t + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupEdge {
+    /// Index of the older snapshot.
+    pub from_snapshot: usize,
+    /// Household in the older snapshot.
+    pub old: HouseholdId,
+    /// Household in the newer snapshot.
+    pub new: HouseholdId,
+    /// Pattern kind of this link.
+    pub kind: GroupPatternKind,
+    /// Number of preserved members carried by the link.
+    pub shared: usize,
+}
+
+/// The evolution graph over a series of linked snapshots.
+///
+/// Vertices are `(snapshot index, household id)` pairs, represented
+/// implicitly through the per-snapshot household counts; edges are the
+/// typed group links of every successive pair.
+#[derive(Debug, Clone, Default)]
+pub struct EvolutionGraph {
+    /// Households per snapshot (vertex count bookkeeping).
+    pub households_per_snapshot: Vec<usize>,
+    /// All typed group edges.
+    pub edges: Vec<GroupEdge>,
+    /// The per-pair pattern detection results, in pair order.
+    pub pair_patterns: Vec<PairPatterns>,
+}
+
+impl EvolutionGraph {
+    /// Build the evolution graph from a series of snapshots and the
+    /// mappings linking each successive pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mappings.len() + 1 == snapshots.len()`.
+    #[must_use]
+    pub fn build(snapshots: &[&CensusDataset], mappings: &[(RecordMapping, GroupMapping)]) -> Self {
+        assert_eq!(
+            mappings.len() + 1,
+            snapshots.len(),
+            "need exactly one mapping per successive snapshot pair"
+        );
+        let mut graph = EvolutionGraph {
+            households_per_snapshot: snapshots.iter().map(|d| d.household_count()).collect(),
+            ..Default::default()
+        };
+        for (t, (records, groups)) in mappings.iter().enumerate() {
+            let patterns = detect_patterns(snapshots[t], snapshots[t + 1], records, groups);
+            for &(old, new, kind, shared) in &patterns.group_links {
+                graph.edges.push(GroupEdge {
+                    from_snapshot: t,
+                    old,
+                    new,
+                    kind,
+                    shared,
+                });
+            }
+            graph.pair_patterns.push(patterns);
+        }
+        graph
+    }
+
+    /// Number of snapshots covered.
+    #[must_use]
+    pub fn snapshot_count(&self) -> usize {
+        self.households_per_snapshot.len()
+    }
+
+    /// Total number of household vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.households_per_snapshot.iter().sum()
+    }
+
+    /// Edges leaving snapshot `t`.
+    pub fn edges_from(&self, t: usize) -> impl Iterator<Item = &GroupEdge> + '_ {
+        self.edges.iter().filter(move |e| e.from_snapshot == t)
+    }
+
+    /// Edges of one pattern kind.
+    pub fn edges_of_kind(&self, kind: GroupPatternKind) -> impl Iterator<Item = &GroupEdge> + '_ {
+        self.edges.iter().filter(move |e| e.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_model::{Household, PersonRecord, RecordId, Role};
+
+    fn chain_series(n: usize) -> (Vec<CensusDataset>, Vec<(RecordMapping, GroupMapping)>) {
+        // one household of two people preserved across n snapshots
+        let rec = |id: u64| {
+            let mut r = PersonRecord::empty(RecordId(id), HouseholdId(0), Role::Head);
+            r.age = Some(30);
+            r
+        };
+        let mk = |year: i32| {
+            CensusDataset::new(
+                year,
+                vec![rec(0), rec(1)],
+                vec![Household::new(
+                    HouseholdId(0),
+                    vec![RecordId(0), RecordId(1)],
+                )],
+            )
+            .unwrap()
+        };
+        let snapshots: Vec<CensusDataset> = (0..n).map(|i| mk(1851 + 10 * i as i32)).collect();
+        let mappings: Vec<(RecordMapping, GroupMapping)> = (1..n)
+            .map(|_| {
+                (
+                    RecordMapping::from_pairs([
+                        (RecordId(0), RecordId(0)),
+                        (RecordId(1), RecordId(1)),
+                    ])
+                    .unwrap(),
+                    [(HouseholdId(0), HouseholdId(0))].into_iter().collect(),
+                )
+            })
+            .collect();
+        (snapshots, mappings)
+    }
+
+    #[test]
+    fn builds_preserve_chain() {
+        let (snapshots, mappings) = chain_series(4);
+        let refs: Vec<&CensusDataset> = snapshots.iter().collect();
+        let g = EvolutionGraph::build(&refs, &mappings);
+        assert_eq!(g.snapshot_count(), 4);
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edges.len(), 3);
+        assert!(g
+            .edges
+            .iter()
+            .all(|e| e.kind == GroupPatternKind::Preserve && e.shared == 2));
+        assert_eq!(g.edges_from(1).count(), 1);
+        assert_eq!(g.edges_of_kind(GroupPatternKind::Preserve).count(), 3);
+        assert_eq!(g.edges_of_kind(GroupPatternKind::Move).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one mapping per successive snapshot pair")]
+    fn wrong_mapping_count_panics() {
+        let (snapshots, mappings) = chain_series(3);
+        let refs: Vec<&CensusDataset> = snapshots.iter().collect();
+        let _ = EvolutionGraph::build(&refs, &mappings[..1]);
+    }
+
+    #[test]
+    fn pair_patterns_align_with_edges() {
+        let (snapshots, mappings) = chain_series(3);
+        let refs: Vec<&CensusDataset> = snapshots.iter().collect();
+        let g = EvolutionGraph::build(&refs, &mappings);
+        assert_eq!(g.pair_patterns.len(), 2);
+        for p in &g.pair_patterns {
+            assert_eq!(p.counts.preserve_g, 1);
+            assert_eq!(p.counts.preserve_r, 2);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Person-level histories across a linked census series, and frequent
+//! pattern-sequence mining over the evolution graph — the "advanced graph
+//! mining" direction the paper sketches in §4.2.
+
+use crate::detect::GroupPatternKind;
+use crate::graph::EvolutionGraph;
+use census_model::{CensusDataset, RecordId, RecordMapping};
+use std::collections::HashMap;
+
+/// The trace of one person through the series: which record represents
+/// them in each snapshot they appear in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersonTimeline {
+    /// Snapshot index of the first appearance.
+    pub start: usize,
+    /// The person's record in each consecutive snapshot from `start`.
+    pub records: Vec<RecordId>,
+}
+
+impl PersonTimeline {
+    /// Number of censuses the person was observed in.
+    #[must_use]
+    pub fn span(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Snapshot index of the last appearance.
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.start + self.records.len() - 1
+    }
+}
+
+/// Build the timeline of every person implied by the record mappings:
+/// each timeline starts at a record with no incoming link and follows the
+/// 1:1 record links forward.
+///
+/// # Panics
+///
+/// Panics unless `mappings.len() + 1 == snapshots.len()`.
+#[must_use]
+pub fn person_timelines(
+    snapshots: &[&CensusDataset],
+    mappings: &[&RecordMapping],
+) -> Vec<PersonTimeline> {
+    assert_eq!(
+        mappings.len() + 1,
+        snapshots.len(),
+        "need one record mapping per successive pair"
+    );
+    let mut timelines = Vec::new();
+    for (t, ds) in snapshots.iter().enumerate() {
+        for r in ds.records() {
+            // timeline starts here iff nothing links in from the left
+            let has_incoming = t > 0 && mappings[t - 1].contains_new(r.id);
+            if has_incoming {
+                continue;
+            }
+            let mut records = vec![r.id];
+            let mut cur = r.id;
+            let mut step = t;
+            while step < mappings.len() {
+                match mappings[step].get_new(cur) {
+                    Some(next) => {
+                        records.push(next);
+                        cur = next;
+                        step += 1;
+                    }
+                    None => break,
+                }
+            }
+            timelines.push(PersonTimeline { start: t, records });
+        }
+    }
+    timelines
+}
+
+/// Count the contiguous length-`k` sequences of group-pattern kinds along
+/// household paths of the evolution graph. A household with several
+/// outgoing edges (splits) contributes one path per branch.
+///
+/// Returns sequences sorted by descending frequency — e.g.
+/// `[Preserve, Preserve]` dominating `[Preserve, Split]` says stable
+/// households stay stable, a finding the evolution graph makes queryable.
+#[must_use]
+pub fn pattern_sequences(graph: &EvolutionGraph, k: usize) -> Vec<(Vec<GroupPatternKind>, usize)> {
+    assert!(k >= 1, "sequence length must be at least 1");
+    // adjacency: (snapshot, old household) → [(new household, kind)]
+    let mut adj: HashMap<
+        (usize, census_model::HouseholdId),
+        Vec<(census_model::HouseholdId, GroupPatternKind)>,
+    > = HashMap::new();
+    for e in &graph.edges {
+        adj.entry((e.from_snapshot, e.old))
+            .or_default()
+            .push((e.new, e.kind));
+    }
+    let mut counts: HashMap<Vec<GroupPatternKind>, usize> = HashMap::new();
+    // depth-first enumeration of length-k paths from every position
+    fn walk(
+        adj: &HashMap<
+            (usize, census_model::HouseholdId),
+            Vec<(census_model::HouseholdId, GroupPatternKind)>,
+        >,
+        t: usize,
+        h: census_model::HouseholdId,
+        prefix: &mut Vec<GroupPatternKind>,
+        k: usize,
+        counts: &mut HashMap<Vec<GroupPatternKind>, usize>,
+    ) {
+        if prefix.len() == k {
+            *counts.entry(prefix.clone()).or_insert(0) += 1;
+            return;
+        }
+        let Some(edges) = adj.get(&(t, h)) else {
+            return;
+        };
+        for &(next, kind) in edges {
+            prefix.push(kind);
+            walk(adj, t + 1, next, prefix, k, counts);
+            prefix.pop();
+        }
+    }
+    for &(t, h) in adj.keys() {
+        let mut prefix = Vec::with_capacity(k);
+        walk(&adj, t, h, &mut prefix, k, &mut counts);
+    }
+    let mut out: Vec<_> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GroupEdge;
+    use census_model::{DatasetBuilder, HouseholdId, Role, Sex};
+
+    fn two_snapshot_fixture() -> (Vec<CensusDataset>, RecordMapping) {
+        let old = DatasetBuilder::new(1871)
+            .household(|h| {
+                h.person("john", "ashworth", Sex::Male, 39, Role::Head)
+                    .person("alice", "ashworth", Sex::Female, 8, Role::Daughter)
+            })
+            .build();
+        let new = DatasetBuilder::new(1881)
+            .household(|h| h.person("john", "ashworth", Sex::Male, 49, Role::Head))
+            .household(|h| h.person("alice", "smith", Sex::Female, 18, Role::Head))
+            .household(|h| h.person("mary", "smith", Sex::Female, 2, Role::Head))
+            .build();
+        let mapping =
+            RecordMapping::from_pairs([(RecordId(0), RecordId(0)), (RecordId(1), RecordId(1))])
+                .unwrap();
+        (vec![old, new], mapping)
+    }
+
+    #[test]
+    fn timelines_follow_links_and_truncate() {
+        let (snapshots, mapping) = two_snapshot_fixture();
+        let refs: Vec<&CensusDataset> = snapshots.iter().collect();
+        let timelines = person_timelines(&refs, &[&mapping]);
+        // john and alice span both snapshots; mary starts at snapshot 1
+        assert_eq!(timelines.len(), 3);
+        let spans: Vec<(usize, usize)> = timelines.iter().map(|t| (t.start, t.span())).collect();
+        assert!(spans.contains(&(0, 2))); // john
+        assert!(spans.contains(&(1, 1))); // mary
+        let mary = timelines.iter().find(|t| t.start == 1).unwrap();
+        assert_eq!(mary.end(), 1);
+    }
+
+    #[test]
+    fn timelines_partition_all_records() {
+        // every record appears in exactly one timeline
+        let (snapshots, mapping) = two_snapshot_fixture();
+        let refs: Vec<&CensusDataset> = snapshots.iter().collect();
+        let timelines = person_timelines(&refs, &[&mapping]);
+        let covered: usize = timelines.iter().map(PersonTimeline::span).sum();
+        let total: usize = snapshots.iter().map(CensusDataset::record_count).sum();
+        assert_eq!(covered, total);
+    }
+
+    fn edge(t: usize, old: u64, new: u64, kind: GroupPatternKind) -> GroupEdge {
+        GroupEdge {
+            from_snapshot: t,
+            old: HouseholdId(old),
+            new: HouseholdId(new),
+            kind,
+            shared: 2,
+        }
+    }
+
+    #[test]
+    fn sequences_count_paths() {
+        use GroupPatternKind::*;
+        let graph = EvolutionGraph {
+            households_per_snapshot: vec![1, 2, 2],
+            edges: vec![
+                edge(0, 0, 0, Split),
+                edge(0, 0, 1, Split),
+                edge(1, 0, 0, Preserve),
+                edge(1, 1, 1, Move),
+            ],
+            pair_patterns: Vec::new(),
+        };
+        let seqs = pattern_sequences(&graph, 2);
+        // paths: Split→Preserve and Split→Move
+        assert_eq!(seqs.len(), 2);
+        assert!(seqs.contains(&(vec![Split, Preserve], 1)));
+        assert!(seqs.contains(&(vec![Split, Move], 1)));
+        // k = 1 counts each edge kind
+        let singles = pattern_sequences(&graph, 1);
+        assert!(singles.contains(&(vec![Split], 2)));
+        assert!(singles.contains(&(vec![Preserve], 1)));
+    }
+
+    #[test]
+    fn sequences_sorted_by_frequency() {
+        use GroupPatternKind::*;
+        let graph = EvolutionGraph {
+            households_per_snapshot: vec![3, 3],
+            edges: vec![
+                edge(0, 0, 0, Preserve),
+                edge(0, 1, 1, Preserve),
+                edge(0, 2, 2, Move),
+            ],
+            pair_patterns: Vec::new(),
+        };
+        let seqs = pattern_sequences(&graph, 1);
+        assert_eq!(seqs[0], (vec![Preserve], 2));
+        assert_eq!(seqs[1], (vec![Move], 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_length_sequences_panic() {
+        let graph = EvolutionGraph::default();
+        let _ = pattern_sequences(&graph, 0);
+    }
+}

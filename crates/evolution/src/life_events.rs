@@ -1,0 +1,330 @@
+//! Life-event inference from linked records.
+//!
+//! Once records are linked, the *differences* between a person's two
+//! census rows tell a story: a daughter who reappears with a new surname
+//! and a `spouse` role married; a wife who reappears as head of the same
+//! household was widowed; a young child in a linked household was born in
+//! between. This module turns those differences into explicit
+//! [`InferredEvent`]s — the "expressive change patterns" the paper's §4
+//! motivates, one level above the record/group patterns.
+//!
+//! On synthetic data the inferences can be validated against the
+//! simulator's event log (see `tests/event_consistency.rs`).
+
+use census_model::{CensusDataset, RecordId, RecordMapping, Role, Sex};
+use serde::{Deserialize, Serialize};
+use textsim::qgram_similarity;
+
+/// A life event inferred from a linked snapshot pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InferredEvent {
+    /// A linked woman reappears with a clearly different surname and a
+    /// married-or-head role: she married in the interval.
+    Marriage {
+        /// Her record in the old census.
+        old: RecordId,
+        /// Her record in the new census.
+        new: RecordId,
+    },
+    /// A linked spouse reappears as head of household while the old head
+    /// is gone: widowed (or the partner left permanently).
+    Widowed {
+        /// The surviving partner's record in the old census.
+        old: RecordId,
+        /// Their record in the new census.
+        new: RecordId,
+    },
+    /// An unlinked child in the new census, younger than the census gap,
+    /// living in a household with at least one linked member: born in the
+    /// interval.
+    Birth {
+        /// The child's record in the new census.
+        new: RecordId,
+    },
+    /// A linked person's household changed while their role stayed
+    /// subordinate: they moved (left home, went into service, lodging).
+    Moved {
+        /// Their record in the old census.
+        old: RecordId,
+        /// Their record in the new census.
+        new: RecordId,
+    },
+}
+
+/// Inference thresholds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferenceConfig {
+    /// Maximum q-gram similarity between old and new surname for the pair
+    /// to count as a *changed* surname (typos score higher than this).
+    pub surname_changed_below: f64,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        Self {
+            surname_changed_below: 0.55,
+        }
+    }
+}
+
+/// Infer life events from one linked snapshot pair.
+#[must_use]
+pub fn infer_life_events(
+    old: &CensusDataset,
+    new: &CensusDataset,
+    records: &RecordMapping,
+    config: &InferenceConfig,
+) -> Vec<InferredEvent> {
+    let year_gap = (new.year - old.year).max(0) as u32;
+    let mut events = Vec::new();
+
+    // per linked pair: marriage / widowhood / move
+    let mut links: Vec<_> = records.iter().collect();
+    links.sort();
+    for (o, n) in links {
+        let (Some(ro), Some(rn)) = (old.record(o), new.record(n)) else {
+            continue;
+        };
+        let surname_changed = !ro.surname.is_empty()
+            && !rn.surname.is_empty()
+            && qgram_similarity(&ro.surname, &rn.surname, 2) < config.surname_changed_below;
+        let married_role = matches!(rn.role, Role::Spouse | Role::DaughterInLaw);
+        if ro.sex == Some(Sex::Female)
+            && surname_changed
+            && (married_role || rn.role == Role::Head)
+            && ro.role != Role::Spouse
+        {
+            events.push(InferredEvent::Marriage { old: o, new: n });
+            continue;
+        }
+        // widowhood: spouse → head, and the old household's head is not
+        // linked into the new household
+        if ro.role == Role::Spouse && rn.role == Role::Head {
+            let old_head_followed = old
+                .members(ro.household)
+                .find(|m| m.role == Role::Head)
+                .and_then(|head| records.get_new(head.id))
+                .and_then(|hn| new.record(hn))
+                .is_some_and(|r2| r2.household == rn.household);
+            if !old_head_followed {
+                events.push(InferredEvent::Widowed { old: o, new: n });
+                continue;
+            }
+        }
+        // move: same person, subordinate role, different co-residents —
+        // detected as: none of the old household's other members followed
+        // into the new household
+        if !matches!(ro.role, Role::Head | Role::Spouse) && !surname_changed {
+            let any_cohort_followed = old
+                .members(ro.household)
+                .filter(|m| m.id != o)
+                .filter_map(|m| records.get_new(m.id))
+                .filter_map(|hn| new.record(hn))
+                .any(|r2| r2.household == rn.household);
+            let old_cohort_size = old
+                .household(ro.household)
+                .map_or(0, census_model::Household::size);
+            if !any_cohort_followed && old_cohort_size > 1 {
+                events.push(InferredEvent::Moved { old: o, new: n });
+            }
+        }
+    }
+
+    // births: unlinked young children in households with a linked member
+    for r in new.records() {
+        if records.contains_new(r.id) {
+            continue;
+        }
+        let Some(age) = r.age else { continue };
+        if age >= year_gap {
+            continue;
+        }
+        let household_is_linked = new.members(r.household).any(|m| records.contains_new(m.id));
+        if household_is_linked {
+            events.push(InferredEvent::Birth { new: r.id });
+        }
+    }
+
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_model::DatasetBuilder;
+
+    fn config() -> InferenceConfig {
+        InferenceConfig::default()
+    }
+
+    #[test]
+    fn marriage_is_inferred_from_surname_and_role() {
+        let old = DatasetBuilder::new(1871)
+            .household(|h| {
+                h.person("john", "ashworth", Sex::Male, 40, Role::Head)
+                    .person("alice", "ashworth", Sex::Female, 18, Role::Daughter)
+            })
+            .build();
+        let new = DatasetBuilder::new(1881)
+            .household(|h| h.person("john", "ashworth", Sex::Male, 50, Role::Head))
+            .household(|h| {
+                h.person("steve", "smith", Sex::Male, 30, Role::Head)
+                    .person("alice", "smith", Sex::Female, 28, Role::Spouse)
+            })
+            .build();
+        let records = RecordMapping::from_pairs([
+            (RecordId(0), RecordId(0)),
+            (RecordId(1), RecordId(2)), // alice
+        ])
+        .unwrap();
+        let events = infer_life_events(&old, &new, &records, &config());
+        assert!(events.contains(&InferredEvent::Marriage {
+            old: RecordId(1),
+            new: RecordId(2),
+        }));
+    }
+
+    #[test]
+    fn widowhood_is_inferred_from_role_succession() {
+        let old = DatasetBuilder::new(1871)
+            .household(|h| {
+                h.person("john", "smith", Sex::Male, 70, Role::Head).person(
+                    "mary",
+                    "smith",
+                    Sex::Female,
+                    65,
+                    Role::Spouse,
+                )
+            })
+            .build();
+        let new = DatasetBuilder::new(1881)
+            .household(|h| h.person("mary", "smith", Sex::Female, 75, Role::Head))
+            .build();
+        let records = RecordMapping::from_pairs([(RecordId(1), RecordId(0))]).unwrap();
+        let events = infer_life_events(&old, &new, &records, &config());
+        assert_eq!(
+            events,
+            vec![InferredEvent::Widowed {
+                old: RecordId(1),
+                new: RecordId(0),
+            }]
+        );
+    }
+
+    #[test]
+    fn spouse_who_followed_head_is_not_widowed() {
+        let old = DatasetBuilder::new(1871)
+            .household(|h| {
+                h.person("john", "smith", Sex::Male, 40, Role::Head).person(
+                    "mary",
+                    "smith",
+                    Sex::Female,
+                    38,
+                    Role::Spouse,
+                )
+            })
+            .build();
+        // roles swap (enumerator quirk) but both survive together
+        let new = DatasetBuilder::new(1881)
+            .household(|h| {
+                h.person("mary", "smith", Sex::Female, 48, Role::Head)
+                    .person("john", "smith", Sex::Male, 50, Role::Spouse)
+            })
+            .build();
+        let records =
+            RecordMapping::from_pairs([(RecordId(0), RecordId(1)), (RecordId(1), RecordId(0))])
+                .unwrap();
+        let events = infer_life_events(&old, &new, &records, &config());
+        assert!(events.is_empty(), "{events:?}");
+    }
+
+    #[test]
+    fn births_require_a_linked_household() {
+        let old = DatasetBuilder::new(1871)
+            .household(|h| h.person("john", "smith", Sex::Male, 30, Role::Head))
+            .build();
+        let new = DatasetBuilder::new(1881)
+            .household(|h| {
+                h.person("john", "smith", Sex::Male, 40, Role::Head).person(
+                    "tom",
+                    "smith",
+                    Sex::Male,
+                    4,
+                    Role::Son,
+                )
+            })
+            .household(|h| {
+                // unlinked household: its child is NOT classified as a birth
+                h.person("peter", "holt", Sex::Male, 33, Role::Head).person(
+                    "amy",
+                    "holt",
+                    Sex::Female,
+                    2,
+                    Role::Daughter,
+                )
+            })
+            .build();
+        let records = RecordMapping::from_pairs([(RecordId(0), RecordId(0))]).unwrap();
+        let events = infer_life_events(&old, &new, &records, &config());
+        assert_eq!(events, vec![InferredEvent::Birth { new: RecordId(1) }]);
+    }
+
+    #[test]
+    fn ten_year_old_is_not_a_birth() {
+        let old = DatasetBuilder::new(1871)
+            .household(|h| h.person("john", "smith", Sex::Male, 30, Role::Head))
+            .build();
+        let new = DatasetBuilder::new(1881)
+            .household(|h| {
+                h.person("john", "smith", Sex::Male, 40, Role::Head).person(
+                    "tom",
+                    "smith",
+                    Sex::Male,
+                    10,
+                    Role::Son,
+                )
+            })
+            .build();
+        let records = RecordMapping::from_pairs([(RecordId(0), RecordId(0))]).unwrap();
+        let events = infer_life_events(&old, &new, &records, &config());
+        assert!(events.is_empty(), "{events:?}");
+    }
+
+    #[test]
+    fn lone_move_is_inferred() {
+        let old = DatasetBuilder::new(1871)
+            .household(|h| {
+                h.person("john", "smith", Sex::Male, 50, Role::Head).person(
+                    "will",
+                    "smith",
+                    Sex::Male,
+                    22,
+                    Role::Son,
+                )
+            })
+            .build();
+        let new = DatasetBuilder::new(1881)
+            .household(|h| h.person("john", "smith", Sex::Male, 60, Role::Head))
+            .household(|h| {
+                h.person("peter", "holt", Sex::Male, 40, Role::Head).person(
+                    "will",
+                    "smith",
+                    Sex::Male,
+                    32,
+                    Role::Lodger,
+                )
+            })
+            .build();
+        let records =
+            RecordMapping::from_pairs([(RecordId(0), RecordId(0)), (RecordId(1), RecordId(2))])
+                .unwrap();
+        let events = infer_life_events(&old, &new, &records, &config());
+        assert_eq!(
+            events,
+            vec![InferredEvent::Moved {
+                old: RecordId(1),
+                new: RecordId(2),
+            }]
+        );
+    }
+}

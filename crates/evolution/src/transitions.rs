@@ -1,0 +1,186 @@
+//! Household-type transitions along preserve links: how household
+//! composition changes as the same household ages ten years — couples
+//! become nuclear families, nuclear families become extended ones, and
+//! eventually shrink back to couples and singles (the classic family
+//! life-cycle, observable once households are linked).
+
+use crate::detect::GroupPatternKind;
+use crate::graph::EvolutionGraph;
+use census_model::CensusDataset;
+use hhgraph::HouseholdType;
+use std::collections::BTreeMap;
+
+/// Transition counts between household types along preserve links.
+pub type TypeTransitions = BTreeMap<(HouseholdType, HouseholdType), usize>;
+
+/// Count `old type → new type` transitions over the preserve edges of one
+/// snapshot pair (`pair` indexes the evolution graph's pair list).
+///
+/// # Panics
+///
+/// Panics if `pair + 1` is out of range for `snapshots`.
+#[must_use]
+pub fn type_transitions(
+    snapshots: &[&CensusDataset],
+    graph: &EvolutionGraph,
+    pair: usize,
+) -> TypeTransitions {
+    let old = snapshots[pair];
+    let new = snapshots[pair + 1];
+    let type_of = |ds: &CensusDataset, h| {
+        let roles: Vec<_> = ds.members(h).map(|r| r.role).collect();
+        HouseholdType::classify(&roles)
+    };
+    let mut out = TypeTransitions::new();
+    for e in graph.edges_of_kind(GroupPatternKind::Preserve) {
+        if e.from_snapshot != pair {
+            continue;
+        }
+        let from = type_of(old, e.old);
+        let to = type_of(new, e.new);
+        *out.entry((from, to)).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Sum transitions over every pair of the series.
+#[must_use]
+pub fn total_type_transitions(
+    snapshots: &[&CensusDataset],
+    graph: &EvolutionGraph,
+) -> TypeTransitions {
+    let mut out = TypeTransitions::new();
+    for pair in 0..snapshots.len().saturating_sub(1) {
+        for (k, v) in type_transitions(snapshots, graph, pair) {
+            *out.entry(k).or_insert(0) += v;
+        }
+    }
+    out
+}
+
+/// Render a transition matrix as an aligned text table.
+#[must_use]
+pub fn render_transitions(transitions: &TypeTransitions) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<12} {:<12} count", "from", "to");
+    for ((from, to), count) in transitions {
+        let _ = writeln!(out, "{from:<12} {to:<12} {count}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_model::{DatasetBuilder, GroupMapping, RecordMapping, Role, Sex};
+
+    #[test]
+    fn couple_becomes_nuclear() {
+        let old = DatasetBuilder::new(1871)
+            .household(|h| {
+                h.person("john", "x", Sex::Male, 25, Role::Head).person(
+                    "mary",
+                    "x",
+                    Sex::Female,
+                    23,
+                    Role::Spouse,
+                )
+            })
+            .build();
+        let new = DatasetBuilder::new(1881)
+            .household(|h| {
+                h.person("john", "x", Sex::Male, 35, Role::Head)
+                    .person("mary", "x", Sex::Female, 33, Role::Spouse)
+                    .person("tom", "x", Sex::Male, 5, Role::Son)
+            })
+            .build();
+        let records = RecordMapping::from_pairs([
+            (census_model::RecordId(0), census_model::RecordId(0)),
+            (census_model::RecordId(1), census_model::RecordId(1)),
+        ])
+        .unwrap();
+        let groups: GroupMapping = [(census_model::HouseholdId(0), census_model::HouseholdId(0))]
+            .into_iter()
+            .collect();
+        let snapshots = [&old, &new];
+        let graph = EvolutionGraph::build(&snapshots, &[(records, groups)]);
+        let t = type_transitions(&snapshots, &graph, 0);
+        assert_eq!(t[&(HouseholdType::Couple, HouseholdType::Nuclear)], 1);
+        assert_eq!(t.values().sum::<usize>(), 1);
+        let rendered = render_transitions(&t);
+        assert!(rendered.contains("couple"));
+        assert!(rendered.contains("nuclear"));
+    }
+
+    #[test]
+    fn moves_are_excluded_from_transitions() {
+        // one shared member → move edge, not preserve: no transitions
+        let old = DatasetBuilder::new(1871)
+            .household(|h| {
+                h.person("john", "x", Sex::Male, 25, Role::Head).person(
+                    "will",
+                    "x",
+                    Sex::Male,
+                    20,
+                    Role::Brother,
+                )
+            })
+            .build();
+        let new = DatasetBuilder::new(1881)
+            .household(|h| h.person("will", "x", Sex::Male, 30, Role::Head))
+            .build();
+        let records =
+            RecordMapping::from_pairs([(census_model::RecordId(1), census_model::RecordId(0))])
+                .unwrap();
+        let groups: GroupMapping = [(census_model::HouseholdId(0), census_model::HouseholdId(0))]
+            .into_iter()
+            .collect();
+        let snapshots = [&old, &new];
+        let graph = EvolutionGraph::build(&snapshots, &[(records, groups)]);
+        assert!(type_transitions(&snapshots, &graph, 0).is_empty());
+    }
+
+    #[test]
+    fn totals_accumulate_over_pairs() {
+        let mk = |year: i32, with_child: bool| {
+            DatasetBuilder::new(year)
+                .household(|mut h| {
+                    h = h.person("john", "x", Sex::Male, 25, Role::Head).person(
+                        "mary",
+                        "x",
+                        Sex::Female,
+                        23,
+                        Role::Spouse,
+                    );
+                    if with_child {
+                        h = h.person("tom", "x", Sex::Male, 1, Role::Son);
+                    }
+                    h
+                })
+                .build()
+        };
+        let a = mk(1871, false);
+        let b = mk(1881, true);
+        let c = mk(1891, true);
+        let link = |n: usize| {
+            (
+                RecordMapping::from_pairs((0..n).map(|i| {
+                    (
+                        census_model::RecordId(i as u64),
+                        census_model::RecordId(i as u64),
+                    )
+                }))
+                .unwrap(),
+                [(census_model::HouseholdId(0), census_model::HouseholdId(0))]
+                    .into_iter()
+                    .collect::<GroupMapping>(),
+            )
+        };
+        let snapshots = [&a, &b, &c];
+        let graph = EvolutionGraph::build(&snapshots, &[link(2), link(3)]);
+        let total = total_type_transitions(&snapshots, &graph);
+        assert_eq!(total[&(HouseholdType::Couple, HouseholdType::Nuclear)], 1);
+        assert_eq!(total[&(HouseholdType::Nuclear, HouseholdType::Nuclear)], 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Household classification by composition — the standard census-analysis
+//! typology (single / couple / nuclear / extended / non-family), derived
+//! from the form roles.
+
+use census_model::Role;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Composition type of a household.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HouseholdType {
+    /// One person.
+    Single,
+    /// Head and spouse only.
+    Couple,
+    /// Head, optionally spouse, and their children — nobody else except
+    /// servants/lodgers/visitors.
+    Nuclear,
+    /// At least one extended-family member (parent, sibling, grandchild
+    /// or in-law of the head) lives in.
+    Extended,
+    /// Several people but no family relation to the head at all
+    /// (boarding houses, institutions).
+    NonFamily,
+}
+
+impl HouseholdType {
+    /// Classify a household from its members' roles. The first role is
+    /// conventionally the head but the classification only counts role
+    /// kinds, so order does not matter.
+    #[must_use]
+    pub fn classify(roles: &[Role]) -> Self {
+        if roles.len() <= 1 {
+            return HouseholdType::Single;
+        }
+        let has = |pred: fn(Role) -> bool| roles.iter().any(|&r| pred(r));
+        let extended = |r: Role| {
+            matches!(
+                r,
+                Role::Father
+                    | Role::Mother
+                    | Role::Brother
+                    | Role::Sister
+                    | Role::Grandchild
+                    | Role::SonInLaw
+                    | Role::DaughterInLaw
+            )
+        };
+        let child = |r: Role| matches!(r, Role::Son | Role::Daughter);
+        let spouse = |r: Role| r == Role::Spouse;
+        let family = |r: Role| r.is_family() && r != Role::Head;
+        if has(extended) {
+            HouseholdType::Extended
+        } else if has(child) {
+            HouseholdType::Nuclear
+        } else if has(spouse) {
+            HouseholdType::Couple
+        } else if has(family) {
+            // only reachable if new family roles are added later
+            HouseholdType::Extended
+        } else {
+            HouseholdType::NonFamily
+        }
+    }
+
+    /// All variants, in a stable order.
+    pub const ALL: [HouseholdType; 5] = [
+        HouseholdType::Single,
+        HouseholdType::Couple,
+        HouseholdType::Nuclear,
+        HouseholdType::Extended,
+        HouseholdType::NonFamily,
+    ];
+}
+
+impl fmt::Display for HouseholdType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HouseholdType::Single => "single",
+            HouseholdType::Couple => "couple",
+            HouseholdType::Nuclear => "nuclear",
+            HouseholdType::Extended => "extended",
+            HouseholdType::NonFamily => "non-family",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Count household types across a snapshot.
+#[must_use]
+pub fn household_type_counts(
+    ds: &census_model::CensusDataset,
+) -> std::collections::BTreeMap<HouseholdType, usize> {
+    let mut counts = std::collections::BTreeMap::new();
+    for h in ds.households() {
+        let roles: Vec<Role> = ds.members(h.id).map(|r| r.role).collect();
+        *counts.entry(HouseholdType::classify(&roles)).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Role::*;
+
+    #[test]
+    fn classification_table() {
+        assert_eq!(HouseholdType::classify(&[Head]), HouseholdType::Single);
+        assert_eq!(HouseholdType::classify(&[]), HouseholdType::Single);
+        assert_eq!(
+            HouseholdType::classify(&[Head, Spouse]),
+            HouseholdType::Couple
+        );
+        assert_eq!(
+            HouseholdType::classify(&[Head, Spouse, Son, Daughter]),
+            HouseholdType::Nuclear
+        );
+        assert_eq!(
+            HouseholdType::classify(&[Head, Son]),
+            HouseholdType::Nuclear
+        );
+        assert_eq!(
+            HouseholdType::classify(&[Head, Spouse, Son, DaughterInLaw, Grandchild]),
+            HouseholdType::Extended
+        );
+        assert_eq!(
+            HouseholdType::classify(&[Head, Mother]),
+            HouseholdType::Extended
+        );
+        assert_eq!(
+            HouseholdType::classify(&[Head, Lodger, Lodger, Servant]),
+            HouseholdType::NonFamily
+        );
+    }
+
+    #[test]
+    fn boarders_do_not_change_family_type() {
+        assert_eq!(
+            HouseholdType::classify(&[Head, Spouse, Son, Servant, Lodger]),
+            HouseholdType::Nuclear
+        );
+        assert_eq!(
+            HouseholdType::classify(&[Head, Spouse, Visitor]),
+            HouseholdType::Couple
+        );
+    }
+
+    #[test]
+    fn counts_over_synthetic_town() {
+        use census_model::{DatasetBuilder, Sex};
+        let ds = DatasetBuilder::new(1871)
+            .household(|h| h.person("a", "x", Sex::Male, 40, Head))
+            .household(|h| {
+                h.person("b", "y", Sex::Male, 40, Head)
+                    .person("c", "y", Sex::Female, 38, Spouse)
+            })
+            .household(|h| {
+                h.person("d", "z", Sex::Male, 40, Head)
+                    .person("e", "z", Sex::Female, 10, Daughter)
+            })
+            .build();
+        let counts = household_type_counts(&ds);
+        assert_eq!(counts[&HouseholdType::Single], 1);
+        assert_eq!(counts[&HouseholdType::Couple], 1);
+        assert_eq!(counts[&HouseholdType::Nuclear], 1);
+        assert_eq!(counts.values().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn display_and_order() {
+        assert_eq!(HouseholdType::Single.to_string(), "single");
+        assert!(HouseholdType::Single < HouseholdType::NonFamily);
+        assert_eq!(HouseholdType::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,228 @@
+//! Fluent construction of census datasets.
+//!
+//! Hand-assembling a [`CensusDataset`] requires consistent record ids,
+//! household ids and membership lists. The builder allocates ids densely,
+//! keeps both sides of the membership invariant in sync, and panics early
+//! with a clear message instead of failing validation later.
+//!
+//! ```
+//! use census_model::{DatasetBuilder, Role, Sex};
+//!
+//! let ds = DatasetBuilder::new(1871)
+//!     .household(|h| {
+//!         h.person("john", "ashworth", Sex::Male, 39, Role::Head)
+//!             .person("elizabeth", "ashworth", Sex::Female, 37, Role::Spouse)
+//!             .person("alice", "ashworth", Sex::Female, 8, Role::Daughter)
+//!             .address("4 mill lane")
+//!     })
+//!     .household(|h| h.person("john", "riley", Sex::Male, 63, Role::Head))
+//!     .build();
+//! assert_eq!(ds.record_count(), 4);
+//! assert_eq!(ds.household_count(), 2);
+//! ```
+
+use crate::{CensusDataset, Household, HouseholdId, PersonId, PersonRecord, RecordId, Role, Sex};
+
+/// Builder for one household within a [`DatasetBuilder`].
+#[derive(Debug)]
+pub struct HouseholdBuilder {
+    id: HouseholdId,
+    next_record: u64,
+    records: Vec<PersonRecord>,
+    address: Option<String>,
+}
+
+impl HouseholdBuilder {
+    /// Add a member with the given attributes. The first member is the
+    /// head by census convention; the builder does not enforce role
+    /// consistency (tests may want inconsistent forms).
+    #[must_use]
+    pub fn person(mut self, first: &str, surname: &str, sex: Sex, age: u32, role: Role) -> Self {
+        let id = RecordId(self.next_record);
+        self.next_record += 1;
+        let mut r = PersonRecord::empty(id, self.id, role);
+        r.first_name = first.to_owned();
+        r.surname = surname.to_owned();
+        r.sex = Some(sex);
+        r.age = Some(age);
+        self.records.push(r);
+        self
+    }
+
+    /// Customise the most recently added member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no member has been added yet.
+    #[must_use]
+    pub fn with_last(mut self, f: impl FnOnce(&mut PersonRecord)) -> Self {
+        let last = self
+            .records
+            .last_mut()
+            .expect("with_last requires a preceding person()");
+        f(last);
+        self
+    }
+
+    /// Set the ground-truth person id of the most recently added member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no member has been added yet.
+    #[must_use]
+    pub fn truth(self, person: u64) -> Self {
+        self.with_last(|r| r.truth = Some(PersonId(person)))
+    }
+
+    /// Set the household address (applied to every member).
+    #[must_use]
+    pub fn address(mut self, address: &str) -> Self {
+        self.address = Some(address.to_owned());
+        self
+    }
+
+    /// Set the occupation of the most recently added member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no member has been added yet.
+    #[must_use]
+    pub fn occupation(self, occupation: &str) -> Self {
+        let o = occupation.to_owned();
+        self.with_last(move |r| r.occupation = o)
+    }
+}
+
+/// Fluent builder for a [`CensusDataset`].
+#[derive(Debug)]
+pub struct DatasetBuilder {
+    year: i32,
+    next_record: u64,
+    next_household: u64,
+    records: Vec<PersonRecord>,
+    households: Vec<Household>,
+}
+
+impl DatasetBuilder {
+    /// Start a dataset for the given census year.
+    #[must_use]
+    pub fn new(year: i32) -> Self {
+        Self {
+            year,
+            next_record: 0,
+            next_household: 0,
+            records: Vec::new(),
+            households: Vec::new(),
+        }
+    }
+
+    /// Add a household, configured through the closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the closure adds no members — census households are
+    /// never empty.
+    #[must_use]
+    pub fn household(mut self, f: impl FnOnce(HouseholdBuilder) -> HouseholdBuilder) -> Self {
+        let id = HouseholdId(self.next_household);
+        self.next_household += 1;
+        let hb = f(HouseholdBuilder {
+            id,
+            next_record: self.next_record,
+            records: Vec::new(),
+            address: None,
+        });
+        assert!(
+            !hb.records.is_empty(),
+            "household {id} was built without members"
+        );
+        self.next_record = hb.next_record;
+        let members: Vec<RecordId> = hb.records.iter().map(|r| r.id).collect();
+        let address = hb.address;
+        self.records.extend(hb.records.into_iter().map(|mut r| {
+            if let Some(a) = &address {
+                r.address.clone_from(a);
+            }
+            r
+        }));
+        self.households.push(Household::new(id, members));
+        self
+    }
+
+    /// Finish, validating all dataset invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if validation fails — the builder allocates ids itself, so
+    /// a failure indicates a bug in the builder, not in the caller.
+    #[must_use]
+    pub fn build(self) -> CensusDataset {
+        CensusDataset::new(self.year, self.records, self.households)
+            .expect("builder maintains dataset invariants")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Attribute;
+
+    #[test]
+    fn builds_multi_household_dataset() {
+        let ds = DatasetBuilder::new(1881)
+            .household(|h| {
+                h.person("john", "smith", Sex::Male, 68, Role::Head)
+                    .occupation("weaver")
+                    .person("elizabeth", "smith", Sex::Female, 63, Role::Spouse)
+                    .address("2 bank street")
+            })
+            .household(|h| {
+                h.person("steve", "smith", Sex::Male, 35, Role::Head)
+                    .truth(42)
+            })
+            .build();
+        assert_eq!(ds.year, 1881);
+        assert_eq!(ds.record_count(), 3);
+        assert_eq!(ds.household_count(), 2);
+        let john = ds.record(RecordId(0)).unwrap();
+        assert_eq!(john.occupation, "weaver");
+        assert_eq!(john.address, "2 bank street");
+        let steve = ds.record(RecordId(2)).unwrap();
+        assert_eq!(steve.truth, Some(PersonId(42)));
+        assert_eq!(steve.household, HouseholdId(1));
+    }
+
+    #[test]
+    fn ids_are_dense_across_households() {
+        let ds = DatasetBuilder::new(1871)
+            .household(|h| h.person("a", "x", Sex::Male, 1, Role::Head))
+            .household(|h| h.person("b", "y", Sex::Male, 2, Role::Head))
+            .household(|h| h.person("c", "z", Sex::Male, 3, Role::Head))
+            .build();
+        let ids: Vec<u64> = ds.records().iter().map(|r| r.id.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn with_last_customises() {
+        let ds = DatasetBuilder::new(1871)
+            .household(|h| {
+                h.person("a", "x", Sex::Male, 1, Role::Head)
+                    .with_last(|r| r.age = None)
+            })
+            .build();
+        assert!(ds.record(RecordId(0)).unwrap().is_missing(Attribute::Age));
+    }
+
+    #[test]
+    #[should_panic(expected = "without members")]
+    fn empty_household_panics() {
+        let _ = DatasetBuilder::new(1871).household(|h| h).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a preceding person")]
+    fn with_last_without_person_panics() {
+        let _ = DatasetBuilder::new(1871).household(|h| h.truth(1)).build();
+    }
+}

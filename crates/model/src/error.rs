@@ -1,0 +1,88 @@
+//! Error type for dataset construction and I/O.
+
+use std::fmt;
+
+/// Errors raised when building or parsing census datasets.
+#[derive(Debug)]
+pub enum ModelError {
+    /// A record references a household id that does not exist.
+    UnknownHousehold {
+        /// The offending record (display form).
+        record: String,
+        /// The missing household (display form).
+        household: String,
+    },
+    /// A record id appears more than once in a dataset.
+    DuplicateRecord(String),
+    /// A household id appears more than once in a dataset.
+    DuplicateHousehold(String),
+    /// A record appears in more than one household, or in none.
+    MembershipMismatch(String),
+    /// A CSV line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownHousehold { record, household } => {
+                write!(
+                    f,
+                    "record {record} references unknown household {household}"
+                )
+            }
+            ModelError::DuplicateRecord(id) => write!(f, "duplicate record id {id}"),
+            ModelError::DuplicateHousehold(id) => write!(f, "duplicate household id {id}"),
+            ModelError::MembershipMismatch(id) => {
+                write!(f, "record {id} must belong to exactly one household")
+            }
+            ModelError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            ModelError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::DuplicateRecord("r1".into());
+        assert!(e.to_string().contains("r1"));
+        let e = ModelError::Parse {
+            line: 3,
+            message: "bad field".into(),
+        };
+        assert_eq!(e.to_string(), "line 3: bad field");
+    }
+
+    #[test]
+    fn io_error_source() {
+        use std::error::Error;
+        let e = ModelError::from(std::io::Error::other("x"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,98 @@
+//! Households: the groups `g ∈ G` of the problem definition.
+
+use crate::{HouseholdId, RecordId};
+use serde::{Deserialize, Serialize};
+
+/// A household — an ordered, non-overlapping group of person records.
+///
+/// Records are stored by id; attribute data lives in the owning
+/// [`crate::CensusDataset`]. The member order follows the census form
+/// (head first by convention of the generator, though the model does not
+/// require it).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Household {
+    /// Snapshot-local household id (dense, usable as index).
+    pub id: HouseholdId,
+    /// Member record ids.
+    pub members: Vec<RecordId>,
+}
+
+impl Household {
+    /// Create a household from its member list.
+    #[must_use]
+    pub fn new(id: HouseholdId, members: Vec<RecordId>) -> Self {
+        Self { id, members }
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the given record belongs to this household.
+    #[must_use]
+    pub fn contains(&self, record: RecordId) -> bool {
+        self.members.contains(&record)
+    }
+
+    /// Number of unordered member pairs — the maximum number of
+    /// relationships an enriched household graph can carry.
+    #[must_use]
+    pub fn pair_count(&self) -> usize {
+        let n = self.members.len();
+        n * n.saturating_sub(1) / 2
+    }
+
+    /// Iterate over all unordered member pairs `(a, b)` with `a` before `b`
+    /// in form order.
+    pub fn member_pairs(&self) -> impl Iterator<Item = (RecordId, RecordId)> + '_ {
+        self.members
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, &a)| self.members[i + 1..].iter().map(move |&b| (a, b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_contains() {
+        let h = Household::new(HouseholdId(0), vec![RecordId(1), RecordId(2)]);
+        assert_eq!(h.size(), 2);
+        assert!(h.contains(RecordId(1)));
+        assert!(!h.contains(RecordId(3)));
+    }
+
+    #[test]
+    fn pair_count_matches_enumeration() {
+        for n in 0..6u64 {
+            let h = Household::new(HouseholdId(0), (0..n).map(RecordId).collect());
+            assert_eq!(h.member_pairs().count(), h.pair_count());
+        }
+    }
+
+    #[test]
+    fn pairs_are_ordered_and_unique() {
+        let h = Household::new(HouseholdId(0), vec![RecordId(5), RecordId(9), RecordId(2)]);
+        let pairs: Vec<_> = h.member_pairs().collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (RecordId(5), RecordId(9)),
+                (RecordId(5), RecordId(2)),
+                (RecordId(9), RecordId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_household() {
+        let h = Household::new(HouseholdId(1), vec![]);
+        assert_eq!(h.size(), 0);
+        assert_eq!(h.pair_count(), 0);
+        assert_eq!(h.member_pairs().count(), 0);
+    }
+}

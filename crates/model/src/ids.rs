@@ -1,0 +1,93 @@
+//! Typed identifiers.
+//!
+//! Identifiers are plain `u64` newtypes. [`RecordId`] and [`HouseholdId`]
+//! identify rows and households *within one census snapshot*; they are
+//! allocated densely per snapshot so they double as vector indices.
+//! [`PersonId`] is the simulator's persistent ground-truth identity of a
+//! real-world person across snapshots — it exists only for evaluation and
+//! is never visible to the linkage algorithms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The raw numeric value.
+            #[must_use]
+            pub fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Use this id as a dense vector index.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a person record within one census snapshot.
+    RecordId,
+    "r"
+);
+id_type!(
+    /// Identifier of a household (group) within one census snapshot.
+    HouseholdId,
+    "h"
+);
+id_type!(
+    /// Ground-truth identity of a real-world person across snapshots.
+    PersonId,
+    "p"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(RecordId(7).to_string(), "r7");
+        assert_eq!(HouseholdId(3).to_string(), "h3");
+        assert_eq!(PersonId(0).to_string(), "p0");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(RecordId(1));
+        set.insert(RecordId(1));
+        set.insert(RecordId(2));
+        assert_eq!(set.len(), 2);
+        assert!(RecordId(1) < RecordId(2));
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let id = HouseholdId::from(42u64);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.raw(), 42);
+    }
+}

@@ -1,0 +1,44 @@
+//! Census data model for temporal record and group linkage.
+//!
+//! Defines the entities of the EDBT 2017 paper's problem statement (§2):
+//!
+//! * [`PersonRecord`] — one row of a census dataset with the linkage
+//!   attributes *first name*, *surname*, *sex*, *age*, *address*,
+//!   *occupation* and the household [`Role`] relative to the head.
+//! * [`Household`] — a group `g ∈ G` of person records; every record
+//!   belongs to exactly one household.
+//! * [`CensusDataset`] — one snapshot `D_i = (R_i, G_i)` taken in a given
+//!   census year, with indices and the descriptive statistics of the
+//!   paper's Table 1.
+//! * [`RecordMapping`] — a 1:1 mapping `M_R` between the records of two
+//!   successive snapshots.
+//! * [`GroupMapping`] — an N:M mapping `M_G` between their households.
+//!
+//! The crate also ships a small line-oriented CSV reader/writer
+//! ([`csv`]) so datasets can be persisted and inspected without external
+//! dependencies.
+
+#![warn(missing_docs)]
+
+mod builder;
+pub mod csv;
+mod dataset;
+mod error;
+mod household;
+mod ids;
+mod mapping;
+mod record;
+mod role;
+mod sample;
+mod stats;
+
+pub use builder::{DatasetBuilder, HouseholdBuilder};
+pub use dataset::CensusDataset;
+pub use error::ModelError;
+pub use household::Household;
+pub use ids::{HouseholdId, PersonId, RecordId};
+pub use mapping::{GroupMapping, RecordMapping};
+pub use record::{Attribute, PersonRecord, Sex};
+pub use role::{RelType, Role};
+pub use sample::sample_households;
+pub use stats::DatasetStats;

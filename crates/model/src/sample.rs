@@ -1,0 +1,121 @@
+//! Household-level sampling of census snapshots.
+//!
+//! Scaling experiments and quick iterations on large datasets need
+//! smaller extracts. Sampling must happen at the *household* level —
+//! sampling records would shred the group structure the linkage relies
+//! on. A cheap deterministic hash of the household id decides membership,
+//! so the same `(fraction, seed)` always keeps the same households.
+
+use crate::{CensusDataset, Household, HouseholdId};
+
+/// Deterministic 64-bit mix (splitmix64 finaliser).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Whether a household survives sampling at `fraction` with `seed`.
+fn keep(h: HouseholdId, fraction: f64, seed: u64) -> bool {
+    let hash = mix(h.raw() ^ mix(seed));
+    let unit = (hash >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    unit < fraction
+}
+
+/// Sample a fraction of households (with all their members).
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= fraction <= 1.0`.
+#[must_use]
+pub fn sample_households(ds: &CensusDataset, fraction: f64, seed: u64) -> CensusDataset {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
+    let kept: Vec<&Household> = ds
+        .households()
+        .iter()
+        .filter(|h| keep(h.id, fraction, seed))
+        .collect();
+    let records = kept
+        .iter()
+        .flat_map(|h| ds.members(h.id).cloned())
+        .collect();
+    let households = kept.into_iter().cloned().collect();
+    CensusDataset::new(ds.year, records, households).expect("sampling preserves dataset invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetBuilder, Role, Sex};
+
+    fn town(n: u64) -> CensusDataset {
+        let mut b = DatasetBuilder::new(1871);
+        for i in 0..n {
+            b = b.household(|h| {
+                h.person(&format!("p{i}"), "x", Sex::Male, 30, Role::Head)
+                    .person(&format!("q{i}"), "x", Sex::Female, 28, Role::Spouse)
+            });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn extremes() {
+        let ds = town(50);
+        assert_eq!(sample_households(&ds, 0.0, 1).household_count(), 0);
+        assert_eq!(sample_households(&ds, 1.0, 1).household_count(), 50);
+    }
+
+    #[test]
+    fn fraction_is_approximate_and_structure_intact() {
+        let ds = town(400);
+        let s = sample_households(&ds, 0.25, 7);
+        let frac = s.household_count() as f64 / 400.0;
+        assert!((0.15..=0.35).contains(&frac), "kept {frac}");
+        // households keep all their members
+        for h in s.households() {
+            assert_eq!(h.size(), 2);
+            for r in s.members(h.id) {
+                assert_eq!(r.household, h.id);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let ds = town(200);
+        let a1 = sample_households(&ds, 0.5, 42);
+        let a2 = sample_households(&ds, 0.5, 42);
+        assert_eq!(
+            a1.households().iter().map(|h| h.id).collect::<Vec<_>>(),
+            a2.households().iter().map(|h| h.id).collect::<Vec<_>>()
+        );
+        let b = sample_households(&ds, 0.5, 43);
+        assert_ne!(
+            a1.households().iter().map(|h| h.id).collect::<Vec<_>>(),
+            b.households().iter().map(|h| h.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn nesting_property() {
+        // a household kept at fraction f is kept at every fraction ≥ f
+        let ds = town(300);
+        let small = sample_households(&ds, 0.2, 9);
+        let large = sample_households(&ds, 0.6, 9);
+        for h in small.households() {
+            assert!(large.household(h.id).is_some(), "{} lost at 0.6", h.id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn out_of_range_fraction_panics() {
+        let ds = town(3);
+        let _ = sample_households(&ds, 1.5, 0);
+    }
+}

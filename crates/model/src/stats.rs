@@ -1,0 +1,124 @@
+//! Descriptive dataset statistics — the columns of the paper's Table 1.
+
+use crate::{Attribute, CensusDataset};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The Table 1 row for one census snapshot: `|R|`, `|G|`, `|fn+sn|`
+/// (unique first-name + surname combinations) and the missing-value ratio
+/// over the five `Sim_func` attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Census year.
+    pub year: i32,
+    /// Number of person records `|R_i|`.
+    pub records: usize,
+    /// Number of households `|G_i|`.
+    pub households: usize,
+    /// Unique combinations of first name + surname.
+    pub unique_names: usize,
+    /// Fraction of missing attribute values over
+    /// [`Attribute::SIM_FUNC_SET`], in `[0, 1]`.
+    pub missing_ratio: f64,
+    /// Mean household size.
+    pub mean_household_size: f64,
+    /// Mean records per unique name combination (ambiguity; the paper
+    /// reports up to 2.23 for 1851).
+    pub name_ambiguity: f64,
+}
+
+impl DatasetStats {
+    /// Compute the statistics of a snapshot.
+    #[must_use]
+    pub fn of(ds: &CensusDataset) -> Self {
+        let records = ds.record_count();
+        let households = ds.household_count();
+        let mut name_counts: HashMap<String, usize> = HashMap::new();
+        let mut missing = 0usize;
+        for r in ds.records() {
+            *name_counts.entry(r.name_key()).or_insert(0) += 1;
+            missing += r.missing_count();
+        }
+        let unique_names = name_counts.len();
+        let cells = records * Attribute::SIM_FUNC_SET.len();
+        DatasetStats {
+            year: ds.year,
+            records,
+            households,
+            unique_names,
+            missing_ratio: if cells == 0 {
+                0.0
+            } else {
+                missing as f64 / cells as f64
+            },
+            mean_household_size: if households == 0 {
+                0.0
+            } else {
+                records as f64 / households as f64
+            },
+            name_ambiguity: if unique_names == 0 {
+                0.0
+            } else {
+                records as f64 / unique_names as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Household, HouseholdId, PersonRecord, RecordId, Role, Sex};
+
+    fn rec(id: u64, hh: u64, fname: &str, sname: &str, occ: &str) -> PersonRecord {
+        PersonRecord {
+            id: RecordId(id),
+            household: HouseholdId(hh),
+            truth: None,
+            first_name: fname.into(),
+            surname: sname.into(),
+            sex: Some(Sex::Female),
+            age: Some(20),
+            address: "x".into(),
+            occupation: occ.into(),
+            role: Role::Head,
+        }
+    }
+
+    #[test]
+    fn counts_and_ratios() {
+        let ds = CensusDataset::new(
+            1881,
+            vec![
+                rec(0, 0, "john", "smith", "weaver"),
+                rec(1, 1, "john", "smith", ""),
+                rec(2, 2, "mary", "smith", "spinner"),
+                rec(3, 3, "", "smith", "weaver"),
+            ],
+            (0..4)
+                .map(|i| Household::new(HouseholdId(i), vec![RecordId(i)]))
+                .collect(),
+        )
+        .unwrap();
+        let s = ds.stats();
+        assert_eq!(s.records, 4);
+        assert_eq!(s.households, 4);
+        // keys: "john smith" ×2, "mary smith", " smith"
+        assert_eq!(s.unique_names, 3);
+        // 2 missing cells out of 4*5
+        assert!((s.missing_ratio - 2.0 / 20.0).abs() < 1e-12);
+        assert!((s.mean_household_size - 1.0).abs() < 1e-12);
+        assert!((s.name_ambiguity - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.year, 1881);
+    }
+
+    #[test]
+    fn empty_dataset_is_all_zero() {
+        let ds = CensusDataset::new(1851, vec![], vec![]).unwrap();
+        let s = ds.stats();
+        assert_eq!(s.records, 0);
+        assert_eq!(s.missing_ratio, 0.0);
+        assert_eq!(s.mean_household_size, 0.0);
+        assert_eq!(s.name_ambiguity, 0.0);
+    }
+}

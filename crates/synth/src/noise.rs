@@ -1,0 +1,257 @@
+//! The observation noise channel.
+//!
+//! Census data quality problems come from the whole pipeline — the
+//! enumerator's handwriting, the householder's answers, the transcriber's
+//! typing. We model the classes the paper calls out (§3: "misspelled
+//! names, errors for age etc."): keyboard-adjacent typos, nickname /
+//! variant-spelling substitutions, age misreporting, and missing values.
+
+use crate::config::NoiseConfig;
+use crate::names::nickname_of;
+use census_model::CensusDataset;
+use rand::Rng;
+
+/// QWERTY neighbourhoods used for substitution typos.
+fn qwerty_neighbours(c: char) -> &'static str {
+    match c {
+        'a' => "qsz",
+        'b' => "vgn",
+        'c' => "xvd",
+        'd' => "sfe",
+        'e' => "wrd",
+        'f' => "dgr",
+        'g' => "fht",
+        'h' => "gjy",
+        'i' => "uok",
+        'j' => "hku",
+        'k' => "jli",
+        'l' => "ko",
+        'm' => "nj",
+        'n' => "bmh",
+        'o' => "ipl",
+        'p' => "ol",
+        'q' => "wa",
+        'r' => "etf",
+        's' => "adw",
+        't' => "ryg",
+        'u' => "yij",
+        'v' => "cbf",
+        'w' => "qes",
+        'x' => "zcs",
+        'y' => "tuh",
+        'z' => "xa",
+        _ => "",
+    }
+}
+
+/// Apply one random edit to a string: substitution with a keyboard
+/// neighbour, deletion, duplication, or adjacent transposition. Strings of
+/// length < 2 are returned unchanged (a one-letter typo would destroy the
+/// value rather than perturb it).
+pub fn typo<R: Rng + ?Sized>(s: &str, rng: &mut R) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 2 {
+        return s.to_owned();
+    }
+    let mut out = chars.clone();
+    match rng.gen_range(0..4u8) {
+        0 => {
+            // substitute with QWERTY neighbour
+            let i = rng.gen_range(0..out.len());
+            let neigh = qwerty_neighbours(out[i].to_ascii_lowercase());
+            if neigh.is_empty() {
+                let j = rng.gen_range(0..out.len().saturating_sub(1));
+                out.swap(j, j + 1);
+            } else {
+                let nb: Vec<char> = neigh.chars().collect();
+                out[i] = nb[rng.gen_range(0..nb.len())];
+            }
+        }
+        1 => {
+            // delete
+            let i = rng.gen_range(0..out.len());
+            out.remove(i);
+        }
+        2 => {
+            // duplicate
+            let i = rng.gen_range(0..out.len());
+            let c = out[i];
+            out.insert(i, c);
+        }
+        _ => {
+            // adjacent transposition
+            let i = rng.gen_range(0..out.len() - 1);
+            out.swap(i, i + 1);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Corrupt a clean snapshot in place according to `noise`.
+///
+/// Only attribute *values* are touched — ids, household structure, roles
+/// and ground-truth person ids are observation-independent.
+pub fn corrupt_dataset<R: Rng + ?Sized>(ds: &mut CensusDataset, noise: &NoiseConfig, rng: &mut R) {
+    // CensusDataset exposes records immutably; rebuild via the raw parts.
+    let year = ds.year;
+    let mut records = ds.records().to_vec();
+    let households = ds.households().to_vec();
+    for r in &mut records {
+        // nickname / variant spelling first, then possibly a typo on top
+        if rng.gen_bool(noise.nickname) {
+            if let Some(nick) = nickname_of(&r.first_name) {
+                r.first_name = nick.to_owned();
+            }
+        }
+        if rng.gen_bool(noise.name_typo) {
+            r.first_name = typo(&r.first_name, rng);
+        }
+        if rng.gen_bool(noise.name_typo) {
+            r.surname = typo(&r.surname, rng);
+        }
+        if rng.gen_bool(noise.text_typo) {
+            r.address = typo(&r.address, rng);
+        }
+        if !r.occupation.is_empty() && rng.gen_bool(noise.text_typo) {
+            r.occupation = typo(&r.occupation, rng);
+        }
+        if let Some(age) = r.age {
+            if rng.gen_bool(noise.age_off_by_one) {
+                let delta: i64 = if rng.gen_bool(0.5) { 1 } else { -1 };
+                r.age = Some((i64::from(age) + delta).max(0) as u32);
+            } else if rng.gen_bool(noise.age_off_by_more) {
+                let delta = rng.gen_range(2..=3) * if rng.gen_bool(0.5) { 1 } else { -1 };
+                r.age = Some((i64::from(age) + delta).max(0) as u32);
+            }
+        }
+        if rng.gen_bool(noise.missing_first_name) {
+            r.first_name.clear();
+        }
+        if rng.gen_bool(noise.missing_surname) {
+            r.surname.clear();
+        }
+        if rng.gen_bool(noise.missing_sex) {
+            r.sex = None;
+        }
+        if rng.gen_bool(noise.missing_address) {
+            r.address.clear();
+        }
+        if rng.gen_bool(noise.missing_occupation) {
+            r.occupation.clear();
+        }
+    }
+    *ds = CensusDataset::new(year, records, households).expect("corruption preserves structure");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{take_snapshot, SimConfig, World};
+    use census_model::Attribute;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clean_snapshot(seed: u64) -> CensusDataset {
+        let config = SimConfig::small();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let world = World::genesis(&config, &mut rng);
+        take_snapshot(&world, &mut rng)
+    }
+
+    #[test]
+    fn typo_changes_string_by_one_edit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let t = typo("ashworth", &mut rng);
+            let d = textdist(&t, "ashworth");
+            assert!(d <= 2, "typo {t:?} too far"); // duplicate+shift worst case
+            assert!(!t.is_empty());
+        }
+    }
+
+    /// Tiny local edit distance for the test (avoid dev-dependency cycle).
+    fn textdist(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        for (i, &ca) in a.iter().enumerate() {
+            let mut cur = vec![i + 1];
+            for (j, &cb) in b.iter().enumerate() {
+                let cost = usize::from(ca != cb);
+                cur.push((prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1));
+            }
+            prev = cur;
+        }
+        prev[b.len()]
+    }
+
+    #[test]
+    fn short_strings_pass_through() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(typo("a", &mut rng), "a");
+        assert_eq!(typo("", &mut rng), "");
+    }
+
+    #[test]
+    fn clean_noise_is_identity() {
+        let ds = clean_snapshot(3);
+        let mut corrupted = ds.clone();
+        let mut rng = StdRng::seed_from_u64(4);
+        corrupt_dataset(&mut corrupted, &NoiseConfig::clean(), &mut rng);
+        assert_eq!(ds.records(), corrupted.records());
+    }
+
+    #[test]
+    fn default_noise_hits_paper_missing_band() {
+        let mut ds = clean_snapshot(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        corrupt_dataset(&mut ds, &NoiseConfig::default(), &mut rng);
+        let ratio = ds.stats().missing_ratio;
+        assert!(
+            (0.015..=0.10).contains(&ratio),
+            "missing ratio {ratio} far from paper band"
+        );
+    }
+
+    #[test]
+    fn noise_perturbs_names_but_preserves_structure() {
+        let ds = clean_snapshot(7);
+        let mut corrupted = ds.clone();
+        let mut rng = StdRng::seed_from_u64(8);
+        corrupt_dataset(&mut corrupted, &NoiseConfig::heavy(), &mut rng);
+        assert_eq!(ds.record_count(), corrupted.record_count());
+        assert_eq!(ds.household_count(), corrupted.household_count());
+        let changed_names = ds
+            .records()
+            .iter()
+            .zip(corrupted.records())
+            .filter(|(a, b)| a.first_name != b.first_name || a.surname != b.surname)
+            .count();
+        assert!(changed_names > 0, "heavy noise must corrupt some names");
+        // truth ids and roles untouched
+        for (a, b) in ds.records().iter().zip(corrupted.records()) {
+            assert_eq!(a.truth, b.truth);
+            assert_eq!(a.role, b.role);
+            assert_eq!(a.household, b.household);
+        }
+    }
+
+    #[test]
+    fn ages_stay_nonnegative() {
+        let ds = clean_snapshot(9);
+        let mut corrupted = ds;
+        let mut rng = StdRng::seed_from_u64(10);
+        corrupt_dataset(&mut corrupted, &NoiseConfig::heavy(), &mut rng);
+        for r in corrupted.records() {
+            if let Some(a) = r.age {
+                assert!(a < 120);
+            }
+        }
+        // and some ages actually moved
+        let any_missing = corrupted
+            .records()
+            .iter()
+            .any(|r| r.is_missing(Attribute::Occupation));
+        assert!(any_missing);
+    }
+}

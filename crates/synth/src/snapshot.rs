@@ -1,0 +1,258 @@
+//! Rendering the true world into a census snapshot.
+//!
+//! A snapshot enumerates the region's households, writes one
+//! [`PersonRecord`] per observable member with the household role derived
+//! from the true family links, and stamps each record with its
+//! ground-truth [`census_model::PersonId`]. Observation noise is applied
+//! afterwards by [`crate::corrupt_dataset`].
+
+use crate::world::{Person, World, WorldHousehold};
+use census_model::{CensusDataset, Household, HouseholdId, PersonRecord, RecordId, Role, Sex};
+use rand::Rng;
+
+/// Derive the census-form role of `member` relative to `head` from true
+/// family links. Falls back to servant/lodger/visitor for unrelated
+/// co-residents.
+fn derive_role<R: Rng + ?Sized>(
+    world: &World,
+    head: &Person,
+    member: &Person,
+    rng: &mut R,
+) -> Role {
+    if member.id == head.id {
+        return Role::Head;
+    }
+    if head.spouse == Some(member.id) {
+        return Role::Spouse;
+    }
+    let is_child_of = |p: &Person, q: &Person| p.father == Some(q.id) || p.mother == Some(q.id);
+    // child of head or of head's spouse
+    let head_spouse = head.spouse.map(|s| world.person(s));
+    if is_child_of(member, head) || head_spouse.is_some_and(|sp| is_child_of(member, sp)) {
+        return match member.sex {
+            Sex::Male => Role::Son,
+            Sex::Female => Role::Daughter,
+        };
+    }
+    // parent of head
+    if is_child_of(head, member) {
+        return match member.sex {
+            Sex::Male => Role::Father,
+            Sex::Female => Role::Mother,
+        };
+    }
+    // sibling: shared known parent
+    let shares_parent = (head.father.is_some() && head.father == member.father)
+        || (head.mother.is_some() && head.mother == member.mother);
+    if shares_parent {
+        return match member.sex {
+            Sex::Male => Role::Brother,
+            Sex::Female => Role::Sister,
+        };
+    }
+    // grandchild: a parent of the member is a child of the head (or of the
+    // head's spouse)
+    let parent_is_child_of_head = [member.father, member.mother]
+        .into_iter()
+        .flatten()
+        .map(|p| world.person(p))
+        .any(|p| is_child_of(p, head) || head_spouse.is_some_and(|sp| is_child_of(p, sp)));
+    if parent_is_child_of_head {
+        return Role::Grandchild;
+    }
+    // spouse of a child of head → in-law
+    if let Some(sp) = member.spouse.map(|s| world.person(s)) {
+        if is_child_of(sp, head) || head_spouse.is_some_and(|hs| is_child_of(sp, hs)) {
+            return match member.sex {
+                Sex::Male => Role::SonInLaw,
+                Sex::Female => Role::DaughterInLaw,
+            };
+        }
+    }
+    if member.occupation == "servant" {
+        Role::Servant
+    } else if rng.gen_bool(0.85) {
+        Role::Lodger
+    } else {
+        Role::Visitor
+    }
+}
+
+/// Member presentation order on the form: head, spouse, then the rest by
+/// descending age, ties broken by person id for determinism.
+fn form_order(world: &World, h: &WorldHousehold) -> Vec<census_model::PersonId> {
+    let mut rest: Vec<_> = h
+        .members
+        .iter()
+        .copied()
+        .filter(|&m| m != h.head && world.person(h.head).spouse != Some(m))
+        .collect();
+    rest.sort_by_key(|&m| (world.person(m).birth_year, m.raw()));
+    let mut out = vec![h.head];
+    if let Some(sp) = world.person(h.head).spouse {
+        if h.members.contains(&sp) {
+            out.push(sp);
+        }
+    }
+    out.extend(rest);
+    out
+}
+
+/// Take a noise-free census of the world at its current year.
+///
+/// Record and household ids are dense and snapshot-local; each record's
+/// `truth` field carries the persistent person id.
+///
+/// # Panics
+///
+/// Panics if the world violates its structural invariants (a bug in the
+/// simulation, not in the caller).
+pub fn take_snapshot<R: Rng + ?Sized>(world: &World, rng: &mut R) -> CensusDataset {
+    let year = world.year;
+    let mut records = Vec::new();
+    let mut households = Vec::new();
+    let mut next_record = 0u64;
+    for (hh_index, h) in world.households().enumerate() {
+        let hh_id = HouseholdId(hh_index as u64);
+        let head = world.person(h.head);
+        let mut member_ids = Vec::with_capacity(h.members.len());
+        for pid in form_order(world, h) {
+            let p = world.person(pid);
+            debug_assert!(p.observable());
+            let rid = RecordId(next_record);
+            next_record += 1;
+            let age = p.age_at(year).max(0) as u32;
+            let occupation = if age < 5 {
+                String::new()
+            } else if age < 14 {
+                crate::names::NamePools::child_occupation().to_owned()
+            } else {
+                p.occupation.clone()
+            };
+            records.push(PersonRecord {
+                id: rid,
+                household: hh_id,
+                truth: Some(p.id),
+                first_name: p.first_name.clone(),
+                surname: p.surname.clone(),
+                sex: Some(p.sex),
+                age: Some(age),
+                address: h.address.clone(),
+                occupation,
+                role: derive_role(world, head, p, rng),
+            });
+            member_ids.push(rid);
+        }
+        households.push(Household::new(hh_id, member_ids));
+    }
+    CensusDataset::new(year, records, households)
+        .expect("world invariants guarantee a valid dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn snapshot(seed: u64) -> (World, CensusDataset) {
+        let config = SimConfig::small();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut world = World::genesis(&config, &mut rng);
+        world.advance_decade(&config, &mut rng);
+        let ds = take_snapshot(&world, &mut rng);
+        (world, ds)
+    }
+
+    #[test]
+    fn snapshot_matches_world_counts() {
+        let (world, ds) = snapshot(1);
+        assert_eq!(ds.record_count(), world.population());
+        assert_eq!(ds.household_count(), world.household_count());
+        assert_eq!(ds.year, world.year);
+    }
+
+    #[test]
+    fn every_household_has_exactly_one_head() {
+        let (_, ds) = snapshot(2);
+        for h in ds.households() {
+            let heads = ds.members(h.id).filter(|r| r.role == Role::Head).count();
+            assert_eq!(heads, 1, "household {} has {heads} heads", h.id);
+        }
+    }
+
+    #[test]
+    fn head_is_first_on_form() {
+        let (_, ds) = snapshot(3);
+        for h in ds.households() {
+            let first = ds.record(h.members[0]).unwrap();
+            assert_eq!(first.role, Role::Head);
+        }
+    }
+
+    #[test]
+    fn truth_ids_are_unique_within_snapshot() {
+        let (_, ds) = snapshot(4);
+        let mut seen = std::collections::HashSet::new();
+        for r in ds.records() {
+            assert!(
+                seen.insert(r.truth.unwrap()),
+                "duplicate person in snapshot"
+            );
+        }
+    }
+
+    #[test]
+    fn roles_are_family_consistent() {
+        let (_, ds) = snapshot(5);
+        let mut spouses = 0;
+        let mut children = 0;
+        for h in ds.households() {
+            let head = ds.record(h.members[0]).unwrap();
+            for r in ds.members(h.id) {
+                match r.role {
+                    Role::Spouse => {
+                        spouses += 1;
+                        // spouse has the head's surname (no noise yet)
+                        assert_eq!(r.surname, head.surname);
+                    }
+                    Role::Son => {
+                        children += 1;
+                        assert_eq!(r.sex, Some(Sex::Male));
+                    }
+                    Role::Daughter => {
+                        children += 1;
+                        assert_eq!(r.sex, Some(Sex::Female));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(spouses > 0, "expect married couples");
+        assert!(children > 0, "expect children");
+    }
+
+    #[test]
+    fn young_children_are_scholars_or_blank() {
+        let (_, ds) = snapshot(6);
+        for r in ds.records() {
+            let age = r.age.unwrap();
+            if age < 5 {
+                assert!(r.occupation.is_empty());
+            } else if age < 14 {
+                assert_eq!(r.occupation, "scholar");
+            }
+        }
+    }
+
+    #[test]
+    fn all_members_share_household_address() {
+        let (_, ds) = snapshot(7);
+        for h in ds.households() {
+            let addrs: std::collections::HashSet<_> =
+                ds.members(h.id).map(|r| r.address.clone()).collect();
+            assert_eq!(addrs.len(), 1);
+        }
+    }
+}

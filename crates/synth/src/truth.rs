@@ -1,0 +1,111 @@
+//! Ground-truth mappings between snapshots.
+//!
+//! Because each record carries its persistent person id, the true record
+//! mapping between two snapshots is simply the join on that id, and the
+//! true group mapping contains every household pair that shares at least
+//! one person — exactly the paper's `M_G` definition (Eq. 2).
+
+use census_model::{CensusDataset, GroupMapping, PersonId, RecordMapping};
+use std::collections::HashMap;
+
+/// The reference mappings for one snapshot pair, playing the role of the
+/// paper's expert-curated 1871/1881 reference mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruth {
+    /// True 1:1 record links (same person in both snapshots).
+    pub records: RecordMapping,
+    /// True household links (≥ 1 shared person).
+    pub groups: GroupMapping,
+}
+
+/// Compute ground truth for a snapshot pair.
+///
+/// # Panics
+///
+/// Panics if any record lacks a `truth` person id — ground truth is only
+/// defined for generated data.
+#[must_use]
+pub fn ground_truth(old: &CensusDataset, new: &CensusDataset) -> GroundTruth {
+    let new_by_person: HashMap<PersonId, usize> = new
+        .records()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.truth.expect("generated data carries truth ids"), i))
+        .collect();
+    let mut records = RecordMapping::new();
+    let mut groups = GroupMapping::new();
+    for r_old in old.records() {
+        let pid = r_old.truth.expect("generated data carries truth ids");
+        if let Some(&i) = new_by_person.get(&pid) {
+            let r_new = &new.records()[i];
+            let inserted = records.insert(r_old.id, r_new.id);
+            debug_assert!(inserted, "person ids are unique per snapshot");
+            groups.insert(r_old.household, r_new.household);
+        }
+    }
+    GroundTruth { records, groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{take_snapshot, SimConfig, World};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pair(seed: u64) -> (CensusDataset, CensusDataset) {
+        let config = SimConfig::small();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut world = World::genesis(&config, &mut rng);
+        let old = take_snapshot(&world, &mut rng);
+        world.advance_decade(&config, &mut rng);
+        let new = take_snapshot(&world, &mut rng);
+        (old, new)
+    }
+
+    #[test]
+    fn truth_links_only_shared_persons() {
+        let (old, new) = pair(1);
+        let truth = ground_truth(&old, &new);
+        assert!(!truth.records.is_empty());
+        assert!(truth.records.len() < old.record_count()); // deaths/emigration
+        for (o, n) in truth.records.iter() {
+            assert_eq!(old.record(o).unwrap().truth, new.record(n).unwrap().truth);
+        }
+    }
+
+    #[test]
+    fn truth_group_links_share_a_person() {
+        let (old, new) = pair(2);
+        let truth = ground_truth(&old, &new);
+        assert!(!truth.groups.is_empty());
+        for (go, gn) in truth.groups.iter() {
+            let shared = old
+                .members(go)
+                .filter_map(|r| r.truth)
+                .filter(|pid| new.members(gn).any(|r2| r2.truth == Some(*pid)))
+                .count();
+            assert!(shared >= 1, "group link without shared person");
+        }
+    }
+
+    #[test]
+    fn truth_is_symmetric_in_person_ids() {
+        let (old, new) = pair(3);
+        let fwd = ground_truth(&old, &new);
+        let bwd = ground_truth(&new, &old);
+        assert_eq!(fwd.records.len(), bwd.records.len());
+        for (o, n) in fwd.records.iter() {
+            assert!(bwd.records.contains(n, o));
+        }
+    }
+
+    #[test]
+    fn identity_pair_maps_everything() {
+        let (old, _) = pair(4);
+        let truth = ground_truth(&old, &old);
+        assert_eq!(truth.records.len(), old.record_count());
+        // group mapping is the identity on households
+        assert_eq!(truth.groups.len(), old.household_count());
+    }
+}

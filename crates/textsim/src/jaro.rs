@@ -1,0 +1,160 @@
+//! Jaro and Jaro-Winkler similarity, the classic name-matching measures.
+
+/// Jaro similarity in `[0, 1]`.
+///
+/// Matching characters must agree and lie within half the longer length of
+/// each other; half the number of out-of-order matches count as
+/// transpositions. Empty inputs score `0.0` (missing values never match).
+#[must_use]
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.trim().chars().flat_map(char::to_lowercase).collect();
+    let b: Vec<char> = b.trim().chars().flat_map(char::to_lowercase).collect();
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut a_matches: Vec<char> = Vec::new();
+    let mut b_match_flags = vec![false; b.len()];
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                b_match_flags[j] = true;
+                a_matches.push(ca);
+                break;
+            }
+        }
+    }
+    let m = a_matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let b_matches: Vec<char> = b
+        .iter()
+        .zip(b_match_flags.iter())
+        .filter_map(|(&c, &f)| f.then_some(c))
+        .collect();
+    let transpositions = a_matches
+        .iter()
+        .zip(b_matches.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    let t = transpositions as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard prefix scale `p = 0.1` and a
+/// maximum rewarded common prefix of 4 characters.
+#[must_use]
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    jaro_winkler_with_prefix(a, b, 0.1, 4)
+}
+
+/// Jaro-Winkler with explicit prefix scale and maximum prefix length.
+///
+/// # Panics
+///
+/// Panics if `prefix_scale * max_prefix as f64 > 1.0`, which would allow
+/// scores above `1.0`.
+#[must_use]
+pub fn jaro_winkler_with_prefix(a: &str, b: &str, prefix_scale: f64, max_prefix: usize) -> f64 {
+    assert!(
+        prefix_scale * max_prefix as f64 <= 1.0,
+        "prefix_scale * max_prefix must not exceed 1.0"
+    );
+    let base = jaro(a, b);
+    if base == 0.0 {
+        return 0.0;
+    }
+    let prefix = a
+        .trim()
+        .chars()
+        .flat_map(char::to_lowercase)
+        .zip(b.trim().chars().flat_map(char::to_lowercase))
+        .take(max_prefix)
+        .take_while(|(x, y)| x == y)
+        .count();
+    base + prefix as f64 * prefix_scale * (1.0 - base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn textbook_values() {
+        assert!(close(jaro("martha", "marhta"), 0.9444));
+        assert!(close(jaro("dixon", "dicksonx"), 0.7667));
+        assert!(close(jaro("jellyfish", "smellyfish"), 0.8963));
+        assert!(close(jaro_winkler("martha", "marhta"), 0.9611));
+        assert!(close(jaro_winkler("dixon", "dicksonx"), 0.8133));
+    }
+
+    #[test]
+    fn identity_and_empty() {
+        assert_eq!(jaro("smith", "smith"), 1.0);
+        assert_eq!(jaro("", "smith"), 0.0);
+        assert_eq!(jaro("", ""), 0.0);
+        assert_eq!(jaro_winkler("", ""), 0.0);
+    }
+
+    #[test]
+    fn no_common_chars() {
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn winkler_rewards_prefix() {
+        let j = jaro("elizabeth", "elisabeth");
+        let jw = jaro_winkler("elizabeth", "elisabeth");
+        assert!(jw > j);
+        // shared prefix "eli" = 3 chars
+        assert!(close(jw, j + 3.0 * 0.1 * (1.0 - j)));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(jaro("Smith", "smith"), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix_scale")]
+    fn invalid_prefix_scale_panics() {
+        let _ = jaro_winkler_with_prefix("a", "b", 0.5, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bounded(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            let j = jaro(&a, &b);
+            let jw = jaro_winkler(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&j));
+            prop_assert!((0.0..=1.0).contains(&jw));
+            prop_assert!(jw + 1e-12 >= j);
+        }
+
+        #[test]
+        fn prop_symmetric(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            prop_assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_identity(a in "[a-z]{1,12}") {
+            prop_assert_eq!(jaro(&a, &a), 1.0);
+            prop_assert_eq!(jaro_winkler(&a, &a), 1.0);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Edit-distance based similarities.
+//!
+//! Both classic Levenshtein and Damerau-Levenshtein (with adjacent
+//! transpositions, the dominant typo class in transcribed census forms) are
+//! provided, plus their normalised similarity forms
+//! `1 - dist / max(|a|, |b|)`.
+
+/// Levenshtein edit distance between `a` and `b` (unit costs), computed
+/// over Unicode scalar values with a two-row dynamic program.
+#[must_use]
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr: Vec<usize> = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Damerau-Levenshtein distance (optimal string alignment variant:
+/// insertions, deletions, substitutions and adjacent transpositions, where
+/// no substring is edited twice).
+#[must_use]
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let w = b.len() + 1;
+    // three rolling rows: i-2, i-1, i
+    let mut row2: Vec<usize> = vec![0; w];
+    let mut row1: Vec<usize> = (0..w).collect();
+    let mut row0: Vec<usize> = vec![0; w];
+    for i in 1..=a.len() {
+        row0[0] = i;
+        for j in 1..=b.len() {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut d = (row1[j - 1] + cost).min(row1[j] + 1).min(row0[j - 1] + 1);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                d = d.min(row2[j - 2] + 1);
+            }
+            row0[j] = d;
+        }
+        std::mem::swap(&mut row2, &mut row1);
+        std::mem::swap(&mut row1, &mut row0);
+    }
+    row1[b.len()]
+}
+
+fn normalised(dist: usize, a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la == 0 || lb == 0 {
+        return 0.0;
+    }
+    let max = la.max(lb) as f64;
+    1.0 - dist as f64 / max
+}
+
+/// Normalised Levenshtein similarity `1 - dist / max(len)`; `0.0` when
+/// either side is empty (missing values never match).
+#[must_use]
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let (a, b) = (a.trim(), b.trim());
+    normalised(levenshtein(a, b), a, b)
+}
+
+/// Normalised Damerau-Levenshtein similarity; `0.0` when either side is
+/// empty.
+#[must_use]
+pub fn damerau_levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let (a, b) = (a.trim(), b.trim());
+    normalised(damerau_levenshtein(a, b), a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn damerau_counts_transposition_as_one() {
+        assert_eq!(levenshtein("smith", "simth"), 2);
+        assert_eq!(damerau_levenshtein("smith", "simth"), 1);
+        assert_eq!(damerau_levenshtein("ca", "abc"), 3); // OSA restriction
+    }
+
+    #[test]
+    fn damerau_basic() {
+        assert_eq!(damerau_levenshtein("", ""), 0);
+        assert_eq!(damerau_levenshtein("a", ""), 1);
+        assert_eq!(damerau_levenshtein("", "ab"), 2);
+        assert_eq!(damerau_levenshtein("abcdef", "abcdef"), 0);
+    }
+
+    #[test]
+    fn similarity_normalisation() {
+        assert!((levenshtein_similarity("smith", "smyth") - 0.8).abs() < 1e-12);
+        assert_eq!(levenshtein_similarity("", ""), 0.0);
+        assert_eq!(levenshtein_similarity("abc", ""), 0.0);
+        assert_eq!(levenshtein_similarity("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn unicode_safe() {
+        assert_eq!(levenshtein("müller", "muller"), 1);
+        assert_eq!(damerau_levenshtein("müller", "müllre"), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_triangle_inequality(a in "[a-z]{0,8}", b in "[a-z]{0,8}", c in "[a-z]{0,8}") {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+
+        #[test]
+        fn prop_symmetry(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+            prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn prop_damerau_le_levenshtein(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn prop_distance_bounds(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            let d = levenshtein(&a, &b);
+            let (la, lb) = (a.len(), b.len());
+            prop_assert!(d >= la.abs_diff(lb));
+            prop_assert!(d <= la.max(lb));
+        }
+
+        #[test]
+        fn prop_identity_zero(a in "[a-z]{0,10}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+            prop_assert_eq!(damerau_levenshtein(&a, &a), 0);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! NYSIIS phonetic encoding — a finer-grained alternative to Soundex for
+//! blocking keys, retaining more of the name's shape.
+//!
+//! Implements the original NYSIIS algorithm (New York State Identification
+//! and Intelligence System, 1970) without the length cap some variants
+//! apply, which suits blocking better (longer codes → smaller blocks).
+
+/// NYSIIS code of a name. Returns `None` when the input contains no ASCII
+/// letter.
+///
+/// ```
+/// use textsim::nysiis;
+/// assert_eq!(nysiis("Knight").as_deref(), Some("NAGT"));
+/// assert_eq!(nysiis("MacDonald").as_deref(), Some("MCDANALD"));
+/// assert_eq!(nysiis("Phillips"), nysiis("Filips"));
+/// assert_eq!(nysiis("123"), None);
+/// ```
+#[must_use]
+pub fn nysiis(name: &str) -> Option<String> {
+    let mut w: Vec<char> = name
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    if w.is_empty() {
+        return None;
+    }
+
+    // 1. transcode first characters
+    let replace_prefix = |w: &mut Vec<char>, from: &str, to: &str| {
+        let f: Vec<char> = from.chars().collect();
+        if w.len() >= f.len() && w[..f.len()] == f[..] {
+            let mut new: Vec<char> = to.chars().collect();
+            new.extend_from_slice(&w[f.len()..]);
+            *w = new;
+        }
+    };
+    replace_prefix(&mut w, "MAC", "MCC");
+    replace_prefix(&mut w, "KN", "NN");
+    replace_prefix(&mut w, "K", "C");
+    replace_prefix(&mut w, "PH", "FF");
+    replace_prefix(&mut w, "PF", "FF");
+    replace_prefix(&mut w, "SCH", "SSS");
+
+    // 2. transcode last characters
+    let replace_suffix = |w: &mut Vec<char>, from: &str, to: &str| {
+        let f: Vec<char> = from.chars().collect();
+        if w.ends_with(&f) {
+            let keep = w.len() - f.len();
+            w.truncate(keep);
+            w.extend(to.chars());
+        }
+    };
+    replace_suffix(&mut w, "EE", "Y");
+    replace_suffix(&mut w, "IE", "Y");
+    for s in ["DT", "RT", "RD", "NT", "ND"] {
+        replace_suffix(&mut w, s, "D");
+    }
+
+    // 3. first character of the key = first character of the name
+    let mut key = String::new();
+    key.push(w[0]);
+
+    // 4. transcode the rest
+    let is_vowel = |c: char| matches!(c, 'A' | 'E' | 'I' | 'O' | 'U');
+    let mut i = 1;
+    while i < w.len() {
+        let prev = w[i - 1];
+        let next = w.get(i + 1).copied();
+        let cur = w[i];
+        let transcoded: Vec<char> = match cur {
+            'E' if next == Some('V') => vec!['A', 'F'],
+            c if is_vowel(c) => vec!['A'],
+            'Q' => vec!['G'],
+            'Z' => vec!['S'],
+            'M' => vec!['N'],
+            'K' => {
+                if next == Some('N') {
+                    vec!['N']
+                } else {
+                    vec!['C']
+                }
+            }
+            'S' if w[i..].starts_with(&['S', 'C', 'H']) => vec!['S', 'S', 'S'],
+            'P' if next == Some('H') => vec!['F', 'F'],
+            'H' if !is_vowel(prev) || next.map(|n| !is_vowel(n)).unwrap_or(true) => {
+                vec![prev]
+            }
+            'W' if is_vowel(prev) => vec![prev],
+            c => vec![c],
+        };
+        let consumed = match cur {
+            'E' if next == Some('V') => 2,
+            'S' if w[i..].starts_with(&['S', 'C', 'H']) => 3,
+            'P' if next == Some('H') => 2,
+            'K' if next == Some('N') => 2,
+            _ => 1,
+        };
+        for c in transcoded {
+            if !key.ends_with(c) {
+                key.push(c);
+            }
+        }
+        i += consumed;
+    }
+
+    // 5. trailing S / AY / A cleanup
+    if key.len() > 1 && key.ends_with('S') {
+        key.pop();
+    }
+    if key.len() > 2 && key.ends_with("AY") {
+        key.pop();
+        key.pop();
+        key.push('Y');
+    }
+
+    if key.len() > 1 && key.ends_with('A') {
+        key.pop();
+    }
+
+    Some(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reference_codes() {
+        assert_eq!(nysiis("Knight").as_deref(), Some("NAGT"));
+        assert_eq!(nysiis("MacDonald").as_deref(), Some("MCDANALD"));
+        assert_eq!(nysiis("Bonnie").as_deref(), Some("BANY"));
+    }
+
+    #[test]
+    fn variant_spellings_collide() {
+        assert_eq!(nysiis("Phillips"), nysiis("Filips"));
+        assert_eq!(nysiis("Knight"), nysiis("Night"));
+        assert_eq!(nysiis("Catherine"), nysiis("Katherine"));
+        // unlike Soundex, NYSIIS keeps the i/y distinction (original spec)
+        assert_ne!(nysiis("Smith"), nysiis("Smyth"));
+    }
+
+    #[test]
+    fn distinct_names_differ() {
+        assert_ne!(nysiis("Ashworth"), nysiis("Pilkington"));
+        assert_ne!(nysiis("Smith"), nysiis("Taylor"));
+    }
+
+    #[test]
+    fn finer_than_soundex() {
+        // Soundex truncates to 4; NYSIIS keeps more shape and separates
+        // names Soundex conflates
+        use crate::phonetic::soundex;
+        assert_eq!(soundex("Catherine"), soundex("Cotroneo")); // C365 both
+        assert_ne!(nysiis("Catherine"), nysiis("Cotroneo"));
+    }
+
+    #[test]
+    fn no_letters_is_none() {
+        assert_eq!(nysiis(""), None);
+        assert_eq!(nysiis("42!"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_total_and_uppercase(name in "[A-Za-z]{1,15}") {
+            let code = nysiis(&name).unwrap();
+            prop_assert!(!code.is_empty());
+            prop_assert!(code.chars().all(|c| c.is_ascii_uppercase()));
+        }
+
+        #[test]
+        fn prop_case_insensitive(name in "[A-Za-z]{1,15}") {
+            prop_assert_eq!(nysiis(&name), nysiis(&name.to_lowercase()));
+        }
+
+        #[test]
+        fn prop_no_adjacent_duplicates_in_core(name in "[A-Za-z]{2,15}") {
+            // the transcoding loop collapses repeats
+            let code = nysiis(&name).unwrap();
+            let core: Vec<char> = code.chars().collect();
+            for w in core.windows(2) {
+                prop_assert!(w[0] != w[1] || core[0] == w[0], "code {code}");
+            }
+        }
+    }
+}

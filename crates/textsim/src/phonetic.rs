@@ -1,0 +1,116 @@
+//! Phonetic encodings used for blocking.
+//!
+//! Soundex groups surnames that sound alike ("Smith" / "Smyth" → S530) so
+//! the blocking layer can propose candidate pairs that raw q-gram keys would
+//! miss. We implement the American Soundex standard.
+
+/// American Soundex code of a name: an uppercase letter followed by three
+/// digits (zero-padded). Returns `None` when the input contains no ASCII
+/// letter to anchor the code.
+///
+/// # Example
+///
+/// ```
+/// use textsim::soundex;
+/// assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+/// assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+/// assert_eq!(soundex("Smith"), soundex("Smyth"));
+/// assert_eq!(soundex("123"), None);
+/// ```
+#[must_use]
+pub fn soundex(name: &str) -> Option<String> {
+    let letters: Vec<char> = name
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let &first = letters.first()?;
+
+    fn code(c: char) -> u8 {
+        match c {
+            'B' | 'F' | 'P' | 'V' => 1,
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+            'D' | 'T' => 3,
+            'L' => 4,
+            'M' | 'N' => 5,
+            'R' => 6,
+            // vowels + H, W, Y
+            _ => 0,
+        }
+    }
+
+    let mut out = String::with_capacity(4);
+    out.push(first);
+    let mut prev = code(first);
+    for &c in &letters[1..] {
+        let d = code(c);
+        // H and W are transparent: they do not reset the previous code
+        if c == 'H' || c == 'W' {
+            continue;
+        }
+        if d != 0 && d != prev {
+            out.push((b'0' + d) as char);
+            if out.len() == 4 {
+                return Some(out);
+            }
+        }
+        prev = d;
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn standard_examples() {
+        assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Ashcraft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Ashcroft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+        assert_eq!(soundex("Pfister").as_deref(), Some("P236"));
+        assert_eq!(soundex("Honeyman").as_deref(), Some("H555"));
+    }
+
+    #[test]
+    fn census_surnames_collide_as_expected() {
+        assert_eq!(soundex("Smith"), soundex("Smyth"));
+        assert_eq!(soundex("Ashworth"), soundex("Ashwerth"));
+        assert_ne!(soundex("Smith"), soundex("Ashworth"));
+    }
+
+    #[test]
+    fn missing_or_nonalpha() {
+        assert_eq!(soundex(""), None);
+        assert_eq!(soundex("42"), None);
+        assert_eq!(soundex("  o'Brien ").as_deref(), Some("O165"));
+    }
+
+    #[test]
+    fn short_names_are_padded() {
+        assert_eq!(soundex("Lee").as_deref(), Some("L000"));
+        assert_eq!(soundex("A").as_deref(), Some("A000"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_shape(name in "[A-Za-z]{1,15}") {
+            let code = soundex(&name).unwrap();
+            prop_assert_eq!(code.len(), 4);
+            let bytes = code.as_bytes();
+            prop_assert!(bytes[0].is_ascii_uppercase());
+            prop_assert!(bytes[1..].iter().all(u8::is_ascii_digit));
+        }
+
+        #[test]
+        fn prop_case_insensitive(name in "[A-Za-z]{1,15}") {
+            prop_assert_eq!(soundex(&name), soundex(&name.to_lowercase()));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Token-based similarity for multi-word values (addresses, occupations).
+//!
+//! Census addresses ("4 mill lane" vs "mill lane") and occupations
+//! ("cotton weaver" vs "weaver of cotton") compare poorly under
+//! character-level metrics when tokens are reordered, dropped or added.
+//! Token measures fix that: Jaccard over the token sets, and Monge-Elkan,
+//! which aligns each token of the shorter side with its best-matching
+//! token on the other side under an inner character-level measure.
+
+use crate::jaro::jaro_winkler;
+use crate::normalize::normalize_value;
+
+fn tokens(s: &str) -> Vec<String> {
+    normalize_value(s)
+        .split(' ')
+        .filter(|t| !t.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Jaccard similarity of the token *sets* of `a` and `b` in `[0, 1]`.
+/// Empty values never match.
+///
+/// ```
+/// use textsim::token_jaccard;
+/// assert_eq!(token_jaccard("mill lane", "mill lane"), 1.0);
+/// assert_eq!(token_jaccard("4 mill lane", "mill lane 4"), 1.0); // order-free
+/// assert!(token_jaccard("4 mill lane", "mill lane") > 0.6);
+/// assert_eq!(token_jaccard("", "mill lane"), 0.0);
+/// ```
+#[must_use]
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let sa: std::collections::HashSet<&str> = ta.iter().map(String::as_str).collect();
+    let sb: std::collections::HashSet<&str> = tb.iter().map(String::as_str).collect();
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f64 / union as f64
+}
+
+/// Symmetric Monge-Elkan similarity with Jaro-Winkler as the inner
+/// measure: each token is aligned to its best counterpart, averaged, and
+/// the two directions are averaged for symmetry.
+///
+/// ```
+/// use textsim::monge_elkan;
+/// assert!(monge_elkan("cotton weaver", "weaver") > 0.7);
+/// assert!(monge_elkan("mill lane", "mill lane") > 0.999);
+/// assert!(monge_elkan("bank street", "bury road") < 0.8);
+/// assert_eq!(monge_elkan("", "x"), 0.0);
+/// ```
+#[must_use]
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let directed = |xs: &[String], ys: &[String]| -> f64 {
+        xs.iter()
+            .map(|x| ys.iter().map(|y| jaro_winkler(x, y)).fold(0.0f64, f64::max))
+            .sum::<f64>()
+            / xs.len() as f64
+    };
+    (directed(&ta, &tb) + directed(&tb, &ta)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(token_jaccard("a b", "a b"), 1.0);
+        assert_eq!(token_jaccard("a b", "c d"), 0.0);
+        assert!((token_jaccard("a b c", "a b d") - 0.5).abs() < 1e-12);
+        // duplicate tokens collapse (set semantics)
+        assert_eq!(token_jaccard("mill mill lane", "mill lane"), 1.0);
+    }
+
+    #[test]
+    fn jaccard_normalises_first() {
+        assert_eq!(token_jaccard("Mill  Lane!", "mill lane"), 1.0);
+    }
+
+    #[test]
+    fn monge_elkan_handles_token_subset() {
+        let s = monge_elkan("4 mill lane", "mill lane");
+        assert!(s > 0.7, "got {s}");
+    }
+
+    #[test]
+    fn monge_elkan_tolerates_token_typos() {
+        let s = monge_elkan("cotton weaver", "coton weaver");
+        assert!(s > 0.9, "got {s}");
+    }
+
+    #[test]
+    fn monge_elkan_is_stricter_than_any_share() {
+        // completely different streets share the structure word only
+        let s = monge_elkan("4 bank street", "88 north street");
+        assert!(s < 0.85, "got {s}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bounded_and_symmetric(a in "[a-z ]{0,20}", b in "[a-z ]{0,20}") {
+            for f in [token_jaccard, monge_elkan] {
+                let s = f(&a, &b);
+                prop_assert!((0.0..=1.0).contains(&s));
+                prop_assert!((s - f(&b, &a)).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_identity(a in "[a-z]{1,8}( [a-z]{1,8}){0,3}") {
+            prop_assert!((token_jaccard(&a, &a) - 1.0).abs() < 1e-12);
+            prop_assert!((monge_elkan(&a, &a) - 1.0).abs() < 1e-9);
+        }
+    }
+}

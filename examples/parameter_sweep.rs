@@ -1,0 +1,84 @@
+//! Parameter sweep: how the δ schedule, the (α, β) selection weights and
+//! the subgraph age tolerance move linkage quality — the knobs behind the
+//! paper's Tables 3–5.
+//!
+//! ```text
+//! cargo run --release --example parameter_sweep
+//! ```
+
+use temporal_census_linkage::prelude::*;
+
+fn quality(series: &CensusSeries, config: &LinkageConfig) -> (Quality, Quality) {
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let truth = series.truth_between(0, 1).expect("pair exists");
+    let result = link(old, new, config);
+    (
+        evaluate_record_mapping(&result.records, &truth.records),
+        evaluate_group_mapping(&result.groups, &truth.groups),
+    )
+}
+
+fn main() {
+    let mut sim = SimConfig::small();
+    sim.initial_households = 250;
+    sim.snapshots = 2;
+    let series = generate_series(&sim);
+    println!(
+        "sweeping on a {}-record pair\n",
+        series.snapshots[0].record_count()
+    );
+
+    println!("— δ_low sweep (ω2, iterative from 0.7) —");
+    for delta_low in [0.4, 0.45, 0.5, 0.55, 0.6] {
+        let config = LinkageConfig {
+            delta_low,
+            ..LinkageConfig::default()
+        };
+        let (rec, grp) = quality(&series, &config);
+        println!(
+            "  δ_low = {delta_low:.2}: record F = {:.1}%, group F = {:.1}%",
+            rec.f1 * 100.0,
+            grp.f1 * 100.0
+        );
+    }
+
+    println!("\n— (α, β) selection weight sweep —");
+    for (alpha, beta) in [(1.0, 0.0), (0.0, 1.0), (0.5, 0.5), (0.33, 0.33), (0.2, 0.7)] {
+        let config = LinkageConfig {
+            weights: SelectionWeights::new(alpha, beta),
+            ..LinkageConfig::default()
+        };
+        let (rec, grp) = quality(&series, &config);
+        println!(
+            "  (α, β) = ({alpha}, {beta}): record F = {:.1}%, group F = {:.1}%",
+            rec.f1 * 100.0,
+            grp.f1 * 100.0
+        );
+    }
+
+    println!("\n— subgraph age-difference tolerance —");
+    for tol in [1u32, 2, 3, 5, 10] {
+        let mut config = LinkageConfig::default();
+        config.subgraph.age_diff_tolerance = tol;
+        let (rec, grp) = quality(&series, &config);
+        println!(
+            "  tolerance = {tol:2} years: record F = {:.1}%, group F = {:.1}%",
+            rec.f1 * 100.0,
+            grp.f1 * 100.0
+        );
+    }
+
+    println!("\n— enrichment ablation: min_g_sim acceptance threshold —");
+    for min_g_sim in [0.0, 0.1, 0.2, 0.3, 0.4] {
+        let config = LinkageConfig {
+            min_g_sim,
+            ..LinkageConfig::default()
+        };
+        let (rec, grp) = quality(&series, &config);
+        println!(
+            "  min_g_sim = {min_g_sim:.1}: record F = {:.1}%, group F = {:.1}%",
+            rec.f1 * 100.0,
+            grp.f1 * 100.0
+        );
+    }
+}

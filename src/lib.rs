@@ -1,0 +1,65 @@
+//! Temporal group linkage and evolution analysis for census data.
+//!
+//! Umbrella crate re-exporting the whole workspace behind one dependency:
+//!
+//! * [`model`] — census data model (records, households, datasets,
+//!   mappings);
+//! * [`textsim`] — string and numeric similarity measures;
+//! * [`synth`] — longitudinal synthetic population generator with ground
+//!   truth;
+//! * [`graph`] — household-graph enrichment and subgraph matching;
+//! * [`linkage`] — the iterative record and group linkage (the paper's
+//!   contribution);
+//! * [`baselines`] — the CL and GraphSim comparators;
+//! * [`evolution`] — evolution patterns, evolution graph and mining;
+//! * [`eval`] — metrics and the experiment harness for every paper table
+//!   and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use temporal_census_linkage::prelude::*;
+//!
+//! // generate a small two-census town with ground truth
+//! let series = generate_series(&SimConfig::small());
+//! let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+//!
+//! // link records and households
+//! let result = link(old, new, &LinkageConfig::default());
+//!
+//! // evaluate against the generator's ground truth
+//! let truth = series.truth_between(0, 1).unwrap();
+//! let quality = evaluate_record_mapping(&result.records, &truth.records);
+//! assert!(quality.f1 > 0.8);
+//!
+//! // detect evolution patterns
+//! let patterns = detect_patterns(old, new, &result.records, &result.groups);
+//! assert!(patterns.counts.preserve_g > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use census_eval as eval;
+pub use census_model as model;
+pub use census_synth as synth;
+pub use evolution;
+pub use hhgraph as graph;
+pub use linkage_core as linkage;
+pub use textsim;
+
+/// The most common imports in one line.
+pub mod prelude {
+    pub use baselines::{collective_link, graphsim_link, CollectiveConfig, GraphSimConfig};
+    pub use census_eval::{evaluate_group_mapping, evaluate_record_mapping, Quality};
+    pub use census_model::{
+        CensusDataset, DatasetBuilder, GroupMapping, Household, HouseholdId, PersonRecord,
+        RecordId, RecordMapping, RelType, Role, Sex,
+    };
+    pub use census_synth::{generate_series, ground_truth, CensusSeries, NoiseConfig, SimConfig};
+    pub use evolution::{
+        detect_patterns, largest_component, preserve_chain_counts, EvolutionGraph, GroupPatternKind,
+    };
+    pub use hhgraph::{match_subgraph, EnrichedGraph, SubgraphConfig};
+    pub use linkage_core::{link, LinkageConfig, SelectionWeights, SimFunc};
+}

@@ -1,0 +1,194 @@
+//! Property-based robustness tests: the pipeline must uphold its
+//! invariants on *arbitrary* (not just simulator-generated) datasets —
+//! degenerate households, missing attributes everywhere, hostile strings.
+
+use proptest::prelude::*;
+use temporal_census_linkage::prelude::*;
+
+/// Strategy: an arbitrary small census dataset. Names are drawn from a
+/// tiny pool (to force ambiguity), attributes go missing at random, ages
+/// are arbitrary, households have 1–6 members.
+fn arb_dataset(year: i32) -> impl Strategy<Value = CensusDataset> {
+    let name = prop_oneof![
+        Just("john".to_owned()),
+        Just("mary".to_owned()),
+        Just("wm".to_owned()),
+        Just("".to_owned()),
+        "[a-z]{1,10}",
+    ];
+    let surname = prop_oneof![
+        Just("smith".to_owned()),
+        Just("ashworth".to_owned()),
+        Just("".to_owned()),
+        "[a-z]{1,12}",
+    ];
+    let member = (
+        name,
+        surname,
+        proptest::option::of(0u32..100),
+        proptest::bool::ANY,
+        0usize..14,
+    );
+    let household = proptest::collection::vec(member, 1..6);
+    proptest::collection::vec(household, 1..12).prop_map(move |households| {
+        let mut builder = DatasetBuilder::new(year);
+        for members in households {
+            builder = builder.household(|mut h| {
+                for (i, (first, sn, age, is_male, role_idx)) in members.iter().enumerate() {
+                    let role = if i == 0 {
+                        Role::Head
+                    } else {
+                        Role::ALL[role_idx % Role::ALL.len()]
+                    };
+                    let sex = if *is_male { Sex::Male } else { Sex::Female };
+                    h = h
+                        .person(first, sn, sex, age.unwrap_or(0), role)
+                        .with_last(|r| r.age = *age);
+                }
+                h
+            });
+        }
+        builder.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pipeline_never_panics_and_mappings_are_valid(
+        old in arb_dataset(1871),
+        new in arb_dataset(1881),
+    ) {
+        let config = LinkageConfig {
+            threads: 2,
+            ..LinkageConfig::default()
+        };
+        let result = link(&old, &new, &config);
+        // every link refers to real records / households
+        for (o, n) in result.records.iter() {
+            prop_assert!(old.record(o).is_some());
+            prop_assert!(new.record(n).is_some());
+        }
+        for (go, gn) in result.groups.iter() {
+            prop_assert!(old.household(go).is_some());
+            prop_assert!(new.household(gn).is_some());
+        }
+        // record links imply group links
+        for (o, n) in result.records.iter() {
+            let ho = old.record(o).unwrap().household;
+            let hn = new.record(n).unwrap().household;
+            prop_assert!(result.groups.contains(ho, hn));
+        }
+    }
+
+    #[test]
+    fn pattern_detection_is_total(
+        old in arb_dataset(1871),
+        new in arb_dataset(1881),
+    ) {
+        let config = LinkageConfig {
+            threads: 1,
+            ..LinkageConfig::default()
+        };
+        let result = link(&old, &new, &config);
+        let p = detect_patterns(&old, &new, &result.records, &result.groups);
+        // counting identities hold on any input
+        prop_assert_eq!(p.counts.preserve_r + p.counts.remove_r, old.record_count());
+        prop_assert_eq!(p.counts.preserve_r + p.counts.add_r, new.record_count());
+        prop_assert!(p.counts.remove_g <= old.household_count());
+        prop_assert!(p.counts.add_g <= new.household_count());
+        // every strong link is classified exactly once
+        prop_assert_eq!(
+            p.group_links.len(),
+            result.groups.len(),
+            "each group link gets exactly one classification"
+        );
+    }
+
+    #[test]
+    fn baselines_are_total_too(
+        old in arb_dataset(1871),
+        new in arb_dataset(1881),
+    ) {
+        let cl = collective_link(&old, &new, &CollectiveConfig::default());
+        for (o, n) in cl.iter() {
+            prop_assert!(old.record(o).is_some());
+            prop_assert!(new.record(n).is_some());
+        }
+        let gs = graphsim_link(&old, &new, &GraphSimConfig::default());
+        for (go, gn) in gs.groups.iter() {
+            prop_assert!(old.household(go).is_some());
+            prop_assert!(new.household(gn).is_some());
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_is_lossless_for_arbitrary_datasets(ds in arb_dataset(1871)) {
+        use temporal_census_linkage::model::csv::{read_dataset, write_dataset};
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        let back = read_dataset(ds.year, buf.as_slice()).unwrap();
+        prop_assert_eq!(back.record_count(), ds.record_count());
+        prop_assert_eq!(back.household_count(), ds.household_count());
+        for r in ds.records() {
+            let b = back.record(r.id).unwrap();
+            prop_assert_eq!(&b.first_name, &r.first_name);
+            prop_assert_eq!(&b.surname, &r.surname);
+            prop_assert_eq!(b.age, r.age);
+            prop_assert_eq!(b.role, r.role);
+            prop_assert_eq!(b.household, r.household);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The CSV reader must never panic on arbitrary input — it either
+    /// parses or returns a structured error.
+    #[test]
+    fn csv_reader_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        use temporal_census_linkage::model::csv::{read_dataset, read_record_mapping};
+        let _ = read_dataset(1871, bytes.as_slice());
+        let _ = read_record_mapping(bytes.as_slice());
+    }
+
+    /// …including structurally plausible but corrupt CSV text.
+    #[test]
+    fn csv_reader_is_total_on_near_csv(lines in proptest::collection::vec("[a-z0-9,\"]{0,40}", 0..20)) {
+        use temporal_census_linkage::model::csv::read_dataset;
+        let mut text = String::from(
+            "record_id,household_id,first_name,surname,sex,age,address,occupation,role,person_id\n",
+        );
+        for l in &lines {
+            text.push_str(l);
+            text.push('\n');
+        }
+        let _ = read_dataset(1871, text.as_bytes());
+    }
+}
+
+/// Linking a dataset to itself must recover (nearly) the identity — a
+/// sanity anchor for the whole pipeline.
+#[test]
+fn self_linkage_recovers_identity() {
+    let mut config = SimConfig::small();
+    config.noise = NoiseConfig::clean();
+    let series = generate_series(&config);
+    let ds = &series.snapshots[0];
+    // same year: the blocking age shift and age filter see a gap of 0
+    let lc = LinkageConfig {
+        prematch_max_age_gap: Some(0),
+        ..LinkageConfig::default()
+    };
+    let result = link(ds, ds, &lc);
+    let identity_links = result.records.iter().filter(|&(o, n)| o == n).count();
+    // ambiguous duplicates (same name, same age, same structure) may swap;
+    // everything else must map to itself
+    assert!(
+        identity_links as f64 / ds.record_count() as f64 > 0.95,
+        "only {identity_links} of {} records mapped to themselves",
+        ds.record_count()
+    );
+}
