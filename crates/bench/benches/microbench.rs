@@ -67,6 +67,68 @@ fn bench_record_similarity(c: &mut Criterion) {
     c.bench_function("agg_sim_profiles", |b| {
         b.iter(|| black_box(sim.aggregate_profiles(&pa, &pb)))
     });
+    let ca = sim.compile(a);
+    let cb = sim.compile(b2);
+    c.bench_function("agg_sim_compiled", |b| {
+        b.iter(|| black_box(sim.aggregate_compiled(&ca, &cb)))
+    });
+}
+
+/// Naive vs compiled pair scoring over a `SimConfig::small()` corpus —
+/// the acceptance target is ≥3× on the compiled sweep.
+fn bench_pair_scoring_naive_vs_compiled(c: &mut Criterion) {
+    let series = census_synth::generate_series(&census_synth::SimConfig::small());
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let old_recs: Vec<_> = old.records().iter().take(120).collect();
+    let new_recs: Vec<_> = new.records().iter().take(120).collect();
+    let sim = SimFunc::omega2(0.7);
+
+    let old_naive: Vec<Vec<String>> = old_recs.iter().map(|r| sim.profile(r)).collect();
+    let new_naive: Vec<Vec<String>> = new_recs.iter().map(|r| sim.profile(r)).collect();
+    let old_comp: Vec<_> = old_recs.iter().map(|r| sim.compile(r)).collect();
+    let new_comp: Vec<_> = new_recs.iter().map(|r| sim.compile(r)).collect();
+
+    let mut group = c.benchmark_group("pair_scoring");
+    group.throughput(Throughput::Elements(
+        (old_recs.len() * new_recs.len()) as u64,
+    ));
+    group.sample_size(10);
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for pa in &old_naive {
+                for pb in &new_naive {
+                    let s = sim.aggregate_profiles(pa, pb);
+                    acc += usize::from(s >= sim.threshold);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("compiled", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for pa in &old_comp {
+                for pb in &new_comp {
+                    let s = sim.aggregate_compiled(pa, pb);
+                    acc += usize::from(s >= sim.threshold);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("compiled_early_exit", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for pa in &old_comp {
+                for pb in &new_comp {
+                    acc += usize::from(sim.matches_compiled(pa, pb).is_some());
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
 }
 
 fn bench_blocking(c: &mut Criterion) {
@@ -167,6 +229,7 @@ criterion_group!(
     micro,
     bench_string_metrics,
     bench_record_similarity,
+    bench_pair_scoring_naive_vs_compiled,
     bench_blocking,
     bench_prematch,
     bench_enrichment,

@@ -140,6 +140,11 @@ pub fn cmd_link(
     );
     let _ = writeln!(
         summary,
+        "profile cache: {} compiled, {} reused across iterations",
+        result.profiles_built, result.profiles_reused
+    );
+    let _ = writeln!(
+        summary,
         "patterns: {} preserved households, {} moves, {} splits, {} merges, +{} new, -{} gone",
         c.preserve_g, c.moves, c.splits, c.merges, c.add_g, c.remove_g
     );

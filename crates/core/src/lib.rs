@@ -42,6 +42,7 @@ mod group_sim;
 mod linker;
 mod pipeline;
 mod prematch;
+mod profiles;
 mod remainder;
 mod selection;
 mod simfunc;
@@ -52,7 +53,8 @@ pub use config::{LinkageConfig, RemainderConfig};
 pub use group_sim::{score_subgraph, GroupScore, SelectionWeights};
 pub use linker::Linker;
 pub use pipeline::{link, link_series, IterationStats, LinkPhase, LinkageResult};
-pub use prematch::{prematch, PreMatch};
-pub use remainder::match_remaining;
+pub use prematch::{prematch, prematch_with_profiles, PreMatch};
+pub use profiles::ProfileCache;
+pub use remainder::{match_remaining, match_remaining_cached};
 pub use selection::{select_group_links, ScoredSubgroup};
-pub use simfunc::{AttributeSpec, SimFunc};
+pub use simfunc::{AttributeSpec, CompiledProfile, SimFunc};

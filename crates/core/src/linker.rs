@@ -6,8 +6,9 @@
 //! lets each [`Linker::run`] reuse them.
 
 use crate::config::LinkageConfig;
-use crate::prematch::prematch;
-use crate::remainder::match_remaining;
+use crate::prematch::prematch_with_profiles;
+use crate::profiles::ProfileCache;
+use crate::remainder::match_remaining_cached;
 use crate::selection::{select_and_extract, ScoredSubgroup};
 use crate::{IterationStats, LinkPhase, LinkageResult};
 use census_model::{CensusDataset, GroupMapping, HouseholdId, PersonRecord, RecordMapping};
@@ -130,12 +131,20 @@ impl<'a> Linker<'a> {
         let mut iterations = Vec::new();
         let mut provenance = HashMap::new();
 
+        // compiled profiles are δ-independent: build each residue
+        // record's profile once and reuse it across the whole schedule
+        // (and the remainder pass, whose specs usually coincide)
+        let mut cache = ProfileCache::new();
+
         let mut delta = config.delta_high;
         loop {
             let sim = config.sim_func.with_threshold(delta);
-            let mut pm = prematch(
+            let (old_profiles, new_profiles) = cache.profiles(&sim, &remaining_old, &remaining_new);
+            let mut pm = prematch_with_profiles(
                 &remaining_old,
                 &remaining_new,
+                &old_profiles,
+                &new_profiles,
                 year_gap,
                 &sim,
                 config.blocking,
@@ -209,7 +218,7 @@ impl<'a> Linker<'a> {
             }
         }
 
-        let remainder_added = match_remaining(
+        let remainder_added = match_remaining_cached(
             self.old,
             self.new,
             &remaining_old,
@@ -218,6 +227,7 @@ impl<'a> Linker<'a> {
             config.blocking,
             &mut records,
             &mut groups,
+            &mut cache,
         );
         for &(o, n) in &remainder_added {
             provenance.insert((o, n), LinkPhase::Remainder);
@@ -229,6 +239,8 @@ impl<'a> Linker<'a> {
             iterations,
             remainder_links: remainder_added.len(),
             provenance,
+            profiles_built: cache.built(),
+            profiles_reused: cache.reused(),
         }
     }
 }

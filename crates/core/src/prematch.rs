@@ -9,7 +9,7 @@
 
 use crate::blocking::{candidate_pairs, BlockingStrategy};
 use crate::cluster::UnionFind;
-use crate::simfunc::SimFunc;
+use crate::simfunc::{CompiledProfile, SimFunc};
 use census_model::{PersonRecord, RecordId};
 use std::collections::HashMap;
 
@@ -57,11 +57,13 @@ impl PreMatch {
 }
 
 /// Score candidate pairs in parallel; returns `(old_idx, new_idx, sim)`
-/// for pairs at or above the threshold.
+/// for pairs at or above the threshold. Scoring runs on compiled
+/// profiles with early-exit pruning — decision- and score-identical to
+/// the naive `aggregate_profiles` path (see `SimFunc::matches_compiled`).
 fn score_pairs(
     pairs: &[(u32, u32)],
-    old_profiles: &[Vec<String>],
-    new_profiles: &[Vec<String>],
+    old_profiles: &[&CompiledProfile],
+    new_profiles: &[&CompiledProfile],
     sim: &SimFunc,
     threads: usize,
 ) -> Vec<(u32, u32, f64)> {
@@ -73,9 +75,8 @@ fn score_pairs(
         return pairs
             .iter()
             .filter_map(|&(i, j)| {
-                let s =
-                    sim.aggregate_profiles(&old_profiles[i as usize], &new_profiles[j as usize]);
-                (s >= sim.threshold).then_some((i, j, s))
+                sim.matches_compiled(old_profiles[i as usize], new_profiles[j as usize])
+                    .map(|s| (i, j, s))
             })
             .collect();
     }
@@ -89,11 +90,8 @@ fn score_pairs(
                     slice
                         .iter()
                         .filter_map(|&(i, j)| {
-                            let s = sim.aggregate_profiles(
-                                &old_profiles[i as usize],
-                                &new_profiles[j as usize],
-                            );
-                            (s >= sim.threshold).then_some((i, j, s))
+                            sim.matches_compiled(old_profiles[i as usize], new_profiles[j as usize])
+                                .map(|s| (i, j, s))
                         })
                         .collect::<Vec<_>>()
                 })
@@ -123,13 +121,47 @@ pub fn prematch(
     threads: usize,
     max_age_gap: Option<u32>,
 ) -> PreMatch {
-    let old_profiles: Vec<Vec<String>> = old.iter().map(|r| sim.profile(r)).collect();
-    let new_profiles: Vec<Vec<String>> = new.iter().map(|r| sim.profile(r)).collect();
+    let old_compiled: Vec<CompiledProfile> = old.iter().map(|r| sim.compile(r)).collect();
+    let new_compiled: Vec<CompiledProfile> = new.iter().map(|r| sim.compile(r)).collect();
+    let old_profiles: Vec<&CompiledProfile> = old_compiled.iter().collect();
+    let new_profiles: Vec<&CompiledProfile> = new_compiled.iter().collect();
+    prematch_with_profiles(
+        old,
+        new,
+        &old_profiles,
+        &new_profiles,
+        year_gap,
+        sim,
+        strategy,
+        threads,
+        max_age_gap,
+    )
+}
+
+/// [`prematch`] over profiles the caller already compiled (e.g. served
+/// by a `ProfileCache` across the iterative driver's δ schedule).
+/// `old_profiles[i]` must be `sim.compile(old[i])` — same specs, same
+/// order — and likewise for the new side.
+#[allow(clippy::too_many_arguments)] // prematch's inputs plus the profile slices
+#[must_use]
+pub fn prematch_with_profiles(
+    old: &[&PersonRecord],
+    new: &[&PersonRecord],
+    old_profiles: &[&CompiledProfile],
+    new_profiles: &[&CompiledProfile],
+    year_gap: i64,
+    sim: &SimFunc,
+    strategy: BlockingStrategy,
+    threads: usize,
+    max_age_gap: Option<u32>,
+) -> PreMatch {
+    debug_assert_eq!(old.len(), old_profiles.len());
+    debug_assert_eq!(new.len(), new_profiles.len());
     let mut pairs = candidate_pairs(old, new, year_gap, strategy);
     if let Some(tol) = max_age_gap {
         pairs.retain(|&(i, j)| age_plausible(old[i as usize], new[j as usize], year_gap, tol));
     }
-    let matches = score_pairs(&pairs, &old_profiles, &new_profiles, sim, threads);
+    let matches = score_pairs(&pairs, old_profiles, new_profiles, sim, threads);
 
     // transitive closure: indices 0..n_old are old records, n_old.. new
     let n_old = old.len();

@@ -1,0 +1,173 @@
+//! Cross-iteration cache of compiled record profiles.
+//!
+//! The iterative driver (Algorithm 1) re-scores largely the same residue
+//! records at δ, δ−Δ, …, and the remaining-records pass scores them once
+//! more. Compiling a record's profile — normalisation plus per-attribute
+//! tokenisation — is the expensive half of that work and depends only on
+//! the attribute *specs*, not on δ. [`ProfileCache`] therefore keeps one
+//! compiled profile per record per census side, reusing it for as long as
+//! the similarity function's specs stay the same and rebuilding lazily
+//! when they change (e.g. a remainder pass with different weights).
+
+use crate::simfunc::{AttributeSpec, CompiledProfile, SimFunc};
+use census_model::PersonRecord;
+
+/// A per-run cache of [`CompiledProfile`]s for the two census sides,
+/// keyed by record index and invalidated when the attribute specs change.
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    specs: Vec<AttributeSpec>,
+    old: Vec<Option<CompiledProfile>>,
+    new: Vec<Option<CompiledProfile>>,
+    built: usize,
+    reused: usize,
+}
+
+impl ProfileCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop every cached profile when `sim`'s specs differ from the ones
+    /// the cache was filled under — a profile is only valid for the exact
+    /// spec list that compiled it.
+    fn ensure_specs(&mut self, sim: &SimFunc) {
+        if self.specs.as_slice() != sim.specs() {
+            self.specs = sim.specs().to_vec();
+            self.old.clear();
+            self.new.clear();
+        }
+    }
+
+    fn fill(
+        side: &mut Vec<Option<CompiledProfile>>,
+        sim: &SimFunc,
+        records: &[&PersonRecord],
+        built: &mut usize,
+        reused: &mut usize,
+    ) {
+        for r in records {
+            let idx = r.id.index();
+            if idx >= side.len() {
+                side.resize_with(idx + 1, || None);
+            }
+            if side[idx].is_none() {
+                side[idx] = Some(sim.compile(r));
+                *built += 1;
+            } else {
+                *reused += 1;
+            }
+        }
+    }
+
+    /// Compile-or-fetch the profiles of both record sides, returned in
+    /// input order. Records seen in an earlier call under the same specs
+    /// reuse their cached profile.
+    pub fn profiles<'c>(
+        &'c mut self,
+        sim: &SimFunc,
+        old: &[&PersonRecord],
+        new: &[&PersonRecord],
+    ) -> (Vec<&'c CompiledProfile>, Vec<&'c CompiledProfile>) {
+        self.ensure_specs(sim);
+        Self::fill(&mut self.old, sim, old, &mut self.built, &mut self.reused);
+        Self::fill(&mut self.new, sim, new, &mut self.built, &mut self.reused);
+        let o = old
+            .iter()
+            .map(|r| {
+                self.old[r.id.index()]
+                    .as_ref()
+                    .expect("profile just filled")
+            })
+            .collect();
+        let n = new
+            .iter()
+            .map(|r| {
+                self.new[r.id.index()]
+                    .as_ref()
+                    .expect("profile just filled")
+            })
+            .collect();
+        (o, n)
+    }
+
+    /// Profiles compiled so far (cache misses).
+    #[must_use]
+    pub fn built(&self) -> usize {
+        self.built
+    }
+
+    /// Profiles served from the cache (hits).
+    #[must_use]
+    pub fn reused(&self) -> usize {
+        self.reused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_model::{HouseholdId, RecordId, Role, Sex};
+
+    fn rec(id: u64, fname: &str) -> PersonRecord {
+        let mut r = PersonRecord::empty(RecordId(id), HouseholdId(0), Role::Head);
+        r.first_name = fname.into();
+        r.surname = "ashworth".into();
+        r.sex = Some(Sex::Male);
+        r
+    }
+
+    #[test]
+    fn second_pass_reuses_every_profile() {
+        let sim = SimFunc::omega2(0.7);
+        let (a, b, c) = (rec(0, "john"), rec(1, "mary"), rec(2, "alice"));
+        let mut cache = ProfileCache::new();
+        {
+            let (o, n) = cache.profiles(&sim, &[&a, &b], &[&c]);
+            assert_eq!(o.len(), 2);
+            assert_eq!(n.len(), 1);
+        }
+        assert_eq!(cache.built(), 3);
+        assert_eq!(cache.reused(), 0);
+        // lower threshold, same specs: everything is a hit
+        let lowered = sim.with_threshold(0.5);
+        let _ = cache.profiles(&lowered, &[&a, &b], &[&c]);
+        assert_eq!(cache.built(), 3);
+        assert_eq!(cache.reused(), 3);
+    }
+
+    #[test]
+    fn changed_specs_invalidate_the_cache() {
+        let (a, b) = (rec(0, "john"), rec(1, "mary"));
+        let mut cache = ProfileCache::new();
+        let _ = cache.profiles(&SimFunc::omega2(0.7), &[&a], &[&b]);
+        assert_eq!(cache.built(), 2);
+        // ω1 has different weights → different specs → full rebuild
+        let _ = cache.profiles(&SimFunc::omega1(0.7), &[&a], &[&b]);
+        assert_eq!(cache.built(), 4);
+        assert_eq!(cache.reused(), 0);
+    }
+
+    #[test]
+    fn cached_profiles_score_identically_to_fresh_ones() {
+        let sim = SimFunc::omega2(0.5);
+        let (a, b) = (rec(0, "john"), rec(1, "jon"));
+        let mut cache = ProfileCache::new();
+        let _ = cache.profiles(&sim, &[&a], &[&b]); // warm
+        let (o, n) = cache.profiles(&sim, &[&a], &[&b]); // all hits
+        let fresh = sim.aggregate_compiled(&sim.compile(&a), &sim.compile(&b));
+        assert_eq!(sim.aggregate_compiled(o[0], n[0]), fresh);
+    }
+
+    #[test]
+    fn sides_are_independent() {
+        // the same record id on both sides must not collide
+        let sim = SimFunc::omega2(0.5);
+        let (a, b) = (rec(7, "john"), rec(7, "mary"));
+        let mut cache = ProfileCache::new();
+        let (o, n) = cache.profiles(&sim, &[&a], &[&b]);
+        assert!((sim.aggregate_compiled(o[0], n[0]) - 1.0).abs() > 0.05);
+    }
+}

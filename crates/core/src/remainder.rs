@@ -7,6 +7,7 @@
 
 use crate::blocking::{candidate_pairs, BlockingStrategy};
 use crate::config::RemainderConfig;
+use crate::profiles::ProfileCache;
 use crate::simfunc::SimFunc;
 use census_model::{CensusDataset, GroupMapping, PersonRecord, RecordId, RecordMapping};
 
@@ -36,13 +37,41 @@ pub fn match_remaining(
     records: &mut RecordMapping,
     groups: &mut GroupMapping,
 ) -> Vec<(RecordId, RecordId)> {
+    let mut cache = ProfileCache::new();
+    match_remaining_cached(
+        old_ds,
+        new_ds,
+        remaining_old,
+        remaining_new,
+        config,
+        blocking,
+        records,
+        groups,
+        &mut cache,
+    )
+}
+
+/// [`match_remaining`] reusing an existing [`ProfileCache`]: when the
+/// remainder function's specs equal the cache's, every residue record's
+/// profile is a cache hit from the subgraph iterations.
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's inputs
+pub fn match_remaining_cached(
+    old_ds: &CensusDataset,
+    new_ds: &CensusDataset,
+    remaining_old: &[&PersonRecord],
+    remaining_new: &[&PersonRecord],
+    config: &RemainderConfig,
+    blocking: BlockingStrategy,
+    records: &mut RecordMapping,
+    groups: &mut GroupMapping,
+    cache: &mut ProfileCache,
+) -> Vec<(RecordId, RecordId)> {
     if !config.enabled || remaining_old.is_empty() || remaining_new.is_empty() {
         return Vec::new();
     }
     let year_gap = i64::from(new_ds.year - old_ds.year);
     let sim: &SimFunc = &config.sim_func;
-    let old_profiles: Vec<Vec<String>> = remaining_old.iter().map(|r| sim.profile(r)).collect();
-    let new_profiles: Vec<Vec<String>> = remaining_new.iter().map(|r| sim.profile(r)).collect();
+    let (old_profiles, new_profiles) = cache.profiles(sim, remaining_old, remaining_new);
     let pairs = candidate_pairs(remaining_old, remaining_new, year_gap, blocking);
 
     let mut scored: Vec<(f64, RecordId, RecordId)> = pairs
@@ -52,8 +81,8 @@ pub fn match_remaining(
             if !age_plausible(o, n, year_gap, config.max_age_gap) {
                 return None;
             }
-            let s = sim.aggregate_profiles(&old_profiles[i as usize], &new_profiles[j as usize]);
-            (s >= sim.threshold).then_some((s, o.id, n.id))
+            sim.matches_compiled(old_profiles[i as usize], new_profiles[j as usize])
+                .map(|s| (s, o.id, n.id))
         })
         .collect();
     // mutual-best filter: drop pairs whose runner-up on either side is

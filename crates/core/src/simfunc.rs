@@ -2,7 +2,13 @@
 
 use census_model::{Attribute, PersonRecord};
 use serde::{Deserialize, Serialize};
-use textsim::{normalize_value, StringMeasure};
+use textsim::{normalize_value, CompiledValue, StringMeasure};
+
+/// Margin protecting the early-exit bound against cross-order float
+/// rounding: a pair is pruned only when its upper bound is below
+/// `δ − PRUNE_EPS`, so re-ordering the weighted sum can never flip a
+/// would-be accept into a reject.
+const PRUNE_EPS: f64 = 1e-9;
 
 /// One attribute comparison: which attribute, with which string measure,
 /// at which weight.
@@ -23,8 +29,34 @@ pub struct AttributeSpec {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimFunc {
     specs: Vec<AttributeSpec>,
+    /// Spec indices in descending weight order — the early-exit schedule
+    /// of [`SimFunc::matches_compiled`].
+    order: Vec<usize>,
+    /// `suffix[k]` = total weight of `order[k..]`; `suffix[len] == 0`.
+    suffix: Vec<f64>,
     /// Match threshold δ; mutated by the iterative driver.
     pub threshold: f64,
+}
+
+/// A record's attribute values compiled for repeated scoring: the
+/// measure-specific representations of the normalised values, in spec
+/// order. Built once per record by [`SimFunc::compile`], scored many
+/// times by [`SimFunc::aggregate_compiled`] / [`SimFunc::matches_compiled`].
+///
+/// A profile depends only on the record and the attribute *specs* — not
+/// on the threshold — so it stays valid across the iterative driver's
+/// δ schedule (see `ProfileCache`).
+#[derive(Debug, Clone)]
+pub struct CompiledProfile {
+    values: Vec<CompiledValue>,
+}
+
+impl CompiledProfile {
+    /// The compiled values, in spec order.
+    #[must_use]
+    pub fn values(&self) -> &[CompiledValue] {
+        &self.values
+    }
 }
 
 /// Serializable summary of a [`SimFunc`] (for experiment reports).
@@ -55,7 +87,24 @@ impl SimFunc {
             (0.0..=1.0).contains(&threshold),
             "threshold must be in [0, 1]"
         );
-        Self { specs, threshold }
+        let mut order: Vec<usize> = (0..specs.len()).collect();
+        order.sort_by(|&a, &b| {
+            specs[b]
+                .weight
+                .partial_cmp(&specs[a].weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut suffix = vec![0.0; specs.len() + 1];
+        for k in (0..specs.len()).rev() {
+            suffix[k] = suffix[k + 1] + specs[order[k]].weight;
+        }
+        Self {
+            specs,
+            order,
+            suffix,
+            threshold,
+        }
     }
 
     /// The paper's ω1: equal weight 0.2 on first name, sex, surname,
@@ -108,6 +157,8 @@ impl SimFunc {
     pub fn with_threshold(&self, threshold: f64) -> Self {
         Self {
             specs: self.specs.clone(),
+            order: self.order.clone(),
+            suffix: self.suffix.clone(),
             threshold,
         }
     }
@@ -133,6 +184,63 @@ impl SimFunc {
             .zip(a.iter().zip(b.iter()))
             .map(|(s, (va, vb))| s.weight * s.measure.similarity(va, vb))
             .sum()
+    }
+
+    /// Compile a record's normalised attribute values into their
+    /// measure-specific representations (q-gram multisets, exact keys),
+    /// in spec order.
+    #[must_use]
+    pub fn compile(&self, r: &PersonRecord) -> CompiledProfile {
+        CompiledProfile {
+            values: self
+                .specs
+                .iter()
+                .map(|s| {
+                    s.measure
+                        .compile(&normalize_value(&r.attribute_value(s.attribute)))
+                })
+                .collect(),
+        }
+    }
+
+    /// Aggregated similarity of two compiled profiles (Eq. 3).
+    ///
+    /// Bit-identical to [`SimFunc::aggregate_profiles`] on the same
+    /// records: the per-attribute scores are exact and the weighted sum
+    /// folds in the same spec order.
+    #[must_use]
+    pub fn aggregate_compiled(&self, a: &CompiledProfile, b: &CompiledProfile) -> f64 {
+        debug_assert_eq!(a.values.len(), self.specs.len());
+        debug_assert_eq!(b.values.len(), self.specs.len());
+        self.specs
+            .iter()
+            .zip(a.values.iter().zip(b.values.iter()))
+            .map(|(s, (va, vb))| s.weight * va.similarity(vb))
+            .sum()
+    }
+
+    /// `Some(agg_sim)` if the compiled pair matches at δ, scoring the
+    /// attributes in descending weight order and bailing out as soon as
+    /// the remaining weight mass cannot lift the sum to the threshold.
+    ///
+    /// Decision-identical to `aggregate_profiles(..) >= threshold`: the
+    /// bound only ever prunes *provable* rejects (with a `PRUNE_EPS`
+    /// margin against cross-order rounding), and survivors are re-scored
+    /// with [`SimFunc::aggregate_compiled`] in original spec order, so
+    /// the returned score is bit-identical to the naive path's.
+    #[must_use]
+    pub fn matches_compiled(&self, a: &CompiledProfile, b: &CompiledProfile) -> Option<f64> {
+        let mut partial = 0.0;
+        for (k, &i) in self.order.iter().enumerate() {
+            let s = &self.specs[i];
+            partial += s.weight * a.values[i].similarity(&b.values[i]);
+            // upper bound: every remaining attribute scores a perfect 1.0
+            if partial + self.suffix[k + 1] < self.threshold - PRUNE_EPS {
+                return None;
+            }
+        }
+        let s = self.aggregate_compiled(a, b);
+        (s >= self.threshold).then_some(s)
     }
 
     /// Aggregated similarity of two records (convenience; profile-based
@@ -251,6 +359,53 @@ mod tests {
         assert!((f.aggregate_profiles(&pa, &pb) - f.aggregate(&a, &b)).abs() < 1e-12);
         // normalisation makes the two spellings identical
         assert!((f.aggregate(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compiled_equals_profile_aggregation() {
+        let pairs = [
+            ("john", "ashworth", "4 mill lane", "weaver"),
+            ("jon", "ashwerth", "90 bury road", "spinner"),
+            ("", "", "", ""),
+            ("Elizabeth", "PILKINGTON", "  ", "cotton weaver"),
+        ];
+        for f in [SimFunc::omega1(0.5), SimFunc::omega2(0.7)] {
+            for (fa, sa, aa, oa) in pairs {
+                for (fb, sb, ab, ob) in pairs {
+                    let a = rec(fa, sa, Sex::Male, aa, oa);
+                    let b = rec(fb, sb, Sex::Male, ab, ob);
+                    let (ca, cb) = (f.compile(&a), f.compile(&b));
+                    let naive = f.aggregate_profiles(&f.profile(&a), &f.profile(&b));
+                    // same arithmetic in the same order — exact equality
+                    assert_eq!(f.aggregate_compiled(&ca, &cb), naive);
+                    assert_eq!(f.matches_compiled(&ca, &cb), f.matches(&a, &b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_prunes_hopeless_pairs_only() {
+        // all-different pair: under ω2 at δ=1.0 the first attribute
+        // already caps the sum below δ, so the fast path must reject —
+        // and must agree with the naive decision
+        let a = rec("john", "ashworth", Sex::Male, "4 mill lane", "weaver");
+        let b = rec("mary", "pilkington", Sex::Female, "90 bury road", "spinner");
+        for t in [0.5, 0.7, 1.0] {
+            let f = SimFunc::omega2(t);
+            let (ca, cb) = (f.compile(&a), f.compile(&b));
+            assert_eq!(
+                f.matches_compiled(&ca, &cb).is_some(),
+                f.matches(&a, &b).is_some()
+            );
+        }
+        // perfect pair survives every bound at δ = 1.0
+        let f = SimFunc::omega2(1.0);
+        let ca = f.compile(&a);
+        assert_eq!(
+            f.matches_compiled(&ca, &ca.clone()),
+            Some(f.aggregate(&a, &a))
+        );
     }
 
     #[test]

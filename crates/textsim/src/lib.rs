@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+mod compiled;
 mod jaro;
 mod levenshtein;
 mod normalize;
@@ -33,6 +34,7 @@ mod qgram;
 mod smith_waterman;
 mod tokens;
 
+pub use compiled::CompiledValue;
 pub use jaro::{jaro, jaro_winkler, jaro_winkler_with_prefix};
 pub use levenshtein::{
     damerau_levenshtein, damerau_levenshtein_similarity, levenshtein, levenshtein_similarity,

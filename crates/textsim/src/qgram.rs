@@ -69,7 +69,7 @@ pub fn qgram_similarity(a: &str, b: &str, q: usize) -> f64 {
 
 /// Sorted multiset of padded bigrams, each packed into a `u64`
 /// (`(c1 << 32) | c2` over the Unicode scalar values).
-fn bigram_ids(s: &str) -> Vec<u64> {
+pub(crate) fn bigram_ids(s: &str) -> Vec<u64> {
     let chars = padded_chars(s, 2);
     if chars.len() < 2 {
         return Vec::new();
@@ -89,9 +89,15 @@ fn bigram_similarity(a: &str, b: &str) -> f64 {
     if ga.is_empty() || gb.is_empty() {
         return 0.0;
     }
+    let inter = sorted_ids_intersection(&ga, &gb);
+    2.0 * inter as f64 / (ga.len() + gb.len()) as f64
+}
+
+/// Size of the multiset intersection of two sorted packed-bigram lists.
+pub(crate) fn sorted_ids_intersection(a: &[u64], b: &[u64]) -> usize {
     let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
-    while i < ga.len() && j < gb.len() {
-        match ga[i].cmp(&gb[j]) {
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
@@ -101,11 +107,11 @@ fn bigram_similarity(a: &str, b: &str) -> f64 {
             }
         }
     }
-    2.0 * inter as f64 / (ga.len() + gb.len()) as f64
+    inter
 }
 
 /// Size of the multiset intersection of two sorted gram lists.
-fn sorted_multiset_intersection(a: &[String], b: &[String]) -> usize {
+pub(crate) fn sorted_multiset_intersection(a: &[String], b: &[String]) -> usize {
     let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {

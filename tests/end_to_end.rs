@@ -181,6 +181,60 @@ fn truth_patterns_versus_found_patterns_agree_in_shape() {
 }
 
 #[test]
+fn thread_count_does_not_change_results() {
+    // pair scoring is chunked across workers; joins are ordered, so the
+    // mappings and the per-link provenance must be bit-identical
+    let series = small_series(5);
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let run = |threads: usize| {
+        let config = LinkageConfig {
+            threads,
+            ..LinkageConfig::default()
+        };
+        link(old, new, &config)
+    };
+    let base = run(1);
+    assert!(!base.records.is_empty());
+    for threads in [2, 8] {
+        let r = run(threads);
+        let rec = |x: &temporal_census_linkage::linkage::LinkageResult| {
+            x.records.iter().collect::<std::collections::BTreeSet<_>>()
+        };
+        let grp = |x: &temporal_census_linkage::linkage::LinkageResult| {
+            x.groups.iter().collect::<std::collections::BTreeSet<_>>()
+        };
+        assert_eq!(rec(&base), rec(&r), "records differ at {threads} threads");
+        assert_eq!(grp(&base), grp(&r), "groups differ at {threads} threads");
+        assert_eq!(
+            base.provenance, r.provenance,
+            "provenance differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn profile_cache_reuses_profiles_across_iterations() {
+    let series = small_series(9);
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let result = link(old, new, &LinkageConfig::default());
+    let total = old.records().len() + new.records().len();
+    // every record's profile is compiled at most once: the default
+    // remainder function shares the ω2 specs, so the cache never resets
+    assert!(
+        result.profiles_built <= total,
+        "{} built, {total} records",
+        result.profiles_built
+    );
+    assert!(result.profiles_built > 0);
+    // the iterative schedule re-scores residue records at δ−Δ and the
+    // remainder pass re-scores the leftovers — those must all be hits
+    assert!(
+        result.profiles_reused > 0,
+        "iterative run should reuse cached profiles"
+    );
+}
+
+#[test]
 fn csv_round_trip_preserves_linkage_behaviour() {
     use temporal_census_linkage::model::csv::{read_dataset, write_dataset};
     let series = small_series(11);

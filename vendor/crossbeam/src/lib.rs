@@ -1,0 +1,89 @@
+//! Vendored stub of the `crossbeam` scoped-thread API used by this
+//! workspace, implemented on top of [`std::thread::scope`] (stable since
+//! Rust 1.63). Only `crossbeam::scope` and `Scope::spawn` are provided.
+
+use std::any::Any;
+
+/// Error payload of a panicked scope (mirrors crossbeam's boxed panic).
+pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+/// A scope handle passed to [`scope`] closures; `spawn` borrows from it.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a scoped thread, joinable before the scope ends.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread to finish; `Err` carries the panic payload.
+    pub fn join(self) -> Result<T, ScopeError> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope itself so
+    /// nested spawns are possible (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned.
+///
+/// All spawned threads are joined before this returns. Panics from
+/// threads that were explicitly joined surface through their handles;
+/// a panic escaping the closure itself is returned as `Err`.
+///
+/// # Errors
+///
+/// Returns the panic payload if the closure panics.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| {
+        let scope = Scope { inner: s };
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&scope))) {
+            Ok(v) => Ok(v),
+            Err(e) => Err(e),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawn_and_join_collects_results() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panics_surface_through_join() {
+        let r = super::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,706 @@
+//! Vendored stub of `proptest`: a deterministic random-testing harness
+//! with the API subset this workspace uses.
+//!
+//! Differences from the published crate, by design:
+//!
+//! - **No shrinking.** A failing case reports its inputs (via the
+//!   `prop_assert!` message) but is not minimized.
+//! - **Deterministic seeding.** Each `proptest!` test derives its RNG
+//!   seed from the test's name, so runs are reproducible without a
+//!   failure-persistence file (`proptest-regressions/` is ignored).
+//! - **Regex strategies** support the subset that appears in this
+//!   workspace: literals, `.`, character classes with ranges, groups,
+//!   and `{n}` / `{m,n}` / `*` / `+` / `?` repetition. No alternation.
+
+pub mod strategy {
+    //! Strategy trait and combinators.
+
+    use super::regex;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// A generator of test values.
+    pub trait Strategy {
+        /// The type of values produced.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform produced values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.sample(rng)))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut StdRng) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut StdRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between type-erased strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from the (non-empty) option list.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut StdRng) -> V {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].sample(rng)
+        }
+    }
+
+    /// String literals are regex strategies producing matching `String`s.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut StdRng) -> String {
+            regex::sample(self, rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut StdRng) -> f32 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($t:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($t,)+) = self;
+                    ($($t.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod regex {
+    //! Tiny regex-subset generator backing string strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    enum Node {
+        Lit(char),
+        /// `.`: a printable char (ASCII plus a few multi-byte ones so
+        /// unicode handling gets exercised).
+        Any,
+        Class(Vec<(char, char)>),
+        Group(Vec<Atom>),
+    }
+
+    struct Atom {
+        node: Node,
+        min: usize,
+        max: usize,
+    }
+
+    /// Produce one string matching `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pattern uses unsupported syntax (alternation,
+    /// anchors, backreferences, …).
+    #[must_use]
+    pub fn sample(pattern: &str, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let atoms = parse_seq(&chars, &mut pos, pattern);
+        assert!(
+            pos == chars.len(),
+            "unsupported regex syntax at offset {pos} in {pattern:?}"
+        );
+        let mut out = String::new();
+        emit_seq(&atoms, rng, &mut out);
+        out
+    }
+
+    fn emit_seq(atoms: &[Atom], rng: &mut StdRng, out: &mut String) {
+        for atom in atoms {
+            let n = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.gen_range(atom.min..=atom.max)
+            };
+            for _ in 0..n {
+                emit_node(&atom.node, rng, out);
+            }
+        }
+    }
+
+    fn emit_node(node: &Node, rng: &mut StdRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Any => {
+                // mostly printable ASCII, sometimes multi-byte
+                const EXTRA: &[char] = &['é', 'ß', 'Ø', '中', '☃', '😀'];
+                if rng.gen_bool(0.9) {
+                    out.push(char::from(rng.gen_range(0x20u8..0x7f)));
+                } else {
+                    out.push(EXTRA[rng.gen_range(0..EXTRA.len())]);
+                }
+            }
+            Node::Class(ranges) => {
+                // choose a range weighted by its width, then a char in it
+                let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                let mut pick = rng.gen_range(0..total);
+                for (a, b) in ranges {
+                    let width = *b as u32 - *a as u32 + 1;
+                    if pick < width {
+                        out.push(char::from_u32(*a as u32 + pick).expect("valid class char"));
+                        return;
+                    }
+                    pick -= width;
+                }
+                unreachable!("weighted pick within total");
+            }
+            Node::Group(atoms) => emit_seq(atoms, rng, out),
+        }
+    }
+
+    /// Parse a sequence of atoms until end of input or `)`.
+    fn parse_seq(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ')' {
+            let node = match chars[*pos] {
+                '[' => parse_class(chars, pos, pattern),
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_seq(chars, pos, pattern);
+                    assert!(
+                        *pos < chars.len() && chars[*pos] == ')',
+                        "unclosed group in {pattern:?}"
+                    );
+                    *pos += 1;
+                    Node::Group(inner)
+                }
+                '.' => {
+                    *pos += 1;
+                    Node::Any
+                }
+                '\\' => {
+                    *pos += 1;
+                    assert!(*pos < chars.len(), "trailing backslash in {pattern:?}");
+                    let c = chars[*pos];
+                    *pos += 1;
+                    Node::Lit(c)
+                }
+                '|' | '^' | '$' | '*' | '+' | '?' | '{' => {
+                    panic!("unsupported regex syntax {:?} in {pattern:?}", chars[*pos])
+                }
+                c => {
+                    *pos += 1;
+                    Node::Lit(c)
+                }
+            };
+            let (min, max) = parse_repeat(chars, pos, pattern);
+            atoms.push(Atom { node, min, max });
+        }
+        atoms
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
+        *pos += 1; // '['
+        assert!(
+            chars.get(*pos) != Some(&'^'),
+            "negated classes unsupported in {pattern:?}"
+        );
+        let mut ranges = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ']' {
+            let mut c = chars[*pos];
+            if c == '\\' {
+                *pos += 1;
+                assert!(*pos < chars.len(), "trailing backslash in {pattern:?}");
+                c = chars[*pos];
+            }
+            *pos += 1;
+            if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&n| n != ']') {
+                *pos += 1;
+                let mut hi = chars[*pos];
+                if hi == '\\' {
+                    *pos += 1;
+                    hi = chars[*pos];
+                }
+                *pos += 1;
+                assert!(c <= hi, "inverted class range in {pattern:?}");
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        assert!(*pos < chars.len(), "unclosed class in {pattern:?}");
+        *pos += 1; // ']'
+        assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+        Node::Class(ranges)
+    }
+
+    fn parse_repeat(chars: &[char], pos: &mut usize, pattern: &str) -> (usize, usize) {
+        match chars.get(*pos) {
+            Some('{') => {
+                *pos += 1;
+                let mut digits = String::new();
+                while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                    digits.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let min: usize = digits.parse().expect("repeat count");
+                let max = if chars.get(*pos) == Some(&',') {
+                    *pos += 1;
+                    let mut digits = String::new();
+                    while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                        digits.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    digits.parse().expect("repeat bound")
+                } else {
+                    min
+                };
+                assert!(
+                    chars.get(*pos) == Some(&'}'),
+                    "unclosed repetition in {pattern:?}"
+                );
+                *pos += 1;
+                (min, max)
+            }
+            Some('*') => {
+                *pos += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *pos += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                *pos += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with element strategy `element` and a length
+    /// drawn from `size` (half-open).
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Output of [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// `None` half the time, otherwise `Some` of the inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Output of [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.5) {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod bool {
+    //! `bool` strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Uniform `bool` strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// Uniform `true` / `false`.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = ::core::primitive::bool;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The `Arbitrary` trait and [`any`].
+
+    use super::strategy::Strategy;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// That strategy's type.
+        type Strategy: Strategy<Value = Self>;
+        /// The canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    macro_rules! arb_int {
+        ($($t:ident),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = core::ops::RangeInclusive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    $t::MIN..=$t::MAX
+                }
+            }
+        )*};
+    }
+    arb_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        type Strategy = super::bool::BoolAny;
+        fn arbitrary() -> Self::Strategy {
+            super::bool::ANY
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-loop configuration and RNG derivation.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Deterministic RNG for a named test (FNV-1a of the name).
+    #[must_use]
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface: `use proptest::prelude::*;`
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a `proptest!` body; failure fails this case with a
+/// message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{}` == `{}`\n  left: {l:?}\n right: {r:?}",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{}` != `{}`\n  both: {l:?}",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($option)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn` becomes a `#[test]` that runs its
+/// body over `ProptestConfig::cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@fns ($cfg:expr);) => {};
+    (@fns ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let strategies = ($($strat,)+);
+            let mut rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::sample(&strategies, &mut rng);
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!("proptest {} failed at case {case}: {message}", stringify!($name));
+                }
+            }
+        }
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_produces_matching_strings() {
+        let mut rng = crate::test_runner::rng_for("regex_subset");
+        for _ in 0..200 {
+            let s = crate::regex::sample("[a-z]{1,8}( [a-z]{1,8}){0,3}", &mut rng);
+            assert!(!s.is_empty());
+            for word in s.split(' ') {
+                assert!(!word.is_empty() && word.chars().all(|c| c.is_ascii_lowercase()));
+            }
+            let t = crate::regex::sample("[a-z0-9,\"]{0,40}", &mut rng);
+            assert!(t.len() <= 40);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ',' || c == '"'));
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = crate::test_runner::rng_for("ranges");
+        let strat = (0usize..5, -1.5..1.5f64, "[ab]{2}");
+        for _ in 0..500 {
+            let (n, x, s) = strat.sample(&mut rng);
+            assert!(n < 5);
+            assert!((-1.5..1.5).contains(&x));
+            assert_eq!(s.len(), 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_multiple_args(a in 0u32..10, b in "[a-z]{1,3}", c in any::<u8>()) {
+            prop_assert!(a < 10);
+            prop_assert!(!b.is_empty() && b.len() <= 3);
+            prop_assert_eq!(u32::from(c) * 2, u32::from(c) + u32::from(c));
+            prop_assert_ne!(b.len(), 0);
+        }
+
+        #[test]
+        fn oneof_and_collections_compose(
+            v in crate::collection::vec(prop_oneof![Just("x".to_owned()), "[yz]{1}"], 0..6),
+            o in crate::option::of(1i32..4),
+        ) {
+            prop_assert!(v.len() < 6);
+            for s in &v {
+                prop_assert!(s == "x" || s == "y" || s == "z");
+            }
+            if let Some(n) = o {
+                prop_assert!((1..4).contains(&n));
+            }
+        }
+    }
+}

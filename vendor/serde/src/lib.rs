@@ -1,0 +1,472 @@
+//! Vendored stub of the `serde` data model used by this workspace.
+//!
+//! Instead of serde's visitor-based zero-copy architecture, values
+//! serialize into a JSON-shaped [`Content`] tree and deserialize back out
+//! of it. The derive macros (re-exported from `serde_derive`) generate
+//! impls of the two traits below with the same external JSON shapes as
+//! real serde: named structs become objects, newtype structs are
+//! transparent, enums are externally tagged, `#[serde(skip)]` fields are
+//! omitted on write and filled from `Default` on read.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+
+/// A serialized value: the common data model shared by `Serialize`,
+/// `Deserialize` and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value does not fit `i64` or the
+    /// source type is unsigned).
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Ordered map (object); keys are usually `Str`.
+    Map(Vec<(Content, Content)>),
+}
+
+/// A `Content::Null` with a `'static` address, for "missing field" reads.
+pub static NULL: Content = Content::Null;
+
+/// Deserialization error: a plain message.
+pub type DeError = String;
+
+impl Content {
+    /// The map entries if this is a `Map`.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is a `Seq`.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a `Str`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the variant, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Look up a field by name in a map's entries (derive-generated code).
+#[must_use]
+pub fn map_get<'a>(map: &'a [(Content, Content)], key: &str) -> Option<&'a Content> {
+    map.iter()
+        .find(|(k, _)| matches!(k, Content::Str(s) if s == key))
+        .map(|(_, v)| v)
+}
+
+/// Like [`map_get`] but yields `Null` for missing keys, letting optional
+/// fields deserialize from older payloads.
+#[must_use]
+pub fn map_get_or_null<'a>(map: &'a [(Content, Content)], key: &str) -> &'a Content {
+    map_get(map, key).unwrap_or(&NULL)
+}
+
+/// Serialization into the [`Content`] data model.
+pub trait Serialize {
+    /// This value as a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialization out of the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild a value from a content tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the tree does not have the expected shape.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls -------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v: i64 = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| format!("integer {v} out of range"))?,
+                    // map keys arrive as strings
+                    Content::Str(s) => s
+                        .parse::<i64>()
+                        .map_err(|_| format!("cannot parse {s:?} as integer"))?,
+                    other => return Err(format!("expected integer, got {}", other.kind())),
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    format!("integer {v} out of range for {}", stringify!($t))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v: u64 = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) => u64::try_from(*v)
+                        .map_err(|_| format!("integer {v} out of range"))?,
+                    Content::Str(s) => s
+                        .parse::<u64>()
+                        .map_err(|_| format!("cannot parse {s:?} as integer"))?,
+                    other => return Err(format!("expected integer, got {}", other.kind())),
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    format!("integer {v} out of range for {}", stringify!($t))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    other => return Err(format!("expected number, got {}", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {}", other.kind())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {}", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(format!("expected single-char string, got {}", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| format!("expected sequence, got {}", c.kind()))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let v = Vec::<T>::from_content(c)?;
+        let got = v.len();
+        v.try_into()
+            .map_err(|_| format!("expected array of {N}, got {got}"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let s = c
+                    .as_seq()
+                    .ok_or_else(|| format!("expected tuple sequence, got {}", c.kind()))?;
+                let expected = [$(stringify!($n)),+].len();
+                if s.len() != expected {
+                    return Err(format!("expected tuple of {expected}, got {}", s.len()));
+                }
+                Ok(($($t::from_content(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+fn map_to_content<'a, K, V, I>(entries: I) -> Content
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    Content::Map(
+        entries
+            .map(|(k, v)| (k.to_content(), v.to_content()))
+            .collect(),
+    )
+}
+
+fn map_from_content<K: Deserialize, V: Deserialize>(c: &Content) -> Result<Vec<(K, V)>, DeError> {
+    c.as_map()
+        .ok_or_else(|| format!("expected map, got {}", c.kind()))?
+        .iter()
+        .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(map_from_content(c)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(map_from_content(c)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| format!("expected sequence, got {}", c.kind()))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| format!("expected sequence, got {}", c.kind()))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i32::from_content(&42i32.to_content()).unwrap(), 42);
+        assert_eq!(u64::from_content(&7u64.to_content()).unwrap(), 7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn integers_accept_string_keys() {
+        assert_eq!(u64::from_content(&Content::Str("19".into())).unwrap(), 19);
+        assert!(u64::from_content(&Content::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        let none: Option<u32> = None;
+        assert_eq!(none.to_content(), Content::Null);
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_content(&Content::U64(3)).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u64, "a".to_string()), (2, "b".to_string())];
+        let back = Vec::<(u64, String)>::from_content(&v.to_content()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = HashMap::new();
+        m.insert(5u64, 1.25f64);
+        let back = HashMap::<u64, f64>::from_content(&m.to_content()).unwrap();
+        assert_eq!(back, m);
+
+        let s: BTreeSet<(u32, u32)> = [(1, 2), (3, 4)].into_iter().collect();
+        let back = BTreeSet::<(u32, u32)>::from_content(&s.to_content()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(bool::from_content(&Content::U64(1)).is_err());
+        assert!(Vec::<u32>::from_content(&Content::Bool(true)).is_err());
+        assert!(<(u32, u32)>::from_content(&Content::Seq(vec![Content::U64(1)])).is_err());
+    }
+}

@@ -1,0 +1,498 @@
+//! Vendored stub of `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the in-tree `serde` content model.
+//!
+//! The input item is parsed directly from the `proc_macro` token stream
+//! (no `syn`/`quote` — those crates are unavailable offline), and the
+//! generated impl is assembled as a string and re-parsed. Supported
+//! shapes, matching what this workspace derives on:
+//!
+//! - named structs (with `#[serde(skip)]` fields: omitted on write,
+//!   `Default::default()` on read)
+//! - tuple structs (one field = transparent newtype, like real serde)
+//! - unit structs
+//! - enums with unit, tuple, and struct variants (externally tagged:
+//!   `"Variant"` or `{"Variant": payload}`)
+//!
+//! Generics are not supported; no serialized type in this workspace has
+//! them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---- item model ------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    /// Field count and per-field skip flags (skip unsupported here).
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---- parsing ---------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Self {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skip `#[...]` attributes; `true` if any was `#[serde(skip)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut skip = false;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next(); // '#'
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    if attr_is_serde_skip(&g.stream()) {
+                        skip = true;
+                    }
+                }
+                other => panic!("expected [...] after '#', got {other:?}"),
+            }
+        }
+        skip
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected identifier, got {other:?}"),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) {
+        match self.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == c => {}
+            other => panic!("expected '{c}', got {other:?}"),
+        }
+    }
+
+    /// Consume tokens of a type (or discriminant) up to a `,` at
+    /// angle-bracket depth zero; the comma itself is consumed too.
+    fn skip_to_field_end(&mut self) {
+        let mut angle: i64 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn attr_is_serde_skip(body: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)]
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let keyword = c.expect_ident();
+    let name = c.expect_ident();
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize) stub: generics are not supported ({name})");
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(parse_tuple_fields(g.stream(), &name))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unexpected struct body for {name}: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body for {name}: {other:?}"),
+        },
+        other => panic!("derive target must be a struct or enum, got '{other}'"),
+    };
+    Item { name, shape }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let skip = c.skip_attrs();
+        c.skip_vis();
+        let name = c.expect_ident();
+        c.expect_punct(':');
+        c.skip_to_field_end();
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(body: TokenStream, type_name: &str) -> usize {
+    let mut c = Cursor::new(body);
+    let mut count = 0;
+    while !c.at_end() {
+        let skip = c.skip_attrs();
+        assert!(
+            !skip,
+            "#[serde(skip)] on tuple fields is not supported ({type_name})"
+        );
+        c.skip_vis();
+        if c.at_end() {
+            break;
+        }
+        c.skip_to_field_end();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        let name = c.expect_ident();
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                assert!(
+                    fields.iter().all(|f| !f.skip),
+                    "#[serde(skip)] inside enum variants is not supported ({name})"
+                );
+                c.next();
+                VariantKind::Named(fields.into_iter().map(|f| f.name).collect())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = parse_tuple_fields(g.stream(), &name);
+                c.next();
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        // consume an optional discriminant and the trailing comma
+        c.skip_to_field_end();
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---- codegen ---------------------------------------------------------
+
+const S: &str = "::serde::Serialize::to_content";
+const D: &str = "::serde::Deserialize::from_content";
+
+fn impl_header(trait_name: &str, type_name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n#[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::{trait_name} for {type_name} "
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = &f.name;
+                pushes.push_str(&format!(
+                    "m.push((::serde::Content::Str(\"{fname}\".to_string()), \
+                     {S}(&self.{fname})));\n"
+                ));
+            }
+            format!(
+                "let mut m: ::std::vec::Vec<(::serde::Content, ::serde::Content)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Content::Map(m)"
+            )
+        }
+        Shape::TupleStruct(1) => format!("{S}(&self.0)"),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n).map(|i| format!("{S}(&self.{i})")).collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let tag = format!("::serde::Content::Str(\"{vname}\".to_string())");
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!("{name}::{vname} => {tag},\n"));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            format!("{S}(f0)")
+                        } else {
+                            let elems: Vec<String> =
+                                binds.iter().map(|b| format!("{S}({b})")).collect();
+                            format!("::serde::Content::Seq(::std::vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Content::Map(::std::vec![({tag}, \
+                             {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(::serde::Content::Str(\"{f}\".to_string()), {S}({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Content::Map(::std::vec![({tag}, \
+                             ::serde::Content::Map(::std::vec![{}]))]),\n",
+                            fields.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{header}{{\n fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}",
+        header = impl_header("Serialize", name)
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = &f.name;
+                if f.skip {
+                    inits.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+                } else {
+                    inits.push_str(&format!(
+                        "{fname}: {D}(::serde::map_get_or_null(m, \"{fname}\"))\
+                         .map_err(|e| ::std::format!(\"{name}.{fname}: {{e}}\"))?,\n"
+                    ));
+                }
+            }
+            format!(
+                "let m = c.as_map().ok_or_else(|| \
+                 ::std::format!(\"{name}: expected map, got {{}}\", c.kind()))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}({D}(c)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n).map(|i| format!("{D}(&s[{i}])?")).collect();
+            format!(
+                "let s = c.as_seq().ok_or_else(|| \
+                 ::std::format!(\"{name}: expected sequence, got {{}}\", c.kind()))?;\n\
+                 if s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::std::format!(\"{name}: expected {n} elements, got {{}}\", s.len())); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "{header}{{\n fn from_content(c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}",
+        header = impl_header("Deserialize", name)
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .collect();
+    let payload: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .collect();
+
+    let mut arms = String::new();
+
+    if !unit.is_empty() {
+        let mut tag_arms = String::new();
+        for v in &unit {
+            let vname = &v.name;
+            tag_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+            ));
+        }
+        arms.push_str(&format!(
+            "::serde::Content::Str(s) => match s.as_str() {{\n{tag_arms}\
+             other => ::std::result::Result::Err(\
+             ::std::format!(\"{name}: unknown variant {{other:?}}\")),\n}},\n"
+        ));
+    }
+
+    if !payload.is_empty() {
+        let mut tag_arms = String::new();
+        for v in &payload {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => unreachable!(),
+                VariantKind::Tuple(1) => {
+                    tag_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}({D}(v)\
+                         .map_err(|e| ::std::format!(\"{name}::{vname}: {{e}}\"))?)),\n"
+                    ));
+                }
+                VariantKind::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "{D}(&s[{i}]).map_err(|e| \
+                                 ::std::format!(\"{name}::{vname}.{i}: {{e}}\"))?"
+                            )
+                        })
+                        .collect();
+                    tag_arms.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                         let s = v.as_seq().ok_or_else(|| \
+                         ::std::format!(\"{name}::{vname}: expected sequence, got {{}}\", \
+                         v.kind()))?;\n\
+                         if s.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::std::format!(\"{name}::{vname}: expected {n} elements, got {{}}\", \
+                         s.len())); }}\n\
+                         ::std::result::Result::Ok({name}::{vname}({}))\n}},\n",
+                        elems.join(", ")
+                    ));
+                }
+                VariantKind::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: {D}(::serde::map_get_or_null(m, \"{f}\"))\
+                                 .map_err(|e| ::std::format!(\"{name}::{vname}.{f}: {{e}}\"))?"
+                            )
+                        })
+                        .collect();
+                    tag_arms.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                         let m = v.as_map().ok_or_else(|| \
+                         ::std::format!(\"{name}::{vname}: expected map, got {{}}\", \
+                         v.kind()))?;\n\
+                         ::std::result::Result::Ok({name}::{vname} {{ {} }})\n}},\n",
+                        inits.join(", ")
+                    ));
+                }
+            }
+        }
+        arms.push_str(&format!(
+            "::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+             let (k, v) = &entries[0];\n\
+             let tag = k.as_str().ok_or_else(|| \
+             \"{name}: variant tag must be a string\".to_string())?;\n\
+             match tag {{\n{tag_arms}\
+             other => ::std::result::Result::Err(\
+             ::std::format!(\"{name}: unknown variant {{other:?}}\")),\n}}\n}},\n"
+        ));
+    }
+
+    format!(
+        "match c {{\n{arms}other => ::std::result::Result::Err(\
+         ::std::format!(\"{name}: unexpected {{}}\", other.kind())),\n}}"
+    )
+}

@@ -1,0 +1,529 @@
+//! Vendored stub of `serde_json`: a JSON writer and recursive-descent
+//! reader over the in-tree `serde` [`Content`] model.
+//!
+//! Covers the surface this workspace uses: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], and a simplified [`json!`] macro
+//! (object keys must be string literals). Matches real serde_json's
+//! conventions where they are observable here: maps serialize with
+//! integer keys stringified, non-finite floats are an error, and pretty
+//! output indents by two spaces.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+/// JSON serialization value — an alias for the serde content tree, which
+/// is itself `Serialize`, so `json!` output can be written back out.
+pub type Value = Content;
+
+/// Serialization or parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<String> for Error {
+    fn from(s: String) -> Self {
+        Error(s)
+    }
+}
+
+/// Convert any serializable value into a [`Value`] (used by [`json!`]).
+pub fn value_from<T: Serialize + ?Sized>(v: &T) -> Value {
+    v.to_content()
+}
+
+/// Build a [`Value`] from JSON-like syntax. Object keys must be string
+/// literals (which is how this workspace uses it).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Seq(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {
+        $crate::Value::Map(vec![
+            $( ($crate::Value::Str($key.to_string()), $crate::json!($val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::value_from(&$other) };
+}
+
+// ---- writing ---------------------------------------------------------
+
+/// Serialize to compact JSON.
+///
+/// # Errors
+///
+/// Fails on non-finite floats or non-stringifiable map keys.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), None, 0)?;
+    Ok(out)
+}
+
+/// Serialize to pretty JSON (two-space indent).
+///
+/// # Errors
+///
+/// Fails on non-finite floats or non-stringifiable map keys.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), Some(2), 0)?;
+    Ok(out)
+}
+
+fn push_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(
+    out: &mut String,
+    v: &Content,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match v {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(n) => out.push_str(&n.to_string()),
+        Content::U64(n) => out.push_str(&n.to_string()),
+        Content::F64(x) => {
+            if !x.is_finite() {
+                return Err(Error(format!("cannot serialize non-finite float {x}")));
+            }
+            // {:?} always keeps a fractional part (1.0 -> "1.0"), matching
+            // the published crate closely enough to round-trip
+            out.push_str(&format!("{x:?}"));
+        }
+        Content::Str(s) => write_string(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1)?;
+            }
+            push_indent(out, indent, depth);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_indent(out, indent, depth + 1);
+                match k {
+                    Content::Str(s) => write_string(out, s),
+                    // integer keys (e.g. HashMap<RecordId, _>) stringify
+                    Content::I64(n) => write_string(out, &n.to_string()),
+                    Content::U64(n) => write_string(out, &n.to_string()),
+                    other => {
+                        return Err(Error(format!(
+                            "map key must be a string or integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                }
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1)?;
+            }
+            push_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- reading ---------------------------------------------------------
+
+/// Deserialize a value from JSON text.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or when the value does not match `T`'s shape.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let content = parse(s)?;
+    T::from_content(&content).map_err(Error)
+}
+
+/// Parse JSON text into a [`Value`].
+///
+/// # Errors
+///
+/// Fails on malformed JSON or trailing garbage.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Content::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Content::Bool(false)),
+            Some(b'"') => Ok(Content::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error(format!(
+                "unexpected character '{}' at byte {}",
+                b as char, self.pos
+            ))),
+            None => Err(Error("unexpected end of input".into())),
+        }
+    }
+
+    fn array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(Error(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((Content::Str(key), val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(Error(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                // high surrogate: require \uXXXX low half
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(Error("lone high surrogate".into()));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error("invalid low surrogate".into()));
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error("invalid surrogate pair".into()))?
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error("invalid \\u escape".into()))?
+                            };
+                            out.push(c);
+                            // hex4 consumed its digits; skip the +1 below
+                            continue;
+                        }
+                        other => {
+                            return Err(Error(format!("invalid escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar (input is a valid &str)
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| Error("invalid utf-8".into()))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error("truncated \\u escape".into()));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error("invalid \\u escape".into()))?;
+        let cp = u32::from_str_radix(hex, 16)
+            .map_err(|_| Error(format!("invalid \\u escape {hex:?}")))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Content::I64(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Content::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error(format!("invalid number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "42", "-7", "1.5", "\"hi\""] {
+            let v = parse(text).unwrap();
+            assert_eq!(to_string(&v).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn large_u64_round_trips() {
+        let v = parse("18446744073709551615").unwrap();
+        assert_eq!(v, Content::U64(u64::MAX));
+    }
+
+    #[test]
+    fn float_keeps_fraction() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(parse("1.0").unwrap(), Content::F64(1.0));
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = r#"{"a":[1,2,{"b":null}],"c":"x"}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "line\nbreak \"quote\" back\\slash tab\t snowman\u{2603}";
+        let json = to_string(&original.to_string()).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: String = from_str(r#""☃ 😀""#).unwrap();
+        assert_eq!(v, "\u{2603} \u{1F600}");
+    }
+
+    #[test]
+    fn integer_map_keys_stringify_and_read_back() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(7u64, "x".to_string());
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, r#"{"7":"x"}"#);
+        let back: HashMap<u64, String> = from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({"x": 1, "y": [1, 2]});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"x\": 1,\n  \"y\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        assert_eq!(json!(null), Content::Null);
+        assert_eq!(json!(3), Content::I64(3));
+        assert_eq!(
+            json!([1, "a"]),
+            Content::Seq(vec![Content::I64(1), Content::Str("a".into())])
+        );
+        let obj = json!({"k": {"nested": true}});
+        assert_eq!(
+            obj,
+            Content::Map(vec![(
+                Content::Str("k".into()),
+                Content::Map(vec![(Content::Str("nested".into()), Content::Bool(true))])
+            )])
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_error() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for text in ["{", "[1,", "\"abc", "tru", "{\"a\" 1}", "1 2"] {
+            assert!(parse(text).is_err(), "should fail: {text}");
+        }
+    }
+}
