@@ -6,11 +6,15 @@
 //! census-linkage generate --out DIR [--scale small|medium|paper] [--seed N]
 //! census-linkage stats FILE.csv --year YEAR
 //! census-linkage link OLD.csv NEW.csv --old-year Y --new-year Y --out DIR
+//!                [--threads N] [--delta-low D] [--trace-out FILE.json] [--verbose]
 //! census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
+//!                [--threads N] [--delta-low D] [--trace-out FILE.json] [--verbose]
+//! census-linkage trace-check FILE.json
 //! ```
 //!
-//! All subcommand logic lives here so it is unit-testable; `main.rs` only
-//! parses `std::env::args`.
+//! All subcommand logic — including argument parsing, via [`run_cli`] —
+//! lives here so it is unit-testable; `main.rs` only forwards
+//! `std::env::args`.
 
 #![warn(missing_docs)]
 
@@ -21,7 +25,8 @@ use census_model::csv::{
 use census_model::{CensusDataset, GroupMapping, RecordMapping};
 use census_synth::{generate_series, SimConfig};
 use evolution::{detect_patterns, largest_component, preserve_chain_counts, EvolutionGraph};
-use linkage_core::{link, LinkageConfig};
+use linkage_core::{link_traced, LinkageConfig};
+use obs::{Collector, MultiTrace, RunTrace, TraceSink};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -32,6 +37,56 @@ pub type CliError = String;
 
 fn io_err(context: &str, e: impl std::fmt::Display) -> CliError {
     format!("{context}: {e}")
+}
+
+/// Observability and tuning options shared by `link` and `evolve`.
+#[derive(Debug, Clone, Default)]
+pub struct LinkOptions {
+    /// Worker threads for the parallel scoring stages (`--threads`).
+    pub threads: Option<usize>,
+    /// Override of the iterative schedule's lower bound (`--delta-low`).
+    pub delta_low: Option<f64>,
+    /// Write the pipeline trace as JSON to this file (`--trace-out`).
+    pub trace_out: Option<PathBuf>,
+    /// Print the human-readable phase table (`--verbose`).
+    pub verbose: bool,
+}
+
+impl LinkOptions {
+    fn tracing_enabled(&self) -> bool {
+        self.trace_out.is_some() || self.verbose
+    }
+
+    /// Apply the overrides to a linkage configuration, validating them as
+    /// CLI errors rather than letting `LinkageConfig::validate` panic.
+    fn apply(&self, config: &mut LinkageConfig) -> Result<(), CliError> {
+        if let Some(threads) = self.threads {
+            if threads == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            config.threads = threads;
+        }
+        if let Some(delta_low) = self.delta_low {
+            if !(0.0..=1.0).contains(&delta_low) {
+                return Err(format!(
+                    "--delta-low must be within [0, 1], got {delta_low}"
+                ));
+            }
+            if delta_low > config.delta_high + 1e-9 {
+                return Err(format!(
+                    "--delta-low {delta_low} exceeds the schedule's δ_high {}",
+                    config.delta_high
+                ));
+            }
+            config.delta_low = delta_low;
+        }
+        Ok(())
+    }
+}
+
+fn write_trace_json<T: serde::Serialize>(path: &Path, value: &T) -> Result<(), CliError> {
+    let text = serde_json::to_string_pretty(value).map_err(|e| io_err("serializing trace", e))?;
+    std::fs::write(path, text + "\n").map_err(|e| io_err("writing trace file", e))
 }
 
 /// `generate`: write a synthetic census series (and its truth mappings)
@@ -103,21 +158,27 @@ pub fn cmd_stats(file: &Path, year: i32) -> Result<String, CliError> {
 
 /// `link`: run the full iterative linkage over two snapshot CSVs; write
 /// `record_mapping.csv` and `group_mapping.csv` into `out` and return a
-/// human-readable summary.
+/// human-readable summary. With `opts.trace_out` the pipeline trace is
+/// written as JSON; with `opts.verbose` the phase table is appended to
+/// the summary.
 ///
 /// # Errors
 ///
-/// Fails on I/O or parse errors.
+/// Fails on I/O or parse errors, or invalid option values.
 pub fn cmd_link(
     old_file: &Path,
     new_file: &Path,
     old_year: i32,
     new_year: i32,
     out: &Path,
+    opts: &LinkOptions,
 ) -> Result<String, CliError> {
     let old = load(old_file, old_year)?;
     let new = load(new_file, new_year)?;
-    let result = link(&old, &new, &LinkageConfig::default());
+    let mut config = LinkageConfig::default();
+    opts.apply(&mut config)?;
+    let obs = Collector::new(opts.tracing_enabled());
+    let result = link_traced(&old, &new, &config, &obs);
     std::fs::create_dir_all(out).map_err(|e| io_err("creating output dir", e))?;
     let rec_path = out.join("record_mapping.csv");
     let f = File::create(&rec_path).map_err(|e| io_err("creating mapping file", e))?;
@@ -150,20 +211,34 @@ pub fn cmd_link(
     );
     let _ = writeln!(summary, "wrote {}", rec_path.display());
     let _ = writeln!(summary, "wrote {}", grp_path.display());
+    if opts.tracing_enabled() {
+        let trace = obs.finish();
+        if let Some(path) = &opts.trace_out {
+            write_trace_json(path, &trace)?;
+            let _ = writeln!(summary, "wrote {}", path.display());
+        }
+        if opts.verbose {
+            let _ = writeln!(summary, "\n{}", trace.phase_table());
+        }
+    }
     Ok(summary)
 }
 
 /// `evolve`: link a whole series of snapshot CSVs and print the evolution
-/// analysis (Fig. 6 counts, Table 8 chains, largest component).
+/// analysis (Fig. 6 counts, Table 8 chains, largest component). With
+/// `opts.trace_out` a multi-run trace (one linkage run per pair plus the
+/// evolution-graph build) is written as JSON.
 ///
 /// # Errors
 ///
-/// Fails on I/O or parse errors, or when fewer than two files are given.
+/// Fails on I/O or parse errors, when fewer than two files are given, or
+/// on invalid option values.
 pub fn cmd_evolve(
     files: &[PathBuf],
     start_year: i32,
     interval: i32,
     out: Option<&Path>,
+    opts: &LinkOptions,
 ) -> Result<String, CliError> {
     if files.len() < 2 {
         return Err("evolve needs at least two snapshot files".into());
@@ -172,14 +247,27 @@ pub fn cmd_evolve(
     for (i, file) in files.iter().enumerate() {
         snapshots.push(load(file, start_year + interval * i as i32)?);
     }
-    let config = LinkageConfig::default();
+    let mut config = LinkageConfig::default();
+    opts.apply(&mut config)?;
+    let mut sink = if opts.tracing_enabled() {
+        TraceSink::enabled()
+    } else {
+        TraceSink::disabled()
+    };
     let mut mappings: Vec<(RecordMapping, GroupMapping)> = Vec::new();
     for w in snapshots.windows(2) {
-        let r = link(&w[0], &w[1], &config);
+        let obs = sink.collector();
+        let r = link_traced(&w[0], &w[1], &config, &obs);
+        sink.record(format!("link {}→{}", w[0].year, w[1].year), &obs);
         mappings.push((r.records, r.groups));
     }
     let refs: Vec<&CensusDataset> = snapshots.iter().collect();
-    let graph = EvolutionGraph::build(&refs, &mappings);
+    let graph = {
+        let obs = sink.collector();
+        let graph = EvolutionGraph::build_traced(&refs, &mappings, &obs);
+        sink.record("evolution", &obs);
+        graph
+    };
 
     let mut summary = String::new();
     let _ = writeln!(
@@ -228,6 +316,23 @@ pub fn cmd_evolve(
         }
         let _ = writeln!(summary, "mappings written to {}", dir.display());
     }
+    if opts.tracing_enabled() {
+        let multi = sink.into_multi();
+        if let Some(path) = &opts.trace_out {
+            write_trace_json(path, &multi)?;
+            let _ = writeln!(summary, "wrote {}", path.display());
+        }
+        if opts.verbose {
+            for run in &multi.runs {
+                let _ = writeln!(
+                    summary,
+                    "\n== {} ==\n{}",
+                    run.label,
+                    run.trace.phase_table()
+                );
+            }
+        }
+    }
     Ok(summary)
 }
 
@@ -268,6 +373,217 @@ f-measure: {:.2}%
     ))
 }
 
+/// `trace-check`: validate a trace JSON file written by `link --trace-out`
+/// (a single run) or `evolve --trace-out` / `repro --traces` (multi-run).
+///
+/// Checks that every pipeline phase is present, all durations are
+/// non-negative, and per-phase times sum to at most the total wall time.
+///
+/// # Errors
+///
+/// Fails on I/O errors, malformed JSON, or a trace violating the
+/// invariants above.
+pub fn cmd_trace_check(file: &Path) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| io_err(&format!("reading {}", file.display()), e))?;
+    if let Ok(multi) = serde_json::from_str::<MultiTrace>(&text) {
+        multi
+            .validate()
+            .map_err(|e| format!("invalid multi-run trace: {e}"))?;
+        return Ok(format!(
+            "trace OK: {} run(s), {} span(s) in total",
+            multi.runs.len(),
+            multi
+                .runs
+                .iter()
+                .map(|r| r.trace.spans.len())
+                .sum::<usize>()
+        ));
+    }
+    let trace =
+        serde_json::from_str::<RunTrace>(&text).map_err(|e| io_err("parsing trace JSON", e))?;
+    if trace.iterations.is_empty() {
+        trace.validate_basic()
+    } else {
+        trace.validate_pipeline()
+    }
+    .map_err(|e| format!("invalid trace: {e}"))?;
+    Ok(format!(
+        "trace OK: {} phase(s), {} iteration(s), {} span(s)",
+        trace.phases.len(),
+        trace.iterations.len(),
+        trace.spans.len()
+    ))
+}
+
+/// The usage text printed by `--help` and on invalid invocations.
+pub const USAGE: &str = "\
+census-linkage — temporal record and household linkage for census data
+
+USAGE:
+  census-linkage generate --out DIR [--scale small|medium|paper] [--seed N]
+  census-linkage stats FILE.csv --year YEAR
+  census-linkage link OLD.csv NEW.csv --old-year Y --new-year Y --out DIR
+                 [--threads N] [--delta-low D] [--trace-out FILE.json] [--verbose]
+  census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
+                 [--threads N] [--delta-low D] [--trace-out FILE.json] [--verbose]
+  census-linkage evaluate FOUND.csv TRUTH.csv --kind records|groups
+  census-linkage trace-check FILE.json
+";
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_i32(s: &str, what: &str) -> Result<i32, CliError> {
+    s.parse().map_err(|_| format!("bad {what}: {s:?}"))
+}
+
+/// Reject any argument that still looks like a flag after every known
+/// flag was extracted — a misspelled `--yeer 1880` must fail loudly, not
+/// be silently ignored. Negative numbers pass (they parse as numbers).
+fn reject_unknown_flags(args: &[String], command: &str) -> Result<(), CliError> {
+    if let Some(flag) = args
+        .iter()
+        .find(|a| a.starts_with('-') && a.len() > 1 && a.parse::<f64>().is_err())
+    {
+        return Err(format!("unknown flag {flag:?} for {command}\n\n{USAGE}"));
+    }
+    Ok(())
+}
+
+fn expect_positionals(
+    args: &[String],
+    command: &str,
+    n: usize,
+    what: &str,
+) -> Result<(), CliError> {
+    if args.len() != n {
+        return Err(format!(
+            "{command} needs exactly {what}, got {} positional argument(s)",
+            args.len()
+        ));
+    }
+    Ok(())
+}
+
+fn take_link_options(args: &mut Vec<String>) -> Result<LinkOptions, CliError> {
+    let threads = take_value(args, "--threads")?
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| format!("bad thread count {s:?}"))
+        })
+        .transpose()?;
+    let delta_low = take_value(args, "--delta-low")?
+        .map(|s| s.parse::<f64>().map_err(|_| format!("bad delta-low {s:?}")))
+        .transpose()?;
+    let trace_out = take_value(args, "--trace-out")?.map(PathBuf::from);
+    let verbose = take_flag(args, "--verbose");
+    Ok(LinkOptions {
+        threads,
+        delta_low,
+        trace_out,
+        verbose,
+    })
+}
+
+/// Parse and run a full command line (without the program name) and
+/// return the text to print on stdout.
+///
+/// # Errors
+///
+/// Returns the message to print on stderr (exit code 1): unknown
+/// commands or flags, missing arguments, or any subcommand failure.
+pub fn run_cli(mut args: Vec<String>) -> Result<String, CliError> {
+    let Some(command) = args.first().cloned() else {
+        return Err(USAGE.to_owned());
+    };
+    args.remove(0);
+    match command.as_str() {
+        "generate" => {
+            let out = take_value(&mut args, "--out")?.ok_or("generate needs --out DIR")?;
+            let scale = take_value(&mut args, "--scale")?.unwrap_or_else(|| "medium".into());
+            let seed = take_value(&mut args, "--seed")?
+                .map(|s| s.parse().map_err(|_| format!("bad seed {s:?}")))
+                .transpose()?;
+            reject_unknown_flags(&args, "generate")?;
+            expect_positionals(&args, "generate", 0, "no positional arguments")?;
+            let written = cmd_generate(&PathBuf::from(out), &scale, seed)?;
+            Ok(format!("wrote {} files", written.len()))
+        }
+        "stats" => {
+            let year = take_value(&mut args, "--year")?.ok_or("stats needs --year YEAR")?;
+            let year = parse_i32(&year, "year")?;
+            reject_unknown_flags(&args, "stats")?;
+            expect_positionals(&args, "stats", 1, "one FILE.csv argument")?;
+            cmd_stats(&PathBuf::from(&args[0]), year)
+        }
+        "link" => {
+            let old_year = take_value(&mut args, "--old-year")?.ok_or("link needs --old-year")?;
+            let new_year = take_value(&mut args, "--new-year")?.ok_or("link needs --new-year")?;
+            let out = take_value(&mut args, "--out")?.ok_or("link needs --out DIR")?;
+            let opts = take_link_options(&mut args)?;
+            reject_unknown_flags(&args, "link")?;
+            expect_positionals(&args, "link", 2, "OLD.csv and NEW.csv")?;
+            cmd_link(
+                &PathBuf::from(&args[0]),
+                &PathBuf::from(&args[1]),
+                parse_i32(&old_year, "old-year")?,
+                parse_i32(&new_year, "new-year")?,
+                &PathBuf::from(out),
+                &opts,
+            )
+        }
+        "evolve" => {
+            let start =
+                take_value(&mut args, "--start-year")?.ok_or("evolve needs --start-year")?;
+            let interval = take_value(&mut args, "--interval")?.unwrap_or_else(|| "10".into());
+            let out = take_value(&mut args, "--out")?;
+            let opts = take_link_options(&mut args)?;
+            reject_unknown_flags(&args, "evolve")?;
+            let files: Vec<PathBuf> = args.iter().map(PathBuf::from).collect();
+            cmd_evolve(
+                &files,
+                parse_i32(&start, "start-year")?,
+                parse_i32(&interval, "interval")?,
+                out.map(PathBuf::from).as_deref(),
+                &opts,
+            )
+        }
+        "evaluate" => {
+            let kind = take_value(&mut args, "--kind")?.unwrap_or_else(|| "records".into());
+            reject_unknown_flags(&args, "evaluate")?;
+            expect_positionals(&args, "evaluate", 2, "FOUND.csv and TRUTH.csv")?;
+            cmd_evaluate(&PathBuf::from(&args[0]), &PathBuf::from(&args[1]), &kind)
+        }
+        "trace-check" => {
+            reject_unknown_flags(&args, "trace-check")?;
+            expect_positionals(&args, "trace-check", 1, "one FILE.json argument")?;
+            cmd_trace_check(&PathBuf::from(&args[0]))
+        }
+        "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
 fn load(file: &Path, year: i32) -> Result<CensusDataset, CliError> {
     let f = File::open(file).map_err(|e| io_err(&format!("opening {}", file.display()), e))?;
     read_dataset(year, BufReader::new(f))
@@ -305,6 +621,7 @@ mod tests {
             1851,
             1861,
             &out,
+            &LinkOptions::default(),
         )
         .unwrap();
         assert!(summary.contains("record pairs"), "{summary}");
@@ -320,7 +637,14 @@ mod tests {
         let files: Vec<PathBuf> = (0..3)
             .map(|i| dir.join(format!("census_{}.csv", 1851 + 10 * i)))
             .collect();
-        let summary = cmd_evolve(&files, 1851, 10, Some(&dir.join("maps"))).unwrap();
+        let summary = cmd_evolve(
+            &files,
+            1851,
+            10,
+            Some(&dir.join("maps")),
+            &LinkOptions::default(),
+        )
+        .unwrap();
         assert!(
             summary.contains("preserved households per interval"),
             "{summary}"
@@ -340,6 +664,7 @@ mod tests {
             1851,
             1861,
             &out,
+            &LinkOptions::default(),
         )
         .unwrap();
         let report = cmd_evaluate(
@@ -377,6 +702,176 @@ mod tests {
         assert!(cmd_generate(Path::new("/dev/null/x"), "small", None).is_err());
         assert!(cmd_generate(&tmp_dir("bad"), "gigantic", None).is_err());
         assert!(cmd_stats(Path::new("/no/such/file.csv"), 1851).is_err());
-        assert!(cmd_evolve(&[PathBuf::from("one.csv")], 1851, 10, None).is_err());
+        assert!(cmd_evolve(
+            &[PathBuf::from("one.csv")],
+            1851,
+            10,
+            None,
+            &LinkOptions::default()
+        )
+        .is_err());
+    }
+
+    fn cli(args: &[&str]) -> Result<String, CliError> {
+        run_cli(args.iter().map(|s| (*s).to_owned()).collect())
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let dir = tmp_dir("flags");
+        cmd_generate(&dir, "small", Some(7)).unwrap();
+        let file = dir.join("census_1851.csv");
+        let file = file.to_str().unwrap();
+
+        // the motivating bug: a misspelled flag was silently ignored
+        let err = cli(&["stats", file, "--year", "1851", "--yeer", "1880"]).unwrap_err();
+        assert!(err.contains("unknown flag \"--yeer\""), "{err}");
+        // its orphaned value alone is caught by the positional count
+        let err = cli(&["stats", file, "--year", "1851", "extra.csv"]).unwrap_err();
+        assert!(err.contains("positional argument"), "{err}");
+
+        let err = cli(&["generate", "--out", "/tmp/x", "--sale", "small"]).unwrap_err();
+        assert!(err.contains("unknown flag \"--sale\""), "{err}");
+        let err = cli(&["evaluate", "a.csv", "b.csv", "--knd", "records"]).unwrap_err();
+        assert!(err.contains("unknown flag \"--knd\""), "{err}");
+        let err = cli(&[
+            "link",
+            file,
+            file,
+            "--old-year",
+            "1851",
+            "--new-year",
+            "1861",
+            "--out",
+            "/tmp/x",
+            "--treads",
+            "4",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown flag \"--treads\""), "{err}");
+
+        // stats still works when spelled right
+        let ok = cli(&["stats", file, "--year", "1851"]).unwrap();
+        assert!(ok.contains("records:"), "{ok}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn link_options_validate() {
+        let mut config = LinkageConfig::default();
+        assert!(LinkOptions {
+            threads: Some(0),
+            ..LinkOptions::default()
+        }
+        .apply(&mut config)
+        .is_err());
+        assert!(LinkOptions {
+            delta_low: Some(1.5),
+            ..LinkOptions::default()
+        }
+        .apply(&mut config)
+        .is_err());
+        assert!(LinkOptions {
+            delta_low: Some(0.9), // above δ_high = 0.7
+            ..LinkOptions::default()
+        }
+        .apply(&mut config)
+        .is_err());
+        LinkOptions {
+            threads: Some(2),
+            delta_low: Some(0.55),
+            ..LinkOptions::default()
+        }
+        .apply(&mut config)
+        .unwrap();
+        assert_eq!(config.threads, 2);
+        assert!((config.delta_low - 0.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_trace_end_to_end() {
+        let dir = tmp_dir("trace");
+        cmd_generate(&dir, "small", Some(11)).unwrap();
+        let old = dir.join("census_1851.csv");
+        let new = dir.join("census_1861.csv");
+        let trace_path = dir.join("trace.json");
+        let summary = cli(&[
+            "link",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--old-year",
+            "1851",
+            "--new-year",
+            "1861",
+            "--out",
+            dir.join("linked").to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+            "--verbose",
+        ])
+        .unwrap();
+        // verbose prints the phase table inline
+        assert!(summary.contains("% wall"), "{summary}");
+        assert!(summary.contains("prematch"), "{summary}");
+        assert!(trace_path.exists());
+
+        // the written JSON passes the validator, both as a library call
+        // and through the subcommand
+        let report = cmd_trace_check(&trace_path).unwrap();
+        assert!(report.contains("trace OK"), "{report}");
+        let report = cli(&["trace-check", trace_path.to_str().unwrap()]).unwrap();
+        assert!(report.contains("iteration(s)"), "{report}");
+
+        // garbage input fails loudly
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"nope\": 1}").unwrap();
+        assert!(cmd_trace_check(&bad).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_low_shortens_schedule() {
+        let dir = tmp_dir("dlow");
+        cmd_generate(&dir, "small", Some(13)).unwrap();
+        let old = dir.join("census_1851.csv");
+        let new = dir.join("census_1861.csv");
+        // δ_low = δ_high = 0.7 leaves a single iteration
+        let summary = cli(&[
+            "link",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--old-year",
+            "1851",
+            "--new-year",
+            "1861",
+            "--out",
+            dir.join("linked").to_str().unwrap(),
+            "--delta-low",
+            "0.7",
+            "--threads",
+            "1",
+        ])
+        .unwrap();
+        assert!(summary.contains("1 iteration(s)"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evolve_trace_is_multi_run() {
+        let dir = tmp_dir("etrace");
+        cmd_generate(&dir, "small", Some(17)).unwrap();
+        let files: Vec<PathBuf> = (0..3)
+            .map(|i| dir.join(format!("census_{}.csv", 1851 + 10 * i)))
+            .collect();
+        let trace_path = dir.join("evolve_trace.json");
+        let opts = LinkOptions {
+            trace_out: Some(trace_path.clone()),
+            ..LinkOptions::default()
+        };
+        cmd_evolve(&files, 1851, 10, None, &opts).unwrap();
+        let report = cmd_trace_check(&trace_path).unwrap();
+        // 2 link runs + 1 evolution-graph build
+        assert!(report.contains("3 run(s)"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,101 +1,14 @@
 //! `census-linkage` — temporal record and household linkage over CSV
 //! files. See the crate docs of [`census_cli`] for the subcommands.
+//!
+//! All parsing and subcommand logic lives in the library (testable);
+//! this binary only forwards `std::env::args` and maps the result to an
+//! exit code.
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "\
-census-linkage — temporal record and household linkage for census data
-
-USAGE:
-  census-linkage generate --out DIR [--scale small|medium|paper] [--seed N]
-  census-linkage stats FILE.csv --year YEAR
-  census-linkage link OLD.csv NEW.csv --old-year Y --new-year Y --out DIR
-  census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
-  census-linkage evaluate FOUND.csv TRUTH.csv --kind records|groups
-";
-
-fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
-    if let Some(pos) = args.iter().position(|a| a == flag) {
-        if pos + 1 >= args.len() {
-            return Err(format!("{flag} needs a value"));
-        }
-        let value = args.remove(pos + 1);
-        args.remove(pos);
-        Ok(Some(value))
-    } else {
-        Ok(None)
-    }
-}
-
-fn parse_i32(s: &str, what: &str) -> Result<i32, String> {
-    s.parse().map_err(|_| format!("bad {what}: {s:?}"))
-}
-
-fn run() -> Result<String, String> {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first().cloned() else {
-        return Err(USAGE.to_owned());
-    };
-    args.remove(0);
-    match command.as_str() {
-        "generate" => {
-            let out = take_value(&mut args, "--out")?.ok_or("generate needs --out DIR")?;
-            let scale = take_value(&mut args, "--scale")?.unwrap_or_else(|| "medium".into());
-            let seed = take_value(&mut args, "--seed")?
-                .map(|s| s.parse().map_err(|_| format!("bad seed {s:?}")))
-                .transpose()?;
-            let written = census_cli::cmd_generate(&PathBuf::from(out), &scale, seed)?;
-            Ok(format!("wrote {} files", written.len()))
-        }
-        "stats" => {
-            let year = take_value(&mut args, "--year")?.ok_or("stats needs --year YEAR")?;
-            let year = parse_i32(&year, "year")?;
-            let file = args.first().ok_or("stats needs a FILE.csv argument")?;
-            census_cli::cmd_stats(&PathBuf::from(file), year)
-        }
-        "link" => {
-            let old_year = take_value(&mut args, "--old-year")?.ok_or("link needs --old-year")?;
-            let new_year = take_value(&mut args, "--new-year")?.ok_or("link needs --new-year")?;
-            let out = take_value(&mut args, "--out")?.ok_or("link needs --out DIR")?;
-            if args.len() != 2 {
-                return Err("link needs exactly OLD.csv and NEW.csv".into());
-            }
-            census_cli::cmd_link(
-                &PathBuf::from(&args[0]),
-                &PathBuf::from(&args[1]),
-                parse_i32(&old_year, "old-year")?,
-                parse_i32(&new_year, "new-year")?,
-                &PathBuf::from(out),
-            )
-        }
-        "evolve" => {
-            let start =
-                take_value(&mut args, "--start-year")?.ok_or("evolve needs --start-year")?;
-            let interval = take_value(&mut args, "--interval")?.unwrap_or_else(|| "10".into());
-            let out = take_value(&mut args, "--out")?;
-            let files: Vec<PathBuf> = args.iter().map(PathBuf::from).collect();
-            census_cli::cmd_evolve(
-                &files,
-                parse_i32(&start, "start-year")?,
-                parse_i32(&interval, "interval")?,
-                out.map(PathBuf::from).as_deref(),
-            )
-        }
-        "evaluate" => {
-            let kind = take_value(&mut args, "--kind")?.unwrap_or_else(|| "records".into());
-            if args.len() != 2 {
-                return Err("evaluate needs exactly FOUND.csv and TRUTH.csv".into());
-            }
-            census_cli::cmd_evaluate(&PathBuf::from(&args[0]), &PathBuf::from(&args[1]), &kind)
-        }
-        "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
-        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
-    }
-}
-
 fn main() -> ExitCode {
-    match run() {
+    match census_cli::run_cli(std::env::args().skip(1).collect()) {
         Ok(output) => {
             println!("{output}");
             ExitCode::SUCCESS

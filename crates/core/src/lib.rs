@@ -52,7 +52,7 @@ pub use cluster::UnionFind;
 pub use config::{LinkageConfig, RemainderConfig};
 pub use group_sim::{score_subgraph, GroupScore, SelectionWeights};
 pub use linker::Linker;
-pub use pipeline::{link, link_series, IterationStats, LinkPhase, LinkageResult};
+pub use pipeline::{link, link_series, link_traced, IterationStats, LinkPhase, LinkageResult};
 pub use prematch::{prematch, prematch_with_profiles, PreMatch};
 pub use profiles::ProfileCache;
 pub use remainder::{match_remaining, match_remaining_cached};

@@ -13,7 +13,9 @@ use crate::selection::{select_and_extract, ScoredSubgroup};
 use crate::{IterationStats, LinkPhase, LinkageResult};
 use census_model::{CensusDataset, GroupMapping, HouseholdId, PersonRecord, RecordMapping};
 use hhgraph::{match_subgraph, EnrichedGraph};
+use obs::{Collector, Counter, ITERATION_SPAN};
 use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
 
 /// Precomputed state for linking one snapshot pair repeatedly.
 pub struct Linker<'a> {
@@ -29,6 +31,14 @@ impl<'a> Linker<'a> {
     /// Enrich both snapshots once (`completeGroups`, §3.1).
     #[must_use]
     pub fn new(old: &'a CensusDataset, new: &'a CensusDataset) -> Self {
+        Self::new_traced(old, new, &Collector::disabled())
+    }
+
+    /// [`Linker::new`] recording the enrichment as an `enrich` span on
+    /// `obs`.
+    #[must_use]
+    pub fn new_traced(old: &'a CensusDataset, new: &'a CensusDataset, obs: &Collector) -> Self {
+        let _enrich = obs.span("enrich");
         let old_graphs = EnrichedGraph::build_all(old);
         let new_graphs = EnrichedGraph::build_all(new);
         let old_gidx = old_graphs
@@ -72,6 +82,8 @@ impl<'a> Linker<'a> {
         pm: &crate::PreMatch,
         config: &LinkageConfig,
         delta: f64,
+        iteration: usize,
+        obs: &Collector,
     ) -> Vec<ScoredSubgroup> {
         let score_one = |&(go, gn): &(HouseholdId, HouseholdId)| -> Option<ScoredSubgroup> {
             let g_old = &self.old_graphs[*self.old_gidx.get(&go)?];
@@ -89,25 +101,42 @@ impl<'a> Linker<'a> {
             }
             Some(ScoredSubgroup::new(go, gn, sub, pm, config.weights, delta))
         };
+        obs.add(Counter::SubgraphPairsScored, cand_list.len() as u64);
         let threads = config.threads.max(1);
-        if threads == 1 || cand_list.len() < 2048 {
-            return cand_list.iter().filter_map(score_one).collect();
-        }
-        let chunk = cand_list.len().div_ceil(threads);
-        let mut out = Vec::with_capacity(cand_list.len());
-        crossbeam::scope(|scope| {
-            let handles: Vec<_> = cand_list
-                .chunks(chunk)
-                .map(|slice| {
-                    scope.spawn(move |_| slice.iter().filter_map(score_one).collect::<Vec<_>>())
-                })
-                .collect();
-            for h in handles {
-                out.extend(h.join().expect("candidate scorer panicked"));
-            }
-        })
-        .expect("crossbeam scope");
-        out
+        let scored = if threads == 1 || cand_list.len() < 2048 {
+            cand_list.iter().filter_map(score_one).collect()
+        } else {
+            let chunk = cand_list.len().div_ceil(threads);
+            let mut out = Vec::with_capacity(cand_list.len());
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = cand_list
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(ci, slice)| {
+                        let score_one = &score_one;
+                        scope.spawn(move |_| {
+                            let start = Instant::now();
+                            let scored = slice.iter().filter_map(score_one).collect::<Vec<_>>();
+                            obs.thread_chunk(
+                                "subgraph",
+                                Some(iteration),
+                                ci,
+                                slice.len(),
+                                start.elapsed(),
+                            );
+                            scored
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    out.extend(h.join().expect("candidate scorer panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            out
+        };
+        obs.add(Counter::GroupCandidates, scored.len() as u64);
+        scored
     }
 
     /// Run Algorithm 1 with the given configuration, reusing the cached
@@ -118,6 +147,21 @@ impl<'a> Linker<'a> {
     /// Panics if `config` is invalid.
     #[must_use]
     pub fn run(&self, config: &LinkageConfig) -> LinkageResult {
+        self.run_traced(config, &Collector::disabled())
+    }
+
+    /// [`Linker::run`] reporting spans and counters to `obs`: one
+    /// `iteration` span per δ step (with nested `prematch` / `subgraph`
+    /// / `selection` phases), a `remainder` span, pair and link
+    /// counters, and the profile-cache totals. With a disabled
+    /// collector every instrumentation point is a single branch, so
+    /// this *is* the uninstrumented hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    #[must_use]
+    pub fn run_traced(&self, config: &LinkageConfig, obs: &Collector) -> LinkageResult {
         config.validate();
         let year_gap = i64::from(self.new.year - self.old.year);
         // labels above this base mark anchor pairs; they cannot collide
@@ -137,42 +181,54 @@ impl<'a> Linker<'a> {
         let mut cache = ProfileCache::new();
 
         let mut delta = config.delta_high;
+        let mut iter_idx = 0usize;
         loop {
+            let _iter = obs.iter_span(ITERATION_SPAN, iter_idx, Some(delta));
             let sim = config.sim_func.with_threshold(delta);
-            let (old_profiles, new_profiles) = cache.profiles(&sim, &remaining_old, &remaining_new);
-            let mut pm = prematch_with_profiles(
-                &remaining_old,
-                &remaining_new,
-                &old_profiles,
-                &new_profiles,
-                year_gap,
-                &sim,
-                config.blocking,
-                config.threads,
-                config.prematch_max_age_gap,
-            );
+            let pm = {
+                let _prematch = obs.span("prematch");
+                let (old_profiles, new_profiles) =
+                    cache.profiles(&sim, &remaining_old, &remaining_new);
+                let mut pm = prematch_with_profiles(
+                    &remaining_old,
+                    &remaining_new,
+                    &old_profiles,
+                    &new_profiles,
+                    year_gap,
+                    &sim,
+                    config.blocking,
+                    config.threads,
+                    config.prematch_max_age_gap,
+                    obs,
+                );
 
-            // inject confirmed links as high-confidence anchors
-            for (idx, (o, n)) in records.iter().enumerate() {
-                let label = ANCHOR_BASE + idx as u64;
-                pm.label_old.insert(o, label);
-                pm.label_new.insert(n, label);
-                pm.cluster_size.insert(label, 2);
-                pm.pair_sims.insert((o, n), 1.0);
-            }
+                // inject confirmed links as high-confidence anchors
+                for (idx, (o, n)) in records.iter().enumerate() {
+                    let label = ANCHOR_BASE + idx as u64;
+                    pm.label_old.insert(o, label);
+                    pm.label_new.insert(n, label);
+                    pm.cluster_size.insert(label, 2);
+                    pm.pair_sims.insert((o, n), 1.0);
+                }
+                pm
+            };
 
-            // candidate group pairs: households connected by ≥1 match pair
-            let mut cand_pairs: BTreeSet<(HouseholdId, HouseholdId)> = BTreeSet::new();
-            for &(o, n) in pm.pair_sims.keys() {
-                let (Some(ro), Some(rn)) = (self.old.record(o), self.new.record(n)) else {
-                    continue;
-                };
-                cand_pairs.insert((ro.household, rn.household));
-            }
+            let candidates = {
+                let _subgraph = obs.span("subgraph");
+                // candidate group pairs: households connected by ≥1 match pair
+                let mut cand_pairs: BTreeSet<(HouseholdId, HouseholdId)> = BTreeSet::new();
+                for &(o, n) in pm.pair_sims.keys() {
+                    let (Some(ro), Some(rn)) = (self.old.record(o), self.new.record(n)) else {
+                        continue;
+                    };
+                    cand_pairs.insert((ro.household, rn.household));
+                }
 
-            let cand_list: Vec<(HouseholdId, HouseholdId)> = cand_pairs.into_iter().collect();
-            let candidates = self.score_candidates(&cand_list, &pm, config, delta);
+                let cand_list: Vec<(HouseholdId, HouseholdId)> = cand_pairs.into_iter().collect();
+                self.score_candidates(&cand_list, &pm, config, delta, iter_idx, obs)
+            };
 
+            let _selection = obs.span("selection");
             let records_before = records.len();
             let groups_before = groups.len();
             let (accepted, added) = select_and_extract(
@@ -195,6 +251,8 @@ impl<'a> Linker<'a> {
             let record_links = records.len() - records_before;
             let group_links = groups.len() - groups_before;
             let progress = accepted > 0 && (group_links > 0 || record_links > 0);
+            obs.add(Counter::GroupLinksAccepted, group_links as u64);
+            obs.add(Counter::RecordLinks, record_links as u64);
 
             iterations.push(IterationStats {
                 delta,
@@ -208,30 +266,38 @@ impl<'a> Linker<'a> {
                 remaining_old.retain(|r| !records.contains_old(r.id));
                 remaining_new.retain(|r| !records.contains_new(r.id));
             }
+            drop(_selection);
 
             if config.delta_step <= 0.0 {
                 break;
             }
             delta -= config.delta_step;
+            iter_idx += 1;
             if !progress || delta < config.delta_low - 1e-9 {
                 break;
             }
         }
 
-        let remainder_added = match_remaining_cached(
-            self.old,
-            self.new,
-            &remaining_old,
-            &remaining_new,
-            &config.remainder,
-            config.blocking,
-            &mut records,
-            &mut groups,
-            &mut cache,
-        );
+        let remainder_added = {
+            let _remainder = obs.span("remainder");
+            match_remaining_cached(
+                self.old,
+                self.new,
+                &remaining_old,
+                &remaining_new,
+                &config.remainder,
+                config.blocking,
+                &mut records,
+                &mut groups,
+                &mut cache,
+                obs,
+            )
+        };
         for &(o, n) in &remainder_added {
             provenance.insert((o, n), LinkPhase::Remainder);
         }
+        obs.add(Counter::ProfilesBuilt, cache.built() as u64);
+        obs.add(Counter::ProfilesReused, cache.reused() as u64);
 
         LinkageResult {
             records,

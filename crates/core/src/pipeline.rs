@@ -79,6 +79,25 @@ pub fn link(old: &CensusDataset, new: &CensusDataset, config: &LinkageConfig) ->
     crate::Linker::new(old, new).run(config)
 }
 
+/// [`link`] reporting phase spans and counters to `obs`.
+///
+/// Records the `enrich` phase plus everything [`crate::Linker::run_traced`]
+/// reports; call [`obs::Collector::finish`] afterwards to snapshot the
+/// [`obs::RunTrace`].
+///
+/// # Panics
+///
+/// Panics if `config` is invalid (see [`LinkageConfig::validate`]).
+#[must_use]
+pub fn link_traced(
+    old: &CensusDataset,
+    new: &CensusDataset,
+    config: &LinkageConfig,
+    obs: &obs::Collector,
+) -> LinkageResult {
+    crate::Linker::new_traced(old, new, obs).run_traced(config, obs)
+}
+
 /// Link every successive pair of a census series with one configuration.
 ///
 /// Convenience for evolution analyses spanning many censuses; results are

@@ -11,7 +11,9 @@ use crate::blocking::{candidate_pairs, BlockingStrategy};
 use crate::cluster::UnionFind;
 use crate::simfunc::{CompiledProfile, SimFunc};
 use census_model::{PersonRecord, RecordId};
+use obs::{Collector, Counter};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Whether a candidate pair is age-plausible: the new age must lie within
 /// `tolerance` years of `old age + year_gap` (the paper's footnote 2:
@@ -66,34 +68,51 @@ fn score_pairs(
     new_profiles: &[&CompiledProfile],
     sim: &SimFunc,
     threads: usize,
+    obs: &Collector,
 ) -> Vec<(u32, u32, f64)> {
     let threads = threads.max(1);
     if pairs.is_empty() {
         return Vec::new();
     }
-    if threads == 1 || pairs.len() < 4096 {
-        return pairs
+    // prune tallies accumulate into a worker-local integer and are
+    // flushed to the collector once per slice, so the hot loop carries
+    // no synchronisation and a disabled collector costs one branch
+    let score_slice = |slice: &[(u32, u32)]| -> (Vec<(u32, u32, f64)>, u64) {
+        let mut prunes = 0u64;
+        let scored = slice
             .iter()
             .filter_map(|&(i, j)| {
-                sim.matches_compiled(old_profiles[i as usize], new_profiles[j as usize])
-                    .map(|s| (i, j, s))
+                sim.matches_compiled_counted(
+                    old_profiles[i as usize],
+                    new_profiles[j as usize],
+                    &mut prunes,
+                )
+                .map(|s| (i, j, s))
             })
             .collect();
+        (scored, prunes)
+    };
+    obs.add(Counter::PrematchPairsScored, pairs.len() as u64);
+    if threads == 1 || pairs.len() < 4096 {
+        let (out, prunes) = score_slice(pairs);
+        obs.add(Counter::EarlyExitPrunes, prunes);
+        obs.add(Counter::PrematchPairsMatched, out.len() as u64);
+        return out;
     }
     let chunk = pairs.len().div_ceil(threads);
     let mut out = Vec::with_capacity(pairs.len() / 4);
     crossbeam::scope(|scope| {
         let handles: Vec<_> = pairs
             .chunks(chunk)
-            .map(|slice| {
+            .enumerate()
+            .map(|(ci, slice)| {
+                let score_slice = &score_slice;
                 scope.spawn(move |_| {
-                    slice
-                        .iter()
-                        .filter_map(|&(i, j)| {
-                            sim.matches_compiled(old_profiles[i as usize], new_profiles[j as usize])
-                                .map(|s| (i, j, s))
-                        })
-                        .collect::<Vec<_>>()
+                    let start = Instant::now();
+                    let (scored, prunes) = score_slice(slice);
+                    obs.add(Counter::EarlyExitPrunes, prunes);
+                    obs.thread_chunk("prematch", None, ci, slice.len(), start.elapsed());
+                    scored
                 })
             })
             .collect();
@@ -102,6 +121,7 @@ fn score_pairs(
         }
     })
     .expect("crossbeam scope");
+    obs.add(Counter::PrematchPairsMatched, out.len() as u64);
     out
 }
 
@@ -135,13 +155,16 @@ pub fn prematch(
         strategy,
         threads,
         max_age_gap,
+        &Collector::disabled(),
     )
 }
 
 /// [`prematch`] over profiles the caller already compiled (e.g. served
 /// by a `ProfileCache` across the iterative driver's δ schedule).
 /// `old_profiles[i]` must be `sim.compile(old[i])` — same specs, same
-/// order — and likewise for the new side.
+/// order — and likewise for the new side. Pair/prune counters and
+/// per-thread chunk timings are reported to `obs` (pass
+/// [`Collector::disabled`] when not tracing).
 #[allow(clippy::too_many_arguments)] // prematch's inputs plus the profile slices
 #[must_use]
 pub fn prematch_with_profiles(
@@ -154,6 +177,7 @@ pub fn prematch_with_profiles(
     strategy: BlockingStrategy,
     threads: usize,
     max_age_gap: Option<u32>,
+    obs: &Collector,
 ) -> PreMatch {
     debug_assert_eq!(old.len(), old_profiles.len());
     debug_assert_eq!(new.len(), new_profiles.len());
@@ -161,7 +185,7 @@ pub fn prematch_with_profiles(
     if let Some(tol) = max_age_gap {
         pairs.retain(|&(i, j)| age_plausible(old[i as usize], new[j as usize], year_gap, tol));
     }
-    let matches = score_pairs(&pairs, old_profiles, new_profiles, sim, threads);
+    let matches = score_pairs(&pairs, old_profiles, new_profiles, sim, threads, obs);
 
     // transitive closure: indices 0..n_old are old records, n_old.. new
     let n_old = old.len();

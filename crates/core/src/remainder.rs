@@ -10,6 +10,7 @@ use crate::config::RemainderConfig;
 use crate::profiles::ProfileCache;
 use crate::simfunc::SimFunc;
 use census_model::{CensusDataset, GroupMapping, PersonRecord, RecordId, RecordMapping};
+use obs::{Collector, Counter};
 
 /// Whether a pair is age-plausible: the new age must be within
 /// `max_age_gap` years of `old age + census gap`. Pairs with a missing
@@ -48,12 +49,15 @@ pub fn match_remaining(
         records,
         groups,
         &mut cache,
+        &Collector::disabled(),
     )
 }
 
 /// [`match_remaining`] reusing an existing [`ProfileCache`]: when the
 /// remainder function's specs equal the cache's, every residue record's
-/// profile is a cache hit from the subgraph iterations.
+/// profile is a cache hit from the subgraph iterations. Pair counters
+/// are reported to `obs` (pass [`Collector::disabled`] when not
+/// tracing).
 #[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's inputs
 pub fn match_remaining_cached(
     old_ds: &CensusDataset,
@@ -65,6 +69,7 @@ pub fn match_remaining_cached(
     records: &mut RecordMapping,
     groups: &mut GroupMapping,
     cache: &mut ProfileCache,
+    obs: &Collector,
 ) -> Vec<(RecordId, RecordId)> {
     if !config.enabled || remaining_old.is_empty() || remaining_new.is_empty() {
         return Vec::new();
@@ -74,6 +79,8 @@ pub fn match_remaining_cached(
     let (old_profiles, new_profiles) = cache.profiles(sim, remaining_old, remaining_new);
     let pairs = candidate_pairs(remaining_old, remaining_new, year_gap, blocking);
 
+    obs.add(Counter::RemainderPairsScored, pairs.len() as u64);
+    let mut prunes = 0u64;
     let mut scored: Vec<(f64, RecordId, RecordId)> = pairs
         .into_iter()
         .filter_map(|(i, j)| {
@@ -81,10 +88,15 @@ pub fn match_remaining_cached(
             if !age_plausible(o, n, year_gap, config.max_age_gap) {
                 return None;
             }
-            sim.matches_compiled(old_profiles[i as usize], new_profiles[j as usize])
-                .map(|s| (s, o.id, n.id))
+            sim.matches_compiled_counted(
+                old_profiles[i as usize],
+                new_profiles[j as usize],
+                &mut prunes,
+            )
+            .map(|s| (s, o.id, n.id))
         })
         .collect();
+    obs.add(Counter::EarlyExitPrunes, prunes);
     // mutual-best filter: drop pairs whose runner-up on either side is
     // within the margin — those are exactly the ambiguous leftovers
     if config.mutual_best_margin > 0.0 {
@@ -134,6 +146,7 @@ pub fn match_remaining_cached(
             groups.insert(ro.household, rn.household);
         }
     }
+    obs.add(Counter::RemainderLinks, added.len() as u64);
     added
 }
 

@@ -230,12 +230,32 @@ impl SimFunc {
     /// the returned score is bit-identical to the naive path's.
     #[must_use]
     pub fn matches_compiled(&self, a: &CompiledProfile, b: &CompiledProfile) -> Option<f64> {
+        let mut prunes = 0;
+        self.matches_compiled_counted(a, b, &mut prunes)
+    }
+
+    /// [`SimFunc::matches_compiled`] that additionally increments
+    /// `prunes` when the early-exit bound rejects the pair before every
+    /// attribute was scored — the signal the observability layer
+    /// aggregates into its `early_exit_prunes` counter. Accumulating
+    /// into a caller-local integer keeps the hot loop free of any
+    /// synchronisation.
+    #[must_use]
+    pub fn matches_compiled_counted(
+        &self,
+        a: &CompiledProfile,
+        b: &CompiledProfile,
+        prunes: &mut u64,
+    ) -> Option<f64> {
         let mut partial = 0.0;
         for (k, &i) in self.order.iter().enumerate() {
             let s = &self.specs[i];
             partial += s.weight * a.values[i].similarity(&b.values[i]);
             // upper bound: every remaining attribute scores a perfect 1.0
             if partial + self.suffix[k + 1] < self.threshold - PRUNE_EPS {
+                if k + 1 < self.order.len() {
+                    *prunes += 1;
+                }
                 return None;
             }
         }

@@ -94,6 +94,7 @@ fn prematch_with_cached_profiles_is_identical() {
                 BlockingStrategy::Full,
                 1 + round, // also cross the thread counts
                 Some(3),
+                &obs::Collector::disabled(),
             );
             assert_eq!(plain.pair_sims, cached.pair_sims, "δ={delta} round {round}");
             assert_eq!(plain.label_old, cached.label_old, "δ={delta} round {round}");
@@ -145,6 +146,7 @@ fn remainder_cached_equals_uncached() {
         &mut records,
         &mut groups,
         &mut cache,
+        &obs::Collector::disabled(),
     );
     assert_eq!(added1, added2);
     assert_eq!(

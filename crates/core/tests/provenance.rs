@@ -1,0 +1,79 @@
+//! Integration tests of link provenance: every record link must carry a
+//! [`LinkPhase`] entry consistent with the configured δ schedule.
+
+use census_synth::{generate_series, SimConfig};
+use linkage_core::{link, LinkPhase, LinkageConfig};
+
+#[test]
+fn every_link_has_provenance() {
+    let series = generate_series(&SimConfig::small());
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let result = link(old, new, &LinkageConfig::default());
+    assert!(!result.records.is_empty());
+    for (o, n) in result.records.iter() {
+        assert!(
+            result.explain(o, n).is_some(),
+            "record link {o}->{n} has no provenance entry"
+        );
+    }
+    // and nothing beyond the mapping is recorded
+    assert_eq!(result.provenance.len(), result.records.len());
+}
+
+#[test]
+fn remainder_links_match_remainder_phase_count() {
+    let series = generate_series(&SimConfig::small());
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let result = link(old, new, &LinkageConfig::default());
+    let remainder = result
+        .provenance
+        .values()
+        .filter(|p| matches!(p, LinkPhase::Remainder))
+        .count();
+    assert_eq!(result.remainder_links, remainder);
+}
+
+#[test]
+fn subgraph_deltas_lie_on_the_configured_schedule() {
+    let series = generate_series(&SimConfig::small());
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let config = LinkageConfig::default();
+    let result = link(old, new, &config);
+    // the schedule is δ_high, δ_high − Δ, … down to δ_low
+    let on_schedule = |delta: f64| {
+        let steps = ((config.delta_high - delta) / config.delta_step).round();
+        let snapped = config.delta_high - steps * config.delta_step;
+        (delta - snapped).abs() < 1e-9
+            && delta <= config.delta_high + 1e-9
+            && delta >= config.delta_low - 1e-9
+    };
+    let mut subgraph = 0;
+    for phase in result.provenance.values() {
+        if let LinkPhase::Subgraph { delta, g_sim } = phase {
+            subgraph += 1;
+            assert!(on_schedule(*delta), "off-schedule δ {delta}");
+            assert!((0.0..=1.0).contains(g_sim));
+        }
+    }
+    assert!(subgraph > 0, "expected subgraph-phase links");
+}
+
+#[test]
+fn custom_delta_low_bounds_provenance_deltas() {
+    let series = generate_series(&SimConfig::small());
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let config = LinkageConfig {
+        delta_low: 0.6,
+        ..LinkageConfig::default()
+    };
+    let result = link(old, new, &config);
+    assert!(result.iterations.len() <= 3); // 0.7, 0.65, 0.6
+    for phase in result.provenance.values() {
+        if let LinkPhase::Subgraph { delta, .. } = phase {
+            assert!(
+                *delta >= 0.6 - 1e-9,
+                "δ {delta} below the configured δ_low 0.6"
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration tests of the observability layer: the trace recorded by
+//! [`link_traced`] must agree exactly with the [`LinkageResult`] it
+//! accompanies, and tracing must never change the linkage outcome.
+
+use census_synth::{generate_series, SimConfig};
+use linkage_core::{link, link_traced, LinkageConfig};
+use obs::{Collector, PIPELINE_PHASES};
+
+fn pair() -> census_synth::CensusSeries {
+    generate_series(&SimConfig::small())
+}
+
+#[test]
+fn iteration_spans_match_result_one_to_one() {
+    let series = pair();
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let obs = Collector::enabled();
+    let result = link_traced(old, new, &LinkageConfig::default(), &obs);
+    let trace = obs.finish();
+
+    assert_eq!(
+        trace.iterations.len(),
+        result.iterations.len(),
+        "one trace span per executed δ iteration"
+    );
+    for (span, stats) in trace.iterations.iter().zip(&result.iterations) {
+        assert!(
+            (span.delta - stats.delta).abs() < 1e-9,
+            "iteration {} δ mismatch: trace {} vs result {}",
+            span.index,
+            span.delta,
+            stats.delta
+        );
+    }
+    // indices are contiguous from 0 in execution order
+    for (i, span) in trace.iterations.iter().enumerate() {
+        assert_eq!(span.index, i);
+    }
+}
+
+#[test]
+fn trace_has_all_pipeline_phases_and_consistent_times() {
+    let series = pair();
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let obs = Collector::enabled();
+    let _ = link_traced(old, new, &LinkageConfig::default(), &obs);
+    let trace = obs.finish();
+
+    assert!(trace.enabled);
+    for phase in PIPELINE_PHASES {
+        assert!(
+            trace.phase(phase).is_some(),
+            "phase {phase:?} missing from trace"
+        );
+    }
+    // the full pipeline invariants (phase sums ≤ totals, δ monotone)
+    trace.validate_pipeline().unwrap();
+
+    // iterative phases sum to at most each iteration's wall time
+    for it in &trace.iterations {
+        let sum: u64 = it.phases.iter().map(|p| p.total_us).sum();
+        assert!(sum <= it.total_us, "iteration {} over-counts", it.index);
+    }
+}
+
+#[test]
+fn tracing_does_not_change_the_result() {
+    let series = pair();
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let config = LinkageConfig::default();
+    let plain = link(old, new, &config);
+    let traced = link_traced(old, new, &config, &Collector::enabled());
+
+    let a: std::collections::BTreeSet<_> = plain.records.iter().collect();
+    let b: std::collections::BTreeSet<_> = traced.records.iter().collect();
+    assert_eq!(a, b);
+    let ga: std::collections::BTreeSet<_> = plain.groups.iter().collect();
+    let gb: std::collections::BTreeSet<_> = traced.groups.iter().collect();
+    assert_eq!(ga, gb);
+    assert_eq!(plain.iterations.len(), traced.iterations.len());
+    assert_eq!(plain.remainder_links, traced.remainder_links);
+}
+
+#[test]
+fn counters_agree_with_result_fields() {
+    let series = pair();
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let obs = Collector::enabled();
+    let result = link_traced(old, new, &LinkageConfig::default(), &obs);
+    let trace = obs.finish();
+
+    let counter = |name: &str| trace.counter(name);
+    assert_eq!(counter("profiles_built"), result.profiles_built as u64);
+    assert_eq!(counter("profiles_reused"), result.profiles_reused as u64);
+    assert_eq!(counter("remainder_links"), result.remainder_links as u64);
+    assert_eq!(
+        counter("record_links"),
+        result.records.len() as u64 - result.remainder_links as u64
+    );
+    let group_links: usize = result.iterations.iter().map(|i| i.group_links).sum();
+    assert_eq!(counter("group_links_accepted"), group_links as u64);
+    // scoring happened and the hit rate is well-formed
+    assert!(counter("prematch_pairs_scored") > 0);
+    let rate = trace.profile_cache_hit_rate();
+    assert!((0.0..=1.0).contains(&rate));
+}
+
+#[test]
+fn disabled_collector_records_nothing() {
+    let series = pair();
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let obs = Collector::disabled();
+    let result = link_traced(old, new, &LinkageConfig::default(), &obs);
+    assert!(!result.records.is_empty());
+    let trace = obs.finish();
+    assert!(!trace.enabled);
+    assert!(trace.spans.is_empty());
+    assert!(trace.iterations.is_empty());
+    assert!(trace.counters.iter().all(|c| c.value == 0));
+}

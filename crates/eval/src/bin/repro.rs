@@ -1,15 +1,20 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale small|medium|paper] [--seed N] [--out DIR] [--only LIST]
+//! repro [--scale small|medium|paper] [--seed N] [--out DIR]
+//!       [--only LIST] [--traces DIR]
 //! ```
 //!
 //! Prints each table in the paper's layout and, when `--out` is given,
-//! writes machine-readable JSON reports alongside.
+//! writes machine-readable JSON reports alongside. With `--traces DIR`
+//! the quality experiments (Tables 3–7) additionally record a pipeline
+//! trace per linkage run and write one `<name>_trace.json` multi-run
+//! trace per table.
 
 use census_eval::experiments::{self, ExperimentContext};
 use census_eval::write_json;
 use census_synth::SimConfig;
+use obs::TraceSink;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -18,12 +23,14 @@ struct Args {
     config: SimConfig,
     out: Option<PathBuf>,
     only: Option<Vec<String>>,
+    traces: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut config = SimConfig::medium();
     let mut out = None;
     let mut only = None;
+    let mut traces = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -52,13 +59,22 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--only needs a value")?;
                 only = Some(v.split(',').map(|s| s.trim().to_owned()).collect());
             }
+            "--traces" => {
+                let v = argv.next().ok_or("--traces needs a value")?;
+                traces = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
-                return Err("usage: repro [--scale small|medium|paper] [--seed N] [--out DIR] [--only table1,table3,...]".to_owned());
+                return Err("usage: repro [--scale small|medium|paper] [--seed N] [--out DIR] [--only table1,table3,...] [--traces DIR]".to_owned());
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok(Args { config, out, only })
+    Ok(Args {
+        config,
+        out,
+        only,
+        traces,
+    })
 }
 
 fn wanted(only: &Option<Vec<String>>, name: &str) -> bool {
@@ -104,13 +120,47 @@ fn main() -> ExitCode {
         };
     }
 
+    // quality experiments also record per-run pipeline traces
+    macro_rules! traced_experiment {
+        ($name:literal, $module:ident) => {
+            if wanted(&args.only, $name) {
+                let t = Instant::now();
+                let mut sink = if args.traces.is_some() {
+                    TraceSink::enabled()
+                } else {
+                    TraceSink::disabled()
+                };
+                let report = experiments::$module::run_traced(&ctx, &mut sink);
+                println!("{}", report.render());
+                println!("[{} finished in {:?}]\n", $name, t.elapsed());
+                if let Some(dir) = &args.out {
+                    if let Err(e) = write_json(dir, $name, &report) {
+                        eprintln!("failed to write {} report: {e}", $name);
+                        return ExitCode::FAILURE;
+                    }
+                }
+                if let Some(dir) = &args.traces {
+                    let multi = sink.into_multi();
+                    if let Err(e) = multi.validate() {
+                        eprintln!("{} trace failed validation: {e}", $name);
+                        return ExitCode::FAILURE;
+                    }
+                    if let Err(e) = write_json(dir, concat!($name, "_trace"), &multi) {
+                        eprintln!("failed to write {} trace: {e}", $name);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        };
+    }
+
     experiment!("table1", table1);
     experiment!("table2", table2);
-    experiment!("table3", table3);
-    experiment!("table4", table4);
-    experiment!("table5", table5);
-    experiment!("table6", table6);
-    experiment!("table7", table7);
+    traced_experiment!("table3", table3);
+    traced_experiment!("table4", table4);
+    traced_experiment!("table5", table5);
+    traced_experiment!("table6", table6);
+    traced_experiment!("table7", table7);
     experiment!("fig6", fig6);
     experiment!("table8", table8);
     // extra ablations are off by default (slow); select with --only

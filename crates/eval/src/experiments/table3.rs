@@ -4,7 +4,8 @@
 use super::ExperimentContext;
 use crate::metrics::{evaluate_group_mapping, evaluate_record_mapping, Quality};
 use crate::report::render_table;
-use linkage_core::{link, LinkageConfig, SimFunc};
+use linkage_core::{link_traced, LinkageConfig, SimFunc};
+use obs::TraceSink;
 use serde::{Deserialize, Serialize};
 
 /// One configuration's result.
@@ -33,6 +34,12 @@ pub const DELTA_LOWS: [f64; 4] = [0.4, 0.45, 0.5, 0.55];
 /// Run the Table 3 sweep on the evaluation pair.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> Table3Report {
+    run_traced(ctx, &mut TraceSink::disabled())
+}
+
+/// [`run`] recording one labelled trace per ω × δ_low configuration.
+#[must_use]
+pub fn run_traced(ctx: &ExperimentContext, sink: &mut TraceSink) -> Table3Report {
     let (old, new) = ctx.eval_datasets();
     let truth = ctx.eval_truth();
     let mut rows = Vec::new();
@@ -43,7 +50,9 @@ pub fn run(ctx: &ExperimentContext) -> Table3Report {
                 delta_low,
                 ..LinkageConfig::default()
             };
-            let result = link(old, new, &config);
+            let obs = sink.collector();
+            let result = link_traced(old, new, &config, &obs);
+            sink.record(format!("table3 {name} δ_low={delta_low:.2}"), &obs);
             rows.push(Table3Row {
                 omega: name.to_owned(),
                 delta_low,

@@ -4,7 +4,8 @@
 use super::ExperimentContext;
 use crate::metrics::{evaluate_group_mapping, evaluate_record_mapping, Quality};
 use crate::report::render_table;
-use linkage_core::{link, LinkageConfig, SelectionWeights};
+use linkage_core::{link_traced, LinkageConfig, SelectionWeights};
+use obs::TraceSink;
 use serde::{Deserialize, Serialize};
 
 /// One weight configuration's result.
@@ -33,6 +34,12 @@ pub const WEIGHTS: [(f64, f64); 5] = [(1.0, 0.0), (0.0, 1.0), (0.5, 0.5), (0.33,
 /// Run the Table 4 sweep.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> Table4Report {
+    run_traced(ctx, &mut TraceSink::disabled())
+}
+
+/// [`run`] recording one labelled trace per (α, β) configuration.
+#[must_use]
+pub fn run_traced(ctx: &ExperimentContext, sink: &mut TraceSink) -> Table4Report {
     let (old, new) = ctx.eval_datasets();
     let truth = ctx.eval_truth();
     let rows = WEIGHTS
@@ -42,7 +49,9 @@ pub fn run(ctx: &ExperimentContext) -> Table4Report {
                 weights: SelectionWeights::new(alpha, beta),
                 ..LinkageConfig::default()
             };
-            let result = link(old, new, &config);
+            let obs = sink.collector();
+            let result = link_traced(old, new, &config, &obs);
+            sink.record(format!("table4 (α,β)=({alpha},{beta})"), &obs);
             Table4Row {
                 alpha,
                 beta,

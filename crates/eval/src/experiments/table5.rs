@@ -3,7 +3,8 @@
 use super::ExperimentContext;
 use crate::metrics::{evaluate_group_mapping, evaluate_record_mapping, Quality};
 use crate::report::render_table;
-use linkage_core::{link, LinkageConfig};
+use linkage_core::{link_traced, LinkageConfig};
+use obs::TraceSink;
 use serde::{Deserialize, Serialize};
 
 /// Quality of one method variant.
@@ -29,10 +30,18 @@ pub struct Table5Report {
 /// Run the iterative / non-iterative comparison.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> Table5Report {
+    run_traced(ctx, &mut TraceSink::disabled())
+}
+
+/// [`run`] recording one labelled trace per variant.
+#[must_use]
+pub fn run_traced(ctx: &ExperimentContext, sink: &mut TraceSink) -> Table5Report {
     let (old, new) = ctx.eval_datasets();
     let truth = ctx.eval_truth();
-    let evaluate = |config: &LinkageConfig, name: &str| {
-        let result = link(old, new, config);
+    let mut evaluate = |config: &LinkageConfig, name: &str| {
+        let obs = sink.collector();
+        let result = link_traced(old, new, config, &obs);
+        sink.record(format!("table5 {name}"), &obs);
         MethodQuality {
             method: name.to_owned(),
             group: evaluate_group_mapping(&result.groups, &truth.groups),

@@ -5,7 +5,8 @@ use super::ExperimentContext;
 use crate::metrics::{evaluate_record_mapping, Quality};
 use crate::report::render_table;
 use baselines::{collective_link, CollectiveConfig};
-use linkage_core::{link, LinkageConfig};
+use linkage_core::{link_traced, LinkageConfig};
+use obs::TraceSink;
 use serde::{Deserialize, Serialize};
 
 /// The Table 6 report.
@@ -20,10 +21,19 @@ pub struct Table6Report {
 /// Run the CL comparison.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> Table6Report {
+    run_traced(ctx, &mut TraceSink::disabled())
+}
+
+/// [`run`] recording a labelled trace of the iter-sub run (the CL
+/// baseline has its own pipeline and is not instrumented).
+#[must_use]
+pub fn run_traced(ctx: &ExperimentContext, sink: &mut TraceSink) -> Table6Report {
     let (old, new) = ctx.eval_datasets();
     let truth = ctx.eval_truth();
     let cl = collective_link(old, new, &CollectiveConfig::default());
-    let ours = link(old, new, &LinkageConfig::paper_best());
+    let obs = sink.collector();
+    let ours = link_traced(old, new, &LinkageConfig::paper_best(), &obs);
+    sink.record("table6 iter-sub", &obs);
     Table6Report {
         collective: evaluate_record_mapping(&cl, &truth.records),
         iter_sub: evaluate_record_mapping(&ours.records, &truth.records),

@@ -5,7 +5,8 @@ use super::ExperimentContext;
 use crate::metrics::{evaluate_group_mapping, Quality};
 use crate::report::render_table;
 use baselines::{graphsim_link, GraphSimConfig};
-use linkage_core::{link, LinkageConfig};
+use linkage_core::{link_traced, LinkageConfig};
+use obs::TraceSink;
 use serde::{Deserialize, Serialize};
 
 /// The Table 7 report.
@@ -20,10 +21,19 @@ pub struct Table7Report {
 /// Run the GraphSim comparison.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> Table7Report {
+    run_traced(ctx, &mut TraceSink::disabled())
+}
+
+/// [`run`] recording a labelled trace of the iter-sub run (the GraphSim
+/// baseline has its own pipeline and is not instrumented).
+#[must_use]
+pub fn run_traced(ctx: &ExperimentContext, sink: &mut TraceSink) -> Table7Report {
     let (old, new) = ctx.eval_datasets();
     let truth = ctx.eval_truth();
     let gs = graphsim_link(old, new, &GraphSimConfig::default());
-    let ours = link(old, new, &LinkageConfig::paper_best());
+    let obs = sink.collector();
+    let ours = link_traced(old, new, &LinkageConfig::paper_best(), &obs);
+    sink.record("table7 iter-sub", &obs);
     Table7Report {
         graphsim: evaluate_group_mapping(&gs.groups, &truth.groups),
         iter_sub: evaluate_group_mapping(&ours.groups, &truth.groups),

@@ -3,6 +3,7 @@
 
 use crate::detect::{detect_patterns, GroupPatternKind, PairPatterns};
 use census_model::{CensusDataset, GroupMapping, HouseholdId, RecordMapping};
+use obs::Collector;
 
 /// A typed group edge between snapshot `t` and `t + 1`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,16 +44,34 @@ impl EvolutionGraph {
     /// Panics unless `mappings.len() + 1 == snapshots.len()`.
     #[must_use]
     pub fn build(snapshots: &[&CensusDataset], mappings: &[(RecordMapping, GroupMapping)]) -> Self {
+        Self::build_traced(snapshots, mappings, &Collector::disabled())
+    }
+
+    /// [`EvolutionGraph::build`] recording an `evolution` span on `obs`,
+    /// with one nested `patterns` span per snapshot pair (tagged with the
+    /// pair index as its iteration).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mappings.len() + 1 == snapshots.len()`.
+    #[must_use]
+    pub fn build_traced(
+        snapshots: &[&CensusDataset],
+        mappings: &[(RecordMapping, GroupMapping)],
+        obs: &Collector,
+    ) -> Self {
         assert_eq!(
             mappings.len() + 1,
             snapshots.len(),
             "need exactly one mapping per successive snapshot pair"
         );
+        let _evolution = obs.span("evolution");
         let mut graph = EvolutionGraph {
             households_per_snapshot: snapshots.iter().map(|d| d.household_count()).collect(),
             ..Default::default()
         };
         for (t, (records, groups)) in mappings.iter().enumerate() {
+            let _pair = obs.iter_span("patterns", t, None);
             let patterns = detect_patterns(snapshots[t], snapshots[t + 1], records, groups);
             for &(old, new, kind, shared) in &patterns.group_links {
                 graph.edges.push(GroupEdge {

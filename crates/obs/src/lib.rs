@@ -1,0 +1,540 @@
+//! Structured run tracing and metrics for the linkage pipeline.
+//!
+//! The iterative driver (Algorithm 1) is a multi-phase pipeline —
+//! enrichment, then per-δ pre-matching / subgraph matching / selection,
+//! then the remainder pass — whose behaviour is opaque without per-phase
+//! timing and counters. This crate provides the in-tree instrumentation
+//! layer (the build is offline, so crates.io `tracing` is unavailable):
+//!
+//! * [`Collector`] — nested phase spans with wall-clock timing, optional
+//!   per-δ-iteration tagging, atomic pipeline [`Counter`]s, and
+//!   per-thread chunk timings from the parallel scoring loops.
+//! * [`RunTrace`] — the serialisable report assembled by
+//!   [`Collector::finish`]: aggregated phase statistics, a per-iteration
+//!   breakdown, counters, chunk timings and the raw spans. Serialises to
+//!   JSON via the vendored `serde_json` and renders as a human-readable
+//!   phase table.
+//! * [`TraceSink`] — a small accumulator for harnesses that run many
+//!   linkages (the eval experiment runners) and want one labelled trace
+//!   per run.
+//!
+//! # Cost model
+//!
+//! A disabled collector ([`Collector::disabled`]) reduces every call to
+//! a single predictable branch on a plain `bool` — no locks, no clock
+//! reads, no allocation — so instrumented hot paths stay within noise of
+//! the uninstrumented code. Spans must be opened and closed from one
+//! thread (the pipeline driver); counters and chunk timings may be
+//! reported from any thread.
+//!
+//! # Example
+//!
+//! ```
+//! use obs::{Collector, Counter};
+//!
+//! let obs = Collector::enabled();
+//! {
+//!     let _phase = obs.span("prematch");
+//!     obs.add(Counter::PrematchPairsScored, 10);
+//! } // span ends when the guard drops
+//! let trace = obs.finish();
+//! assert_eq!(trace.phases.len(), 1);
+//! assert_eq!(trace.counter("prematch_pairs_scored"), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+mod report;
+
+pub use report::{
+    ChunkTiming, CounterValue, IterationTrace, LabeledTrace, MultiTrace, PhaseStat, RunTrace,
+    SpanRecord, PIPELINE_PHASES,
+};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The pipeline counters a [`Collector`] tracks.
+///
+/// Counters are fixed-slot atomics (not a string-keyed map) so that
+/// incrementing one from a scoring loop is a single relaxed
+/// `fetch_add`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Candidate record pairs scored by pre-matching.
+    PrematchPairsScored,
+    /// Pre-matching pairs at or above the δ threshold.
+    PrematchPairsMatched,
+    /// Pairs rejected by the descending-weight early-exit bound before
+    /// all attributes were scored (pre-matching and remainder combined).
+    EarlyExitPrunes,
+    /// Candidate household pairs given to the subgraph matcher.
+    SubgraphPairsScored,
+    /// Household pairs whose matched subgraph was non-empty (the inputs
+    /// of Algorithm 2).
+    GroupCandidates,
+    /// Group links accepted by Algorithm 2.
+    GroupLinksAccepted,
+    /// Record links extracted from accepted subgraphs.
+    RecordLinks,
+    /// Candidate pairs scored by the remaining-records pass.
+    RemainderPairsScored,
+    /// Record links added by the remaining-records pass.
+    RemainderLinks,
+    /// Compiled profiles built (profile-cache misses).
+    ProfilesBuilt,
+    /// Compiled profiles served from the cache (hits).
+    ProfilesReused,
+}
+
+impl Counter {
+    /// Every counter, in report order.
+    pub const ALL: [Counter; 11] = [
+        Counter::PrematchPairsScored,
+        Counter::PrematchPairsMatched,
+        Counter::EarlyExitPrunes,
+        Counter::SubgraphPairsScored,
+        Counter::GroupCandidates,
+        Counter::GroupLinksAccepted,
+        Counter::RecordLinks,
+        Counter::RemainderPairsScored,
+        Counter::RemainderLinks,
+        Counter::ProfilesBuilt,
+        Counter::ProfilesReused,
+    ];
+
+    /// Stable snake_case name used in the JSON trace.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::PrematchPairsScored => "prematch_pairs_scored",
+            Counter::PrematchPairsMatched => "prematch_pairs_matched",
+            Counter::EarlyExitPrunes => "early_exit_prunes",
+            Counter::SubgraphPairsScored => "subgraph_pairs_scored",
+            Counter::GroupCandidates => "group_candidates",
+            Counter::GroupLinksAccepted => "group_links_accepted",
+            Counter::RecordLinks => "record_links",
+            Counter::RemainderPairsScored => "remainder_pairs_scored",
+            Counter::RemainderLinks => "remainder_links",
+            Counter::ProfilesBuilt => "profiles_built",
+            Counter::ProfilesReused => "profiles_reused",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The span grouping one δ iteration of the driver; its children are the
+/// per-iteration phases. Treated specially when a [`RunTrace`] is
+/// assembled: it forms the per-iteration breakdown rather than a phase.
+pub const ITERATION_SPAN: &str = "iteration";
+
+struct Frame {
+    name: &'static str,
+    iteration: Option<usize>,
+    delta: Option<f64>,
+    start: Instant,
+}
+
+#[derive(Default)]
+struct SpanState {
+    stack: Vec<Frame>,
+    finished: Vec<SpanRecord>,
+}
+
+/// The instrumentation collector threaded through a pipeline run.
+///
+/// See the crate docs for the cost model. A collector observes exactly
+/// one run; build a fresh one per run and snapshot it with
+/// [`Collector::finish`].
+pub struct Collector {
+    enabled: bool,
+    epoch: Instant,
+    state: Mutex<SpanState>,
+    counters: [AtomicU64; Counter::ALL.len()],
+    chunks: Mutex<Vec<ChunkTiming>>,
+}
+
+impl Collector {
+    /// A collector that records spans, counters and chunk timings.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self::new(true)
+    }
+
+    /// A no-op collector: every call short-circuits on a plain branch.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::new(false)
+    }
+
+    /// Build a collector with the given state.
+    #[must_use]
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            epoch: Instant::now(),
+            state: Mutex::new(SpanState::default()),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            chunks: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether this collector records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Open a phase span; it ends (and is recorded) when the returned
+    /// guard drops. Spans nest: a span opened while another is active
+    /// becomes its child and inherits its iteration tag.
+    #[must_use]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.push_span(name, None, None)
+    }
+
+    /// Open a span tagged with a δ-iteration index (and optionally the
+    /// δ value itself). Child spans inherit the tag; the [`RunTrace`]
+    /// groups tagged spans into the per-iteration breakdown.
+    #[must_use]
+    pub fn iter_span(
+        &self,
+        name: &'static str,
+        iteration: usize,
+        delta: Option<f64>,
+    ) -> SpanGuard<'_> {
+        self.push_span(name, Some(iteration), delta)
+    }
+
+    fn push_span(
+        &self,
+        name: &'static str,
+        iteration: Option<usize>,
+        delta: Option<f64>,
+    ) -> SpanGuard<'_> {
+        if !self.enabled {
+            return SpanGuard { collector: None };
+        }
+        let mut st = self.state.lock().expect("span state poisoned");
+        st.stack.push(Frame {
+            name,
+            iteration,
+            delta,
+            start: Instant::now(),
+        });
+        SpanGuard {
+            collector: Some(self),
+        }
+    }
+
+    fn end_span(&self) {
+        let mut st = self.state.lock().expect("span state poisoned");
+        let frame = st.stack.pop().expect("span guard dropped without frame");
+        let duration_us = as_us(frame.start.elapsed());
+        let parent = st.stack.last().map(|f| f.name.to_owned());
+        let mut iteration = frame.iteration;
+        let mut delta = frame.delta;
+        for f in st.stack.iter().rev() {
+            if iteration.is_none() {
+                iteration = f.iteration;
+            }
+            if delta.is_none() {
+                delta = f.delta;
+            }
+        }
+        let path = st
+            .stack
+            .iter()
+            .map(|f| f.name)
+            .chain([frame.name])
+            .collect::<Vec<_>>()
+            .join("/");
+        let depth = st.stack.len();
+        st.finished.push(SpanRecord {
+            name: frame.name.to_owned(),
+            path,
+            parent,
+            depth,
+            iteration,
+            delta,
+            start_us: as_us(frame.start.duration_since(self.epoch)),
+            duration_us,
+        });
+    }
+
+    /// Add `n` to a counter. Thread-safe; a no-op when disabled.
+    pub fn add(&self, counter: Counter, n: u64) {
+        if self.enabled && n > 0 {
+            self.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value of a counter.
+    #[must_use]
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// Record the wall time one worker spent on one chunk of a parallel
+    /// scoring loop. Thread-safe; a no-op when disabled.
+    pub fn thread_chunk(
+        &self,
+        phase: &'static str,
+        iteration: Option<usize>,
+        chunk: usize,
+        items: usize,
+        duration: Duration,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.chunks
+            .lock()
+            .expect("chunk state poisoned")
+            .push(ChunkTiming {
+                phase: phase.to_owned(),
+                iteration,
+                chunk,
+                items,
+                duration_us: as_us(duration),
+            });
+    }
+
+    /// Snapshot the collected spans, counters and chunk timings into a
+    /// [`RunTrace`]. Total wall time is measured from the collector's
+    /// construction. Open spans are not included — close every guard
+    /// before finishing.
+    #[must_use]
+    pub fn finish(&self) -> RunTrace {
+        let total_us = as_us(self.epoch.elapsed());
+        let spans = {
+            let st = self.state.lock().expect("span state poisoned");
+            debug_assert!(
+                st.stack.is_empty(),
+                "finish() with {} open span(s)",
+                st.stack.len()
+            );
+            st.finished.clone()
+        };
+        let chunks = self.chunks.lock().expect("chunk state poisoned").clone();
+        let counters = Counter::ALL
+            .iter()
+            .map(|&c| CounterValue {
+                name: c.name().to_owned(),
+                value: self.counter(c),
+            })
+            .collect();
+        RunTrace::assemble(self.enabled, total_us, spans, counters, chunks)
+    }
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("enabled", &self.enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+fn as_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// RAII guard returned by [`Collector::span`]; records the span when
+/// dropped. Guards must drop in LIFO order (natural lexical scoping).
+pub struct SpanGuard<'a> {
+    collector: Option<&'a Collector>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(c) = self.collector {
+            c.end_span();
+        }
+    }
+}
+
+/// Accumulates one labelled [`RunTrace`] per pipeline run, for harnesses
+/// that link many times (parameter sweeps, the eval experiment runners).
+///
+/// A disabled sink hands out disabled collectors and drops every record,
+/// so traced runners cost nothing when tracing is off.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    enabled: bool,
+    /// The recorded traces, in run order.
+    pub traces: Vec<LabeledTrace>,
+}
+
+impl TraceSink {
+    /// A sink that records traces.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            traces: Vec::new(),
+        }
+    }
+
+    /// A sink that drops everything and hands out no-op collectors.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether this sink records traces.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// A fresh collector matching the sink's state, for one run.
+    #[must_use]
+    pub fn collector(&self) -> Collector {
+        Collector::new(self.enabled)
+    }
+
+    /// Record the finished trace of `collector` under `label`.
+    pub fn record(&mut self, label: impl Into<String>, collector: &Collector) {
+        if self.enabled {
+            self.traces.push(LabeledTrace {
+                label: label.into(),
+                trace: collector.finish(),
+            });
+        }
+    }
+
+    /// The recorded traces as one serialisable document.
+    #[must_use]
+    pub fn into_multi(self) -> MultiTrace {
+        MultiTrace { runs: self.traces }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let obs = Collector::disabled();
+        {
+            let _a = obs.span("prematch");
+            obs.add(Counter::PrematchPairsScored, 100);
+            obs.thread_chunk("prematch", None, 0, 10, Duration::from_millis(1));
+        }
+        let trace = obs.finish();
+        assert!(!trace.enabled);
+        assert!(trace.spans.is_empty());
+        assert!(trace.chunks.is_empty());
+        assert_eq!(trace.counter("prematch_pairs_scored"), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_inherit_iteration_tags() {
+        let obs = Collector::enabled();
+        {
+            let _it = obs.iter_span(ITERATION_SPAN, 3, Some(0.65));
+            let _pm = obs.span("prematch");
+            let _pr = obs.span("profiles");
+        }
+        let trace = obs.finish();
+        // innermost closes first
+        assert_eq!(trace.spans[0].path, "iteration/prematch/profiles");
+        assert_eq!(trace.spans[0].parent.as_deref(), Some("prematch"));
+        assert_eq!(trace.spans[0].iteration, Some(3));
+        assert_eq!(trace.spans[0].delta, Some(0.65));
+        assert_eq!(trace.spans[0].depth, 2);
+        assert_eq!(trace.spans[2].path, "iteration");
+        assert_eq!(trace.spans[2].depth, 0);
+    }
+
+    #[test]
+    fn phase_aggregation_counts_calls_and_sums_time() {
+        let obs = Collector::enabled();
+        for i in 0..3 {
+            let _it = obs.iter_span(ITERATION_SPAN, i, Some(0.7 - 0.05 * i as f64));
+            let _pm = obs.span("prematch");
+        }
+        {
+            let _r = obs.span("remainder");
+        }
+        let trace = obs.finish();
+        let pm = trace.phase("prematch").expect("prematch aggregated");
+        assert_eq!(pm.calls, 3);
+        assert!(trace.phase("remainder").is_some());
+        // the iteration grouping span is not itself a phase
+        assert!(trace.phase(ITERATION_SPAN).is_none());
+        assert_eq!(trace.iterations.len(), 3);
+        assert_eq!(trace.iterations[0].index, 0);
+        assert!((trace.iterations[2].delta - 0.6).abs() < 1e-9);
+        assert_eq!(trace.iterations[1].phases.len(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_report_by_name() {
+        let obs = Collector::enabled();
+        obs.add(Counter::EarlyExitPrunes, 5);
+        obs.add(Counter::EarlyExitPrunes, 7);
+        obs.add(Counter::ProfilesBuilt, 2);
+        obs.add(Counter::ProfilesReused, 6);
+        let trace = obs.finish();
+        assert_eq!(trace.counter("early_exit_prunes"), 12);
+        assert!((trace.profile_cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunk_timings_are_recorded_from_any_thread() {
+        let obs = Collector::enabled();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let obs = &obs;
+                scope.spawn(move || {
+                    obs.thread_chunk("subgraph", Some(0), t, 100 * t, Duration::from_micros(50));
+                });
+            }
+        });
+        let trace = obs.finish();
+        assert_eq!(trace.chunks.len(), 4);
+        assert!(trace.chunks.iter().all(|c| c.phase == "subgraph"));
+    }
+
+    #[test]
+    fn trace_round_trips_through_json() {
+        let obs = Collector::enabled();
+        {
+            let _it = obs.iter_span(ITERATION_SPAN, 0, Some(0.7));
+            let _pm = obs.span("prematch");
+            obs.add(Counter::PrematchPairsScored, 11);
+        }
+        let trace = obs.finish();
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: RunTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.iterations.len(), 1);
+        assert_eq!(back.counter("prematch_pairs_scored"), 11);
+        assert_eq!(back.spans.len(), trace.spans.len());
+    }
+
+    #[test]
+    fn sink_records_labelled_traces_only_when_enabled() {
+        let mut sink = TraceSink::disabled();
+        let obs = sink.collector();
+        assert!(!obs.is_enabled());
+        sink.record("run-1", &obs);
+        assert!(sink.traces.is_empty());
+
+        let mut sink = TraceSink::enabled();
+        let obs = sink.collector();
+        {
+            let _s = obs.span("prematch");
+        }
+        sink.record("run-1", &obs);
+        let multi = sink.into_multi();
+        assert_eq!(multi.runs.len(), 1);
+        assert_eq!(multi.runs[0].label, "run-1");
+    }
+}

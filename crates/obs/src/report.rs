@@ -1,0 +1,523 @@
+//! The serialisable trace report assembled from a [`crate::Collector`].
+
+use crate::ITERATION_SPAN;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One finished span, with timings relative to the collector's epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"prematch"`).
+    pub name: String,
+    /// Slash-joined ancestry (e.g. `"iteration/prematch/profiles"`).
+    pub path: String,
+    /// Name of the enclosing span, if any.
+    pub parent: Option<String>,
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+    /// δ-iteration index this span belongs to (own tag or inherited).
+    pub iteration: Option<usize>,
+    /// δ value of that iteration, when known.
+    pub delta: Option<f64>,
+    /// Start offset from the collector's construction, in microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration, in microseconds.
+    pub duration_us: u64,
+}
+
+/// Aggregated statistics of one phase (all spans sharing a name).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStat {
+    /// Phase name.
+    pub name: String,
+    /// Number of spans aggregated.
+    pub calls: u64,
+    /// Total wall time, in microseconds.
+    pub total_us: u64,
+}
+
+/// One δ iteration's timing breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationTrace {
+    /// Iteration index (0-based, in execution order).
+    pub index: usize,
+    /// Threshold δ of the iteration.
+    pub delta: f64,
+    /// Wall time of the whole iteration, in microseconds.
+    pub total_us: u64,
+    /// Per-phase breakdown (direct children of the iteration span).
+    pub phases: Vec<PhaseStat>,
+}
+
+/// One named counter value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterValue {
+    /// Stable snake_case counter name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// Wall time one worker spent on one chunk of a parallel scoring loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkTiming {
+    /// Phase the chunk belongs to (e.g. `"subgraph"`).
+    pub phase: String,
+    /// δ-iteration index, when the loop runs inside an iteration.
+    pub iteration: Option<usize>,
+    /// Chunk index within the parallel loop.
+    pub chunk: usize,
+    /// Items processed by the chunk.
+    pub items: usize,
+    /// Wall-clock duration, in microseconds.
+    pub duration_us: u64,
+}
+
+/// The full trace of one pipeline run: total wall time, aggregated
+/// phases, per-δ-iteration breakdown, counters, per-thread chunk
+/// timings and the raw spans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Whether the collector was enabled (a disabled collector still
+    /// yields a trace, with everything empty).
+    pub enabled: bool,
+    /// Total wall time from collector construction to
+    /// [`crate::Collector::finish`], in microseconds.
+    pub total_us: u64,
+    /// Aggregated phase statistics. A *phase* is a top-level span or a
+    /// direct child of the `iteration` grouping span, so phase times are
+    /// pairwise disjoint slices of the run and their sum is bounded by
+    /// `total_us`.
+    pub phases: Vec<PhaseStat>,
+    /// Per-δ-iteration breakdown, in execution order.
+    pub iterations: Vec<IterationTrace>,
+    /// All counters, including zero-valued ones.
+    pub counters: Vec<CounterValue>,
+    /// Per-thread chunk timings from parallel scoring loops.
+    pub chunks: Vec<ChunkTiming>,
+    /// The raw spans, innermost-first within each nest.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// The phase names of a full `link` pipeline run, in execution order.
+pub const PIPELINE_PHASES: [&str; 5] = ["enrich", "prematch", "subgraph", "selection", "remainder"];
+
+impl RunTrace {
+    /// Assemble a trace from the collector's raw state.
+    #[must_use]
+    pub(crate) fn assemble(
+        enabled: bool,
+        total_us: u64,
+        spans: Vec<SpanRecord>,
+        counters: Vec<CounterValue>,
+        chunks: Vec<ChunkTiming>,
+    ) -> Self {
+        // phases: top-level spans plus direct children of `iteration`
+        let is_phase = |s: &SpanRecord| {
+            s.name != ITERATION_SPAN
+                && (s.parent.is_none() || s.parent.as_deref() == Some(ITERATION_SPAN))
+        };
+        let mut phases: Vec<PhaseStat> = Vec::new();
+        for s in spans.iter().filter(|s| is_phase(s)) {
+            match phases.iter_mut().find(|p| p.name == s.name) {
+                Some(p) => {
+                    p.calls += 1;
+                    p.total_us += s.duration_us;
+                }
+                None => phases.push(PhaseStat {
+                    name: s.name.clone(),
+                    calls: 1,
+                    total_us: s.duration_us,
+                }),
+            }
+        }
+
+        let mut iterations: Vec<IterationTrace> = spans
+            .iter()
+            .filter(|s| s.name == ITERATION_SPAN && s.depth == 0)
+            .map(|s| IterationTrace {
+                index: s.iteration.unwrap_or(0),
+                delta: s.delta.unwrap_or(f64::NAN),
+                total_us: s.duration_us,
+                phases: Vec::new(),
+            })
+            .collect();
+        iterations.sort_by_key(|it| it.index);
+        for it in &mut iterations {
+            for s in spans.iter().filter(|s| {
+                s.iteration == Some(it.index) && s.parent.as_deref() == Some(ITERATION_SPAN)
+            }) {
+                match it.phases.iter_mut().find(|p| p.name == s.name) {
+                    Some(p) => {
+                        p.calls += 1;
+                        p.total_us += s.duration_us;
+                    }
+                    None => it.phases.push(PhaseStat {
+                        name: s.name.clone(),
+                        calls: 1,
+                        total_us: s.duration_us,
+                    }),
+                }
+            }
+        }
+
+        Self {
+            enabled,
+            total_us,
+            phases,
+            iterations,
+            counters,
+            chunks,
+            spans,
+        }
+    }
+
+    /// The aggregated statistics of one phase, if it was recorded.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> Option<&PhaseStat> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Value of a counter by its snake_case name (0 if absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Fraction of profile lookups served from the cross-iteration
+    /// cache: `reused / (built + reused)`, or 0 with no lookups.
+    #[must_use]
+    pub fn profile_cache_hit_rate(&self) -> f64 {
+        let built = self.counter("profiles_built");
+        let reused = self.counter("profiles_reused");
+        if built + reused == 0 {
+            0.0
+        } else {
+            reused as f64 / (built + reused) as f64
+        }
+    }
+
+    /// Fraction of pre-matching pair scorings cut short by the
+    /// early-exit bound: `early_exit_prunes / pairs scored`, or 0.
+    #[must_use]
+    pub fn early_exit_rate(&self) -> f64 {
+        let scored = self.counter("prematch_pairs_scored") + self.counter("remainder_pairs_scored");
+        if scored == 0 {
+            0.0
+        } else {
+            self.counter("early_exit_prunes") as f64 / scored as f64
+        }
+    }
+
+    /// Structural validation every trace must satisfy: phase and
+    /// iteration times are non-overlapping slices of the run, so their
+    /// sums may not exceed the enclosing wall time, and iteration deltas
+    /// must be valid thresholds in strictly decreasing order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated invariant.
+    pub fn validate_basic(&self) -> Result<(), String> {
+        let phase_sum: u64 = self.phases.iter().map(|p| p.total_us).sum();
+        if phase_sum > self.total_us {
+            return Err(format!(
+                "phase times sum to {phase_sum}µs, exceeding total wall time {}µs",
+                self.total_us
+            ));
+        }
+        for it in &self.iterations {
+            let sum: u64 = it.phases.iter().map(|p| p.total_us).sum();
+            if sum > it.total_us {
+                return Err(format!(
+                    "iteration {} phase times sum to {sum}µs, exceeding its {}µs",
+                    it.index, it.total_us
+                ));
+            }
+            if !(0.0..=1.0).contains(&it.delta) {
+                return Err(format!(
+                    "iteration {} has out-of-range δ {}",
+                    it.index, it.delta
+                ));
+            }
+        }
+        for w in self.iterations.windows(2) {
+            if w[1].delta >= w[0].delta {
+                return Err(format!(
+                    "iteration deltas must strictly decrease: {} then {}",
+                    w[0].delta, w[1].delta
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`RunTrace::validate_basic`] plus the invariants of a full `link`
+    /// run: every pipeline phase present and at least one δ iteration
+    /// with contiguous 0-based indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated invariant.
+    pub fn validate_pipeline(&self) -> Result<(), String> {
+        self.validate_basic()?;
+        for required in PIPELINE_PHASES {
+            if self.phase(required).is_none() {
+                return Err(format!("trace is missing pipeline phase {required:?}"));
+            }
+        }
+        if self.iterations.is_empty() {
+            return Err("trace has no δ iterations".to_owned());
+        }
+        for (k, it) in self.iterations.iter().enumerate() {
+            if it.index != k {
+                return Err(format!(
+                    "iteration indices must be contiguous from 0: position {k} has index {}",
+                    it.index
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the human-readable phase table (`--verbose`).
+    #[must_use]
+    pub fn phase_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "phase               calls        time    % wall");
+        for p in &self.phases {
+            let pct = if self.total_us == 0 {
+                0.0
+            } else {
+                p.total_us as f64 / self.total_us as f64 * 100.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<18} {:>6}  {:>10}  {:>7.1}%",
+                p.name,
+                p.calls,
+                fmt_us(p.total_us),
+                pct
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<18} {:>6}  {:>10}",
+            "total wall",
+            "",
+            fmt_us(self.total_us)
+        );
+        if !self.iterations.is_empty() {
+            let _ = writeln!(out, "\nper δ-iteration:");
+            for it in &self.iterations {
+                let mut line = format!(
+                    "  #{} δ={:.2}  total {}",
+                    it.index,
+                    it.delta,
+                    fmt_us(it.total_us)
+                );
+                for p in &it.phases {
+                    let _ = write!(line, "  {} {}", p.name, fmt_us(p.total_us));
+                }
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        let shown: Vec<&CounterValue> = self.counters.iter().filter(|c| c.value > 0).collect();
+        if !shown.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for c in shown {
+                let _ = writeln!(out, "  {:<24} {:>12}", c.name, c.value);
+            }
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>11.1}%",
+                "profile_cache_hit_rate",
+                self.profile_cache_hit_rate() * 100.0
+            );
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>11.1}%",
+                "early_exit_rate",
+                self.early_exit_rate() * 100.0
+            );
+        }
+        if !self.chunks.is_empty() {
+            let _ = writeln!(out, "\nparallel chunks: {}", self.chunks.len());
+            let max = self.chunks.iter().map(|c| c.duration_us).max().unwrap_or(0);
+            let sum: u64 = self.chunks.iter().map(|c| c.duration_us).sum();
+            let _ = writeln!(
+                out,
+                "  slowest {}  mean {}",
+                fmt_us(max),
+                fmt_us(sum / self.chunks.len() as u64)
+            );
+        }
+        out
+    }
+}
+
+/// One trace with the label of the run that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledTrace {
+    /// Human-readable run label (e.g. `"ω2 δ_low=0.50"` or `"1851→1861"`).
+    pub label: String,
+    /// The run's trace.
+    pub trace: RunTrace,
+}
+
+/// Several labelled traces in one document (an `evolve` run, an
+/// experiment sweep).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTrace {
+    /// The traces, in run order.
+    pub runs: Vec<LabeledTrace>,
+}
+
+impl MultiTrace {
+    /// Validate every contained trace: full pipeline invariants for
+    /// traces with δ iterations, basic invariants otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing run's label and message.
+    pub fn validate(&self) -> Result<(), String> {
+        for run in &self.runs {
+            let check = if run.trace.iterations.is_empty() {
+                run.trace.validate_basic()
+            } else {
+                run.trace.validate_pipeline()
+            };
+            check.map_err(|e| format!("run {:?}: {e}", run.label))?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 10_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 10_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        name: &str,
+        parent: Option<&str>,
+        depth: usize,
+        iteration: Option<usize>,
+        delta: Option<f64>,
+        duration_us: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            name: name.to_owned(),
+            path: name.to_owned(),
+            parent: parent.map(str::to_owned),
+            depth,
+            iteration,
+            delta,
+            start_us: 0,
+            duration_us,
+        }
+    }
+
+    fn pipeline_trace() -> RunTrace {
+        let spans = vec![
+            span("enrich", None, 0, None, None, 10),
+            span("prematch", Some("iteration"), 1, Some(0), Some(0.7), 20),
+            span("subgraph", Some("iteration"), 1, Some(0), Some(0.7), 30),
+            span("selection", Some("iteration"), 1, Some(0), Some(0.7), 5),
+            span("iteration", None, 0, Some(0), Some(0.7), 60),
+            span("prematch", Some("iteration"), 1, Some(1), Some(0.65), 15),
+            span("subgraph", Some("iteration"), 1, Some(1), Some(0.65), 25),
+            span("selection", Some("iteration"), 1, Some(1), Some(0.65), 4),
+            span("iteration", None, 0, Some(1), Some(0.65), 50),
+            span("remainder", None, 0, None, None, 40),
+        ];
+        RunTrace::assemble(true, 1000, spans, Vec::new(), Vec::new())
+    }
+
+    #[test]
+    fn pipeline_trace_validates_and_breaks_down_iterations() {
+        let t = pipeline_trace();
+        t.validate_pipeline().unwrap();
+        assert_eq!(t.iterations.len(), 2);
+        assert_eq!(t.iterations[0].phases.len(), 3);
+        assert_eq!(t.phase("prematch").unwrap().calls, 2);
+        assert_eq!(t.phase("prematch").unwrap().total_us, 35);
+        let table = t.phase_table();
+        assert!(table.contains("remainder"), "{table}");
+        assert!(table.contains("δ=0.70"), "{table}");
+    }
+
+    #[test]
+    fn missing_phase_fails_pipeline_validation() {
+        let spans = vec![span("enrich", None, 0, None, None, 10)];
+        let t = RunTrace::assemble(true, 100, spans, Vec::new(), Vec::new());
+        let err = t.validate_pipeline().unwrap_err();
+        assert!(err.contains("missing pipeline phase"), "{err}");
+    }
+
+    #[test]
+    fn overflowing_phase_sum_fails_basic_validation() {
+        let spans = vec![
+            span("enrich", None, 0, None, None, 80),
+            span("remainder", None, 0, None, None, 80),
+        ];
+        let t = RunTrace::assemble(true, 100, spans, Vec::new(), Vec::new());
+        let err = t.validate_basic().unwrap_err();
+        assert!(err.contains("exceeding total wall time"), "{err}");
+    }
+
+    #[test]
+    fn non_decreasing_deltas_fail_validation() {
+        let spans = vec![
+            span("iteration", None, 0, Some(0), Some(0.5), 10),
+            span("iteration", None, 0, Some(1), Some(0.7), 10),
+        ];
+        let t = RunTrace::assemble(true, 100, spans, Vec::new(), Vec::new());
+        assert!(t.validate_basic().is_err());
+    }
+
+    #[test]
+    fn multi_trace_validates_each_run() {
+        let good = pipeline_trace();
+        let multi = MultiTrace {
+            runs: vec![LabeledTrace {
+                label: "pair".into(),
+                trace: good,
+            }],
+        };
+        multi.validate().unwrap();
+
+        let bad = RunTrace::assemble(
+            true,
+            10,
+            vec![span("enrich", None, 0, None, None, 80)],
+            Vec::new(),
+            Vec::new(),
+        );
+        let multi = MultiTrace {
+            runs: vec![LabeledTrace {
+                label: "broken".into(),
+                trace: bad,
+            }],
+        };
+        assert!(multi.validate().unwrap_err().contains("broken"));
+    }
+
+    #[test]
+    fn fmt_us_scales_units() {
+        assert_eq!(fmt_us(999), "999µs");
+        assert_eq!(fmt_us(25_000), "25.0ms");
+        assert_eq!(fmt_us(12_000_000), "12.00s");
+    }
+}
