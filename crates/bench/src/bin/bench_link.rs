@@ -1,0 +1,217 @@
+//! End-to-end wall-clock benchmark of the `link` pipeline: the
+//! incremental driver (cross-iteration pair-score cache) against the
+//! recompute-from-scratch driver, broken down per pipeline phase, at
+//! three synthetic scales.
+//!
+//! The vendored `criterion` is a stub, so this is a plain binary:
+//!
+//! ```text
+//! cargo run --release -p census-bench --bin bench_link -- \
+//!     [--out BENCH_link.json] [--scales S,M,L] [--iters 3] [--threads N] \
+//!     [--before S=14179,M=234242,L=4162575] [--before-ref COMMIT]
+//! ```
+//!
+//! Each (scale, mode) cell runs `--iters` times and reports the fastest
+//! run (wall-clock minima are the stablest point estimate on a shared
+//! machine). Phase times come from the pipeline's own trace collector,
+//! so the breakdown matches `link --trace-out` exactly.
+//!
+//! `--before` embeds externally measured per-scale `link` totals (e.g.
+//! from running this harness's loop against an older commit) so the
+//! report carries an end-to-end before/after comparison; `--before-ref`
+//! records which commit those totals came from.
+
+use census_synth::{generate_series, SimConfig};
+use linkage_core::{link_traced, LinkageConfig};
+use obs::Collector;
+use serde_json::{json, Value};
+
+struct Scale {
+    label: &'static str,
+    initial_households: usize,
+}
+
+const SCALES: [Scale; 3] = [
+    Scale {
+        label: "S",
+        initial_households: 120,
+    },
+    Scale {
+        label: "M",
+        initial_households: 800,
+    },
+    Scale {
+        label: "L",
+        initial_households: 3300,
+    },
+];
+
+/// One measured run: total wall time plus the per-phase breakdown.
+struct Measurement {
+    total_us: u64,
+    phases: Vec<(String, u64)>,
+    pairs_scored: u64,
+    cache_hits: u64,
+    record_links: usize,
+}
+
+fn measure(
+    old: &census_model::CensusDataset,
+    new: &census_model::CensusDataset,
+    config: &LinkageConfig,
+) -> Measurement {
+    let obs = Collector::enabled();
+    let result = link_traced(old, new, config, &obs);
+    let trace = obs.finish();
+    Measurement {
+        total_us: trace.total_us,
+        phases: trace
+            .phases
+            .iter()
+            .map(|p| (p.name.clone(), p.total_us))
+            .collect(),
+        pairs_scored: trace.counter("prematch_pairs_scored"),
+        cache_hits: trace.counter("pair_cache_hits"),
+        record_links: result.records.len(),
+    }
+}
+
+fn best_of(
+    iters: usize,
+    old: &census_model::CensusDataset,
+    new: &census_model::CensusDataset,
+    config: &LinkageConfig,
+) -> Measurement {
+    (0..iters.max(1))
+        .map(|_| measure(old, new, config))
+        .min_by_key(|m| m.total_us)
+        .expect("at least one iteration")
+}
+
+fn mode_json(m: &Measurement) -> Value {
+    json!({
+        "total_us": (m.total_us),
+        "phases": (Value::Map(
+            m.phases
+                .iter()
+                .map(|(name, us)| (Value::Str(name.clone()), Value::U64(*us)))
+                .collect(),
+        )),
+        "prematch_pairs_scored": (m.pairs_scored),
+        "pair_cache_hits": (m.cache_hits),
+        "record_links": (m.record_links)
+    })
+}
+
+fn parse_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    assert!(pos + 1 < args.len(), "{flag} needs a value");
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out = parse_flag(&mut args, "--out").unwrap_or_else(|| "BENCH_link.json".into());
+    let scales = parse_flag(&mut args, "--scales").unwrap_or_else(|| "S,M,L".into());
+    let iters: usize =
+        parse_flag(&mut args, "--iters").map_or(3, |s| s.parse().expect("--iters needs a number"));
+    let threads: Option<usize> =
+        parse_flag(&mut args, "--threads").map(|s| s.parse().expect("--threads needs a number"));
+    // "S=14179,M=234242,L=4162575" — externally measured baseline totals
+    let before_totals: Vec<(String, u64)> = parse_flag(&mut args, "--before")
+        .map(|spec| {
+            spec.split(',')
+                .map(|kv| {
+                    let (label, us) = kv
+                        .split_once('=')
+                        .expect("--before entries look like SCALE=MICROS");
+                    (
+                        label.trim().to_string(),
+                        us.trim().parse().expect("--before needs integer micros"),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let before_ref = parse_flag(&mut args, "--before-ref");
+    assert!(args.is_empty(), "unknown arguments: {args:?}");
+
+    let wanted: Vec<&str> = scales.split(',').map(str::trim).collect();
+    let mut rows = Vec::new();
+    for scale in SCALES.iter().filter(|s| wanted.contains(&s.label)) {
+        let sim = SimConfig {
+            snapshots: 2,
+            initial_households: scale.initial_households,
+            ..SimConfig::default()
+        };
+        let series = generate_series(&sim);
+        let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+
+        let mut incremental_config = LinkageConfig::default();
+        if let Some(t) = threads {
+            incremental_config.threads = t;
+        }
+        let recompute_config = LinkageConfig {
+            incremental: false,
+            ..incremental_config.clone()
+        };
+
+        eprintln!(
+            "scale {}: {} -> {} records, best of {iters}",
+            scale.label,
+            old.records().len(),
+            new.records().len()
+        );
+        let recompute = best_of(iters, old, new, &recompute_config);
+        let incremental = best_of(iters, old, new, &incremental_config);
+        assert_eq!(
+            recompute.record_links, incremental.record_links,
+            "modes must produce identical link counts"
+        );
+        let speedup = recompute.total_us as f64 / incremental.total_us.max(1) as f64;
+        eprintln!(
+            "scale {}: recompute {:.1} ms, incremental {:.1} ms, speedup {speedup:.2}x",
+            scale.label,
+            recompute.total_us as f64 / 1000.0,
+            incremental.total_us as f64 / 1000.0,
+        );
+        let mut row = json!({
+            "scale": (scale.label),
+            "records_old": (old.records().len()),
+            "records_new": (new.records().len()),
+            "recompute": (mode_json(&recompute)),
+            "incremental": (mode_json(&incremental)),
+            "speedup": (speedup)
+        });
+        if let Some((_, before_us)) = before_totals.iter().find(|(l, _)| l == scale.label) {
+            let vs_before = *before_us as f64 / incremental.total_us.max(1) as f64;
+            eprintln!(
+                "scale {}: before {:.1} ms -> {vs_before:.2}x end-to-end",
+                scale.label,
+                *before_us as f64 / 1000.0,
+            );
+            if let Value::Map(entries) = &mut row {
+                entries.push((Value::Str("before_total_us".into()), Value::U64(*before_us)));
+                entries.push((
+                    Value::Str("speedup_vs_before".into()),
+                    Value::F64(vs_before),
+                ));
+            }
+        }
+        rows.push(row);
+    }
+
+    let mut report = json!({
+        "bench": "link",
+        "iters": (iters),
+        "scales": (Value::Seq(rows))
+    });
+    if let (Some(r), Value::Map(entries)) = (before_ref, &mut report) {
+        entries.push((Value::Str("before_ref".into()), Value::Str(r)));
+    }
+    let text = serde_json::to_string_pretty(&report).expect("report serializes") + "\n";
+    std::fs::write(&out, text).expect("write report");
+    eprintln!("wrote {out}");
+}

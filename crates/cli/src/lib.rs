@@ -6,9 +6,11 @@
 //! census-linkage generate --out DIR [--scale small|medium|paper] [--seed N]
 //! census-linkage stats FILE.csv --year YEAR
 //! census-linkage link OLD.csv NEW.csv --old-year Y --new-year Y --out DIR
-//!                [--threads N] [--delta-low D] [--trace-out FILE.json] [--verbose]
+//!                [--threads N] [--parallel-cutoff N] [--delta-low D]
+//!                [--trace-out FILE.json] [--verbose]
 //! census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
-//!                [--threads N] [--delta-low D] [--trace-out FILE.json] [--verbose]
+//!                [--threads N] [--parallel-cutoff N] [--delta-low D]
+//!                [--trace-out FILE.json] [--verbose]
 //! census-linkage trace-check FILE.json
 //! ```
 //!
@@ -44,6 +46,9 @@ fn io_err(context: &str, e: impl std::fmt::Display) -> CliError {
 pub struct LinkOptions {
     /// Worker threads for the parallel scoring stages (`--threads`).
     pub threads: Option<usize>,
+    /// Minimum work items before scoring fans out (`--parallel-cutoff`);
+    /// `0` forces the parallel path even on tiny inputs.
+    pub parallel_cutoff: Option<usize>,
     /// Override of the iterative schedule's lower bound (`--delta-low`).
     pub delta_low: Option<f64>,
     /// Write the pipeline trace as JSON to this file (`--trace-out`).
@@ -65,6 +70,9 @@ impl LinkOptions {
                 return Err("--threads must be at least 1".into());
             }
             config.threads = threads;
+        }
+        if let Some(cutoff) = self.parallel_cutoff {
+            config.parallel_cutoff = cutoff;
         }
         if let Some(delta_low) = self.delta_low {
             if !(0.0..=1.0).contains(&delta_low) {
@@ -424,9 +432,11 @@ USAGE:
   census-linkage generate --out DIR [--scale small|medium|paper] [--seed N]
   census-linkage stats FILE.csv --year YEAR
   census-linkage link OLD.csv NEW.csv --old-year Y --new-year Y --out DIR
-                 [--threads N] [--delta-low D] [--trace-out FILE.json] [--verbose]
+                 [--threads N] [--parallel-cutoff N] [--delta-low D]
+                 [--trace-out FILE.json] [--verbose]
   census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
-                 [--threads N] [--delta-low D] [--trace-out FILE.json] [--verbose]
+                 [--threads N] [--parallel-cutoff N] [--delta-low D]
+                 [--trace-out FILE.json] [--verbose]
   census-linkage evaluate FOUND.csv TRUTH.csv --kind records|groups
   census-linkage trace-check FILE.json
 ";
@@ -492,6 +502,12 @@ fn take_link_options(args: &mut Vec<String>) -> Result<LinkOptions, CliError> {
                 .map_err(|_| format!("bad thread count {s:?}"))
         })
         .transpose()?;
+    let parallel_cutoff = take_value(args, "--parallel-cutoff")?
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| format!("bad parallel cutoff {s:?}"))
+        })
+        .transpose()?;
     let delta_low = take_value(args, "--delta-low")?
         .map(|s| s.parse::<f64>().map_err(|_| format!("bad delta-low {s:?}")))
         .transpose()?;
@@ -499,6 +515,7 @@ fn take_link_options(args: &mut Vec<String>) -> Result<LinkOptions, CliError> {
     let verbose = take_flag(args, "--verbose");
     Ok(LinkOptions {
         threads,
+        parallel_cutoff,
         delta_low,
         trace_out,
         verbose,
@@ -779,13 +796,31 @@ mod tests {
         .is_err());
         LinkOptions {
             threads: Some(2),
+            parallel_cutoff: Some(128),
             delta_low: Some(0.55),
             ..LinkOptions::default()
         }
         .apply(&mut config)
         .unwrap();
         assert_eq!(config.threads, 2);
+        assert_eq!(config.parallel_cutoff, 128);
         assert!((config.delta_low - 0.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_cutoff_flag_is_parsed() {
+        let mut args: Vec<String> = ["--threads", "2", "--parallel-cutoff", "64"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let opts = take_link_options(&mut args).unwrap();
+        assert_eq!(opts.parallel_cutoff, Some(64));
+        assert!(args.is_empty(), "all flags consumed");
+        let mut bad: Vec<String> = ["--parallel-cutoff", "lots"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert!(take_link_options(&mut bad).is_err());
     }
 
     #[test]

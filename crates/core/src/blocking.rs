@@ -13,10 +13,18 @@
 //!    surname changed at marriage; the age band of the old record is
 //!    shifted by the census gap and both adjacent bands are indexed, so
 //!    age misreporting of ±3 years cannot split a true pair.
+//!
+//! Keys are packed into a single `u64` per pass — soundex bytes, sex code
+//! and age band occupy disjoint bit ranges under a per-pass tag, so two
+//! records share a packed key exactly when they would have shared the
+//! equivalent formatted string key. That keeps the bucket map free of
+//! per-record `String` allocations, and lets the bucket build and pair
+//! generation run sharded across worker threads with per-shard hash
+//! deduplication.
 
 use census_model::{CensusDataset, PersonRecord};
 use std::collections::HashMap;
-use textsim::{normalize_name, soundex};
+use textsim::{fold_diacritic, soundex_code};
 
 /// How candidate pairs are generated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -32,45 +40,228 @@ pub enum BlockingStrategy {
 /// Width (in years) of the age bands of blocking pass 2.
 const AGE_BAND: i64 = 10;
 
-fn soundex_of(s: &str) -> Option<String> {
-    soundex(&normalize_name(s))
-}
+/// Below this many records (both sides combined) the sharded build costs
+/// more than it saves; fall back to the single-threaded path.
+const PARALLEL_BLOCKING_CUTOFF: usize = 4096;
 
+// Pass tags occupy the top two bits of a packed key, so keys of
+// different passes can never collide.
+const TAG_SURNAME_FIRST: u64 = 1 << 62;
+const TAG_SURNAME_SEX: u64 = 2 << 62;
+const TAG_FIRSTNAME_AGE: u64 = 3 << 62;
+/// Distinguishes a real age band of 0 from a missing age in pass 2 keys.
+const HAS_AGE: u64 = 1 << 16;
+
+/// First significant character of a name — the character
+/// `normalize_name(s).chars().next()` would return, computed without
+/// building the normalised string.
 fn first_letter(s: &str) -> Option<char> {
-    normalize_name(s).chars().next()
+    s.chars()
+        .flat_map(char::to_lowercase)
+        .map(fold_diacritic)
+        .find(|&c| c.is_alphanumeric() || c == '-' || c == '\'')
 }
 
-/// Keys of pass 1 and pass 2 for a record. `shift` is added to the age
-/// before banding (the census gap for old-side records, 0 for new-side).
-fn keys(r: &PersonRecord, shift: i64, both_bands: bool) -> Vec<String> {
-    let mut out = Vec::with_capacity(4);
-    if let (Some(sx), Some(fl)) = (soundex_of(&r.surname), first_letter(&r.first_name)) {
-        out.push(format!("s:{sx}:{fl}"));
+/// The age band, clamped into the 16 bits reserved for it. Realistic
+/// bands are single digits; the clamp only matters for absurd ages and
+/// clamps both sides of a pair identically.
+fn band_bits(band: i64) -> u64 {
+    u64::from(band.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16 as u16)
+}
+
+/// Keys of pass 1 and pass 2 for a record, appended to `out`. `shift` is
+/// added to the age before banding (the census gap for old-side records,
+/// 0 for new-side). Field packing: soundex codes are 4 ASCII bytes
+/// (32 bits), the sex code byte is `m`/`f`/`?`, the first letter is a
+/// `char` (≤ 21 bits) — each pass places them in disjoint bit ranges, so
+/// packed keys are bijective with the formatted keys they replace.
+fn keys(r: &PersonRecord, shift: i64, both_bands: bool, out: &mut Vec<u64>) {
+    let sx = soundex_code(&r.surname).map(u32::from_be_bytes);
+    let sex = r.sex.map_or(b'?', |s| s.code().as_bytes()[0]);
+    if let (Some(sx), Some(fl)) = (sx, first_letter(&r.first_name)) {
+        out.push(TAG_SURNAME_FIRST | u64::from(sx) << 21 | u64::from(fl as u32));
     }
     // pass 3: surname soundex × sex — catches first-name typos at the
     // word start (which break both the first-letter and the fn-soundex
     // keys) and records with a missing first name
-    if let Some(sx) = soundex_of(&r.surname) {
-        let sex = r.sex.map(|s| s.code()).unwrap_or("?");
-        out.push(format!("x:{sx}:{sex}"));
+    if let Some(sx) = sx {
+        out.push(TAG_SURNAME_SEX | u64::from(sx) << 8 | u64::from(sex));
     }
-    if let Some(fx) = soundex_of(&r.first_name) {
-        let sex = r.sex.map(|s| s.code()).unwrap_or("?");
+    if let Some(fx) = soundex_code(&r.first_name).map(u32::from_be_bytes) {
+        let base = TAG_FIRSTNAME_AGE | u64::from(fx) << 25 | u64::from(sex) << 17;
         if let Some(age) = r.age {
-            let adjusted = i64::from(age) + shift;
-            let band = adjusted.div_euclid(AGE_BAND);
-            out.push(format!("f:{fx}:{sex}:{band}"));
+            let band = (i64::from(age) + shift).div_euclid(AGE_BAND);
+            out.push(base | HAS_AGE | band_bits(band));
             if both_bands {
-                // index the adjacent band too, so ±age noise at a band
+                // index the adjacent bands too, so ±age noise at a band
                 // boundary cannot hide a true pair
-                out.push(format!("f:{fx}:{sex}:{}", band + 1));
-                out.push(format!("f:{fx}:{sex}:{}", band - 1));
+                out.push(base | HAS_AGE | band_bits(band + 1));
+                out.push(base | HAS_AGE | band_bits(band - 1));
             }
         } else {
-            out.push(format!("f:{fx}:{sex}:?"));
+            out.push(base);
         }
     }
-    out
+}
+
+/// Capacity to pre-allocate for a `Full` cross product. `checked_mul`
+/// guards against overflow on huge (or adversarial) inputs, and the
+/// clamp keeps a legitimate but enormous product from reserving the
+/// whole address space up front — the vector still grows to the true
+/// size by doubling.
+pub(crate) fn full_prealloc_capacity(n_old: usize, n_new: usize) -> usize {
+    const MAX_PREALLOC: usize = 1 << 24; // 16Mi pairs = 128 MiB of (u32, u32)
+    n_old
+        .checked_mul(n_new)
+        .map_or(MAX_PREALLOC, |c| c.min(MAX_PREALLOC))
+}
+
+fn pack_pair(o: u32, n: u32) -> u64 {
+    u64::from(o) << 32 | u64::from(n)
+}
+
+fn unpack_pair(p: u64) -> (u32, u32) {
+    ((p >> 32) as u32, p as u32)
+}
+
+fn pairs_serial<F: Fn(u32, u32) -> bool>(
+    old: &[&PersonRecord],
+    new: &[&PersonRecord],
+    year_gap: i64,
+    keep: &F,
+) -> Vec<(u32, u32)> {
+    let mut buckets: HashMap<u64, (Vec<u32>, Vec<u32>)> = HashMap::new();
+    let mut scratch = Vec::with_capacity(6);
+    for (i, r) in old.iter().enumerate() {
+        scratch.clear();
+        keys(r, year_gap, true, &mut scratch);
+        for &k in &scratch {
+            buckets.entry(k).or_default().0.push(i as u32);
+        }
+    }
+    for (j, r) in new.iter().enumerate() {
+        scratch.clear();
+        keys(r, 0, false, &mut scratch);
+        for &k in &scratch {
+            buckets.entry(k).or_default().1.push(j as u32);
+        }
+    }
+    // filter at emission (most duplicates never materialise), then one
+    // sort + dedup — much cheaper than a hash set per generated pair
+    let mut packed: Vec<u64> = Vec::new();
+    for (os, ns) in buckets.values() {
+        for &o in os {
+            for &n in ns {
+                if keep(o, n) {
+                    packed.push(pack_pair(o, n));
+                }
+            }
+        }
+    }
+    packed.sort_unstable();
+    packed.dedup();
+    packed.into_iter().map(unpack_pair).collect()
+}
+
+/// Which shard a key's bucket lives in (Fibonacci multiplicative hash —
+/// the packed keys are structured, so raw modulo would shard unevenly).
+fn shard_of(key: u64, shards: usize) -> usize {
+    ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % shards
+}
+
+/// Emit `(key, record index)` for every record, partitioned by shard.
+fn emit_sharded(
+    records: &[&PersonRecord],
+    shift: i64,
+    both_bands: bool,
+    threads: usize,
+) -> Vec<Vec<(u64, u32)>> {
+    let shards = threads;
+    let chunk = records.len().div_ceil(threads).max(1);
+    let mut merged: Vec<Vec<(u64, u32)>> = (0..shards).map(|_| Vec::new()).collect();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = records
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                scope.spawn(move |_| {
+                    let base = ci * chunk;
+                    let mut out: Vec<Vec<(u64, u32)>> = (0..shards).map(|_| Vec::new()).collect();
+                    let mut scratch = Vec::with_capacity(6);
+                    for (off, r) in slice.iter().enumerate() {
+                        scratch.clear();
+                        keys(r, shift, both_bands, &mut scratch);
+                        for &k in &scratch {
+                            out[shard_of(k, shards)].push((k, (base + off) as u32));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (s, v) in h
+                .join()
+                .expect("key emitter panicked")
+                .into_iter()
+                .enumerate()
+            {
+                merged[s].extend(v);
+            }
+        }
+    })
+    .expect("crossbeam scope");
+    merged
+}
+
+fn pairs_sharded<F: Fn(u32, u32) -> bool + Sync>(
+    old: &[&PersonRecord],
+    new: &[&PersonRecord],
+    year_gap: i64,
+    threads: usize,
+    keep: &F,
+) -> Vec<(u32, u32)> {
+    let old_sharded = emit_sharded(old, year_gap, true, threads);
+    let new_sharded = emit_sharded(new, 0, false, threads);
+    let mut packed: Vec<u64> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = old_sharded
+            .iter()
+            .zip(new_sharded.iter())
+            .map(|(os, ns)| {
+                scope.spawn(move |_| {
+                    let mut buckets: HashMap<u64, (Vec<u32>, Vec<u32>)> = HashMap::new();
+                    for &(k, i) in os {
+                        buckets.entry(k).or_default().0.push(i);
+                    }
+                    for &(k, j) in ns {
+                        buckets.entry(k).or_default().1.push(j);
+                    }
+                    let mut out: Vec<u64> = Vec::new();
+                    for (o_idx, n_idx) in buckets.values() {
+                        for &o in o_idx {
+                            for &n in n_idx {
+                                if keep(o, n) {
+                                    out.push(pack_pair(o, n));
+                                }
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            packed.extend(h.join().expect("pair generator panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    // duplicates (same pair proposed by several keys, within or across
+    // shards) survive emission; one global sort + dedup removes them and
+    // fixes the output order
+    packed.sort_unstable();
+    packed.dedup();
+    packed.into_iter().map(unpack_pair).collect()
 }
 
 /// Generate candidate `(old index, new index)` pairs over two record
@@ -83,38 +274,72 @@ pub fn candidate_pairs(
     year_gap: i64,
     strategy: BlockingStrategy,
 ) -> Vec<(u32, u32)> {
+    candidate_pairs_par(old, new, year_gap, strategy, 1)
+}
+
+/// [`candidate_pairs`] with the bucket build and pair generation sharded
+/// across `threads` worker threads. The result is identical to the
+/// single-threaded path for any thread count.
+#[must_use]
+pub fn candidate_pairs_par(
+    old: &[&PersonRecord],
+    new: &[&PersonRecord],
+    year_gap: i64,
+    strategy: BlockingStrategy,
+    threads: usize,
+) -> Vec<(u32, u32)> {
+    candidate_pairs_inner(old, new, year_gap, strategy, threads, &|_, _| true)
+}
+
+/// [`candidate_pairs_par`] with the pre-matching age-plausibility filter
+/// fused into pair emission: a pair whose ages are implausible under
+/// `max_age_gap` is dropped *before* deduplication, so the dominant share
+/// of generated pairs never reaches the sort. The result equals
+/// `candidate_pairs_par(..)` followed by an `age_plausible` retain —
+/// the filter is per-pair, so it commutes with dedup.
+pub(crate) fn candidate_pairs_filtered(
+    old: &[&PersonRecord],
+    new: &[&PersonRecord],
+    year_gap: i64,
+    strategy: BlockingStrategy,
+    threads: usize,
+    max_age_gap: Option<u32>,
+) -> Vec<(u32, u32)> {
+    match max_age_gap {
+        None => candidate_pairs_par(old, new, year_gap, strategy, threads),
+        Some(tol) => candidate_pairs_inner(old, new, year_gap, strategy, threads, &|o, n| {
+            crate::prematch::age_plausible(old[o as usize], new[n as usize], year_gap, tol)
+        }),
+    }
+}
+
+fn candidate_pairs_inner<F: Fn(u32, u32) -> bool + Sync>(
+    old: &[&PersonRecord],
+    new: &[&PersonRecord],
+    year_gap: i64,
+    strategy: BlockingStrategy,
+    threads: usize,
+    keep: &F,
+) -> Vec<(u32, u32)> {
     match strategy {
         BlockingStrategy::Full => {
-            let mut out = Vec::with_capacity(old.len() * new.len());
+            let mut out = Vec::with_capacity(full_prealloc_capacity(old.len(), new.len()));
             for i in 0..old.len() {
                 for j in 0..new.len() {
-                    out.push((i as u32, j as u32));
+                    if keep(i as u32, j as u32) {
+                        out.push((i as u32, j as u32));
+                    }
                 }
             }
             out
         }
         BlockingStrategy::Standard => {
-            let mut buckets: HashMap<String, (Vec<u32>, Vec<u32>)> = HashMap::new();
-            for (i, r) in old.iter().enumerate() {
-                for k in keys(r, year_gap, true) {
-                    buckets.entry(k).or_default().0.push(i as u32);
-                }
+            let threads = threads.max(1);
+            if threads == 1 || old.len() + new.len() < PARALLEL_BLOCKING_CUTOFF {
+                pairs_serial(old, new, year_gap, keep)
+            } else {
+                pairs_sharded(old, new, year_gap, threads, keep)
             }
-            for (j, r) in new.iter().enumerate() {
-                for k in keys(r, 0, false) {
-                    buckets.entry(k).or_default().1.push(j as u32);
-                }
-            }
-            let mut pairs: Vec<(u32, u32)> = buckets
-                .values()
-                .flat_map(|(os, ns)| {
-                    os.iter()
-                        .flat_map(move |&o| ns.iter().map(move |&n| (o, n)))
-                })
-                .collect();
-            pairs.sort_unstable();
-            pairs.dedup();
-            pairs
         }
     }
 }
@@ -158,6 +383,16 @@ mod tests {
         let n1 = rec(0, "e", "f", Sex::Male, 40);
         let pairs = candidate_pairs(&[&o1, &o2], &[&n1], 10, BlockingStrategy::Full);
         assert_eq!(pairs, vec![(0, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn full_prealloc_capacity_is_guarded() {
+        assert_eq!(full_prealloc_capacity(10, 10), 100);
+        assert_eq!(full_prealloc_capacity(0, 5), 0);
+        // a product that overflows usize must not panic or reserve it all
+        assert_eq!(full_prealloc_capacity(usize::MAX, 2), 1 << 24);
+        // a huge but representable product is clamped
+        assert_eq!(full_prealloc_capacity(1 << 20, 1 << 20), 1 << 24);
     }
 
     #[test]
@@ -220,6 +455,64 @@ mod tests {
         let n = rec(0, "john", "ashworth", Sex::Male, 49);
         let pairs = candidate_pairs(&[&o], &[&n], 10, BlockingStrategy::Standard);
         assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn missing_age_blocks_separately_from_banded_age() {
+        // missing age must not share a key with a real band-0 age
+        let mut o = rec(0, "john", "pilkington", Sex::Male, 0);
+        o.age = None;
+        o.surname = String::new();
+        let mut n = rec(0, "john", "ramsbottom", Sex::Male, 3);
+        n.surname = String::new();
+        let pairs = candidate_pairs(&[&o], &[&n], 0, BlockingStrategy::Standard);
+        assert!(pairs.is_empty());
+        // two missing ages do share the pass-2 key
+        let mut n2 = rec(0, "john", "ramsbottom", Sex::Male, 3);
+        n2.age = None;
+        n2.surname = String::new();
+        let pairs = candidate_pairs(&[&o], &[&n2], 0, BlockingStrategy::Standard);
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        use census_synth::{generate_series, SimConfig};
+        let series = generate_series(&SimConfig::small());
+        let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+        let o: Vec<&PersonRecord> = old.records().iter().collect();
+        let n: Vec<&PersonRecord> = new.records().iter().collect();
+        let gap = i64::from(new.year - old.year);
+        let keep_all = |_: u32, _: u32| true;
+        let serial = pairs_serial(&o, &n, gap, &keep_all);
+        for threads in [2, 3, 8] {
+            let sharded = pairs_sharded(&o, &n, gap, threads, &keep_all);
+            assert_eq!(
+                serial, sharded,
+                "sharded build diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_age_filter_equals_retain_after_the_fact() {
+        use census_synth::{generate_series, SimConfig};
+        let series = generate_series(&SimConfig::small());
+        let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+        let o: Vec<&PersonRecord> = old.records().iter().collect();
+        let n: Vec<&PersonRecord> = new.records().iter().collect();
+        let gap = i64::from(new.year - old.year);
+        for strategy in [BlockingStrategy::Standard, BlockingStrategy::Full] {
+            for threads in [1, 4] {
+                let mut unfused = candidate_pairs_par(&o, &n, gap, strategy, threads);
+                unfused.retain(|&(i, j)| {
+                    crate::prematch::age_plausible(o[i as usize], n[j as usize], gap, 3)
+                });
+                let fused = candidate_pairs_filtered(&o, &n, gap, strategy, threads, Some(3));
+                assert_eq!(unfused, fused, "{strategy:?} at {threads} threads");
+                assert!(!fused.is_empty());
+            }
+        }
     }
 
     #[test]

@@ -38,6 +38,40 @@ impl Default for RemainderConfig {
     }
 }
 
+/// Worker-thread settings for the parallel scoring loops: how many
+/// threads to fan out across, and below how many work items fan-out is
+/// skipped because the spawn overhead would dominate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads (≥ 1; 1 forces the sequential path).
+    pub threads: usize,
+    /// Minimum number of work items before threads are spawned. With
+    /// fewer items the loop runs sequentially regardless of `threads`.
+    pub cutoff: usize,
+}
+
+impl Parallelism {
+    /// Whether `items` work items should run on the sequential path.
+    #[must_use]
+    pub fn is_serial(&self, items: usize) -> bool {
+        self.threads <= 1 || items < self.cutoff
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self {
+            threads: default_threads(),
+            cutoff: DEFAULT_PARALLEL_CUTOFF,
+        }
+    }
+}
+
+/// Default [`LinkageConfig::parallel_cutoff`]: record-pair scoring fans
+/// out above this many pairs; household-candidate scoring uses half of
+/// it (household units carry more work per item).
+pub const DEFAULT_PARALLEL_CUTOFF: usize = 4096;
+
 /// Full configuration of the iterative record and group linkage.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkageConfig {
@@ -69,6 +103,18 @@ pub struct LinkageConfig {
     pub blocking: BlockingStrategy,
     /// Worker threads for pair scoring.
     pub threads: usize,
+    /// Minimum number of record pairs before pair scoring fans out
+    /// across `threads` (the household-candidate scorer uses half this
+    /// value, matching its heavier per-item work). Lower it to force
+    /// parallelism on small inputs; raise it to keep small iterations
+    /// sequential.
+    pub parallel_cutoff: usize,
+    /// Score every blocked pair once at `δ_low` and drive iterations ≥ 1
+    /// from the cached scores (filter-only). `agg_sim` is δ-independent,
+    /// so results are bit-identical to re-scoring each iteration
+    /// (`false` keeps the recompute-from-scratch path, mainly for
+    /// differential testing).
+    pub incremental: bool,
 }
 
 impl LinkageConfig {
@@ -119,6 +165,15 @@ impl LinkageConfig {
         );
         assert!(self.threads >= 1, "need at least one worker thread");
     }
+
+    /// The worker-thread settings for pair scoring, as one bundle.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        Parallelism {
+            threads: self.threads.max(1),
+            cutoff: self.parallel_cutoff,
+        }
+    }
 }
 
 impl Default for LinkageConfig {
@@ -135,6 +190,8 @@ impl Default for LinkageConfig {
             remainder: RemainderConfig::default(),
             blocking: BlockingStrategy::Standard,
             threads: default_threads(),
+            parallel_cutoff: DEFAULT_PARALLEL_CUTOFF,
+            incremental: true,
         }
     }
 }
@@ -186,6 +243,24 @@ mod tests {
             ..LinkageConfig::default()
         };
         c.validate();
+    }
+
+    #[test]
+    fn parallel_cutoff_gates_fanout() {
+        let c = LinkageConfig::default();
+        assert_eq!(c.parallel_cutoff, DEFAULT_PARALLEL_CUTOFF);
+        assert!(c.incremental);
+        let par = Parallelism {
+            threads: 4,
+            cutoff: 100,
+        };
+        assert!(par.is_serial(99));
+        assert!(!par.is_serial(100));
+        assert!(Parallelism {
+            threads: 1,
+            cutoff: 0
+        }
+        .is_serial(1_000_000));
     }
 
     #[test]

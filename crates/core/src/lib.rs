@@ -40,6 +40,7 @@ mod cluster;
 mod config;
 mod group_sim;
 mod linker;
+mod pairscore;
 mod pipeline;
 mod prematch;
 mod profiles;
@@ -47,11 +48,14 @@ mod remainder;
 mod selection;
 mod simfunc;
 
-pub use blocking::{candidate_pairs, dataset_candidate_pairs, BlockingStrategy};
+pub use blocking::{
+    candidate_pairs, candidate_pairs_par, dataset_candidate_pairs, BlockingStrategy,
+};
 pub use cluster::UnionFind;
-pub use config::{LinkageConfig, RemainderConfig};
+pub use config::{LinkageConfig, Parallelism, RemainderConfig, DEFAULT_PARALLEL_CUTOFF};
 pub use group_sim::{score_subgraph, GroupScore, SelectionWeights};
 pub use linker::Linker;
+pub use pairscore::PairScoreCache;
 pub use pipeline::{link, link_series, link_traced, IterationStats, LinkPhase, LinkageResult};
 pub use prematch::{prematch, prematch_with_profiles, PreMatch};
 pub use profiles::ProfileCache;

@@ -6,16 +6,62 @@
 //! lets each [`Linker::run`] reuse them.
 
 use crate::config::LinkageConfig;
-use crate::prematch::prematch_with_profiles;
+use crate::pairscore::PairScoreCache;
+use crate::prematch::{build_prematch, prematch_with_profiles, PreMatch};
 use crate::profiles::ProfileCache;
 use crate::remainder::match_remaining_cached;
 use crate::selection::{select_and_extract, ScoredSubgroup};
 use crate::{IterationStats, LinkPhase, LinkageResult};
-use census_model::{CensusDataset, GroupMapping, HouseholdId, PersonRecord, RecordMapping};
-use hhgraph::{match_subgraph, EnrichedGraph};
+use census_model::{
+    CensusDataset, GroupMapping, HouseholdId, PersonRecord, RecordId, RecordMapping,
+};
+use hhgraph::{match_subgraph_with, EnrichedGraph, SubgraphScratch};
+
+/// A candidate group pair: the household ids plus their enriched-graph
+/// indices, so the scoring hot loop skips the household→graph hash maps.
+type GroupCandidate = ((HouseholdId, HouseholdId), (u32, u32));
 use obs::{Collector, Counter, ITERATION_SPAN};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::time::Instant;
+
+/// Injects confirmed record links into a [`PreMatch`] as high-confidence
+/// anchors, so later iterations see them as matched clusters. Each
+/// anchor pair is assigned a label on first sight and keeps that label
+/// for the rest of the run, regardless of how the confirmed-link set
+/// grows or how its iteration order shifts.
+#[derive(Debug, Default)]
+pub(crate) struct AnchorInjector {
+    labels: HashMap<(RecordId, RecordId), u64>,
+}
+
+impl AnchorInjector {
+    /// Labels at or above this base mark anchor pairs; they cannot
+    /// collide with union-find roots, which are bounded by the record
+    /// count.
+    const BASE: u64 = 1 << 40;
+
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stable label of an anchor pair, assigned on first sight.
+    fn label_for(&mut self, o: RecordId, n: RecordId) -> u64 {
+        let next = Self::BASE + self.labels.len() as u64;
+        *self.labels.entry((o, n)).or_insert(next)
+    }
+
+    /// Insert every confirmed link of `records` into `pm` as a
+    /// two-record cluster with similarity 1.0.
+    fn inject(&mut self, pm: &mut PreMatch, records: &RecordMapping) {
+        for (o, n) in records.iter() {
+            let label = self.label_for(o, n);
+            pm.label_old.insert(o, label);
+            pm.label_new.insert(n, label);
+            pm.cluster_size.insert(label, 2);
+            pm.pair_sims.insert((o, n), 1.0);
+        }
+    }
+}
 
 /// Precomputed state for linking one snapshot pair repeatedly.
 pub struct Linker<'a> {
@@ -25,6 +71,84 @@ pub struct Linker<'a> {
     new_graphs: Vec<EnrichedGraph>,
     old_gidx: HashMap<HouseholdId, usize>,
     new_gidx: HashMap<HouseholdId, usize>,
+    /// Enriched-graph index by record raw id (`u32::MAX` = no graph) —
+    /// empty when the dataset's ids are too sparse to index densely.
+    old_graph_of: Vec<u32>,
+    new_graph_of: Vec<u32>,
+}
+
+/// Dense-array size for indexing records by raw id, or `None` when the
+/// id space is too sparse for an array to be worthwhile.
+fn dense_id_span(records: &[PersonRecord]) -> Option<usize> {
+    let max = records.iter().map(|r| r.id.raw()).max()?;
+    (max < records.len() as u64 * 8 + 1024).then(|| max as usize + 1)
+}
+
+/// Record-raw-id → enriched-graph-index array (`u32::MAX` = none), or
+/// empty when ids are sparse. Record ids are snapshot-local and dense in
+/// practice, so the hot per-iteration loops probe this array instead of
+/// hashing record ids.
+fn graph_of(records: &[PersonRecord], graphs: &[EnrichedGraph]) -> Vec<u32> {
+    let Some(span) = dense_id_span(records) else {
+        return Vec::new();
+    };
+    let mut v = vec![u32::MAX; span];
+    for (gi, g) in graphs.iter().enumerate() {
+        for r in g.nodes() {
+            if let Some(slot) = v.get_mut(r.raw() as usize) {
+                *slot = gi as u32;
+            }
+        }
+    }
+    v
+}
+
+/// Dense array views of a [`PreMatch`]'s label maps, indexed by record
+/// raw id (`u64::MAX` = unlabelled; real labels are union-find roots or
+/// anchor labels, both far below the sentinel). Built once per iteration;
+/// a `None` side falls back to the hash map, so lookups agree with `pm`
+/// exactly either way.
+struct LabelViews {
+    old: Option<Vec<u64>>,
+    new: Option<Vec<u64>>,
+}
+
+impl LabelViews {
+    fn build(pm: &crate::PreMatch, old_span: Option<usize>, new_span: Option<usize>) -> Self {
+        fn view(labels: &HashMap<RecordId, u64>, span: Option<usize>) -> Option<Vec<u64>> {
+            let mut v = vec![u64::MAX; span?];
+            for (r, l) in labels {
+                *v.get_mut(r.raw() as usize)? = *l;
+            }
+            Some(v)
+        }
+        Self {
+            old: view(&pm.label_old, old_span),
+            new: view(&pm.label_new, new_span),
+        }
+    }
+
+    #[inline]
+    fn old_label(&self, pm: &crate::PreMatch, r: RecordId) -> Option<u64> {
+        match &self.old {
+            Some(v) => {
+                let l = *v.get(r.raw() as usize)?;
+                (l != u64::MAX).then_some(l)
+            }
+            None => pm.label_old.get(&r).copied(),
+        }
+    }
+
+    #[inline]
+    fn new_label(&self, pm: &crate::PreMatch, r: RecordId) -> Option<u64> {
+        match &self.new {
+            Some(v) => {
+                let l = *v.get(r.raw() as usize)?;
+                (l != u64::MAX).then_some(l)
+            }
+            None => pm.label_new.get(&r).copied(),
+        }
+    }
 }
 
 impl<'a> Linker<'a> {
@@ -51,6 +175,8 @@ impl<'a> Linker<'a> {
             .enumerate()
             .map(|(i, g)| (g.household, i))
             .collect();
+        let old_graph_of = graph_of(old.records(), &old_graphs);
+        let new_graph_of = graph_of(new.records(), &new_graphs);
         Self {
             old,
             new,
@@ -58,6 +184,8 @@ impl<'a> Linker<'a> {
             new_graphs,
             old_gidx,
             new_gidx,
+            old_graph_of,
+            new_graph_of,
         }
     }
 
@@ -76,25 +204,35 @@ impl<'a> Linker<'a> {
     /// Match and score the subgraphs of candidate household pairs,
     /// in parallel across worker threads. Order of the result follows
     /// the (sorted) input order, so runs stay deterministic.
+    ///
+    /// `labels` carries dense label views of `pm` (see [`LabelViews`]) so
+    /// the per-candidate hot loop probes arrays instead of hashing
+    /// record ids; lookups through the views agree exactly with `pm`'s
+    /// label maps.
+    #[allow(clippy::too_many_arguments)] // internal plumbing of run_traced
     fn score_candidates(
         &self,
-        cand_list: &[(HouseholdId, HouseholdId)],
+        cand_list: &[GroupCandidate],
         pm: &crate::PreMatch,
+        labels: &LabelViews,
         config: &LinkageConfig,
         delta: f64,
         iteration: usize,
         obs: &Collector,
     ) -> Vec<ScoredSubgroup> {
-        let score_one = |&(go, gn): &(HouseholdId, HouseholdId)| -> Option<ScoredSubgroup> {
-            let g_old = &self.old_graphs[*self.old_gidx.get(&go)?];
-            let g_new = &self.new_graphs[*self.new_gidx.get(&gn)?];
-            let sub = match_subgraph(
+        let score_one = |&((go, gn), (gi_o, gi_n)): &GroupCandidate,
+                         scratch: &mut SubgraphScratch|
+         -> Option<ScoredSubgroup> {
+            let g_old = &self.old_graphs[gi_o as usize];
+            let g_new = &self.new_graphs[gi_n as usize];
+            let sub = match_subgraph_with(
                 g_old,
                 g_new,
-                |r| pm.label_old.get(&r).copied(),
-                |r| pm.label_new.get(&r).copied(),
+                |r| labels.old_label(pm, r),
+                |r| labels.new_label(pm, r),
                 |o, n| pm.pair_sims.contains_key(&(o, n)),
                 &config.subgraph,
+                scratch,
             );
             if sub.is_empty() {
                 return None;
@@ -103,8 +241,14 @@ impl<'a> Linker<'a> {
         };
         obs.add(Counter::SubgraphPairsScored, cand_list.len() as u64);
         let threads = config.threads.max(1);
-        let scored = if threads == 1 || cand_list.len() < 2048 {
-            cand_list.iter().filter_map(score_one).collect()
+        // household candidates carry more work per item than record
+        // pairs, so fan out at half the configured pair cutoff
+        let scored = if threads == 1 || cand_list.len() < config.parallel_cutoff / 2 {
+            let mut scratch = SubgraphScratch::default();
+            cand_list
+                .iter()
+                .filter_map(|c| score_one(c, &mut scratch))
+                .collect()
         } else {
             let chunk = cand_list.len().div_ceil(threads);
             let mut out = Vec::with_capacity(cand_list.len());
@@ -116,7 +260,11 @@ impl<'a> Linker<'a> {
                         let score_one = &score_one;
                         scope.spawn(move |_| {
                             let start = Instant::now();
-                            let scored = slice.iter().filter_map(score_one).collect::<Vec<_>>();
+                            let mut scratch = SubgraphScratch::default();
+                            let scored = slice
+                                .iter()
+                                .filter_map(|c| score_one(c, &mut scratch))
+                                .collect::<Vec<_>>();
                             obs.thread_chunk(
                                 "subgraph",
                                 Some(iteration),
@@ -164,9 +312,6 @@ impl<'a> Linker<'a> {
     pub fn run_traced(&self, config: &LinkageConfig, obs: &Collector) -> LinkageResult {
         config.validate();
         let year_gap = i64::from(self.new.year - self.old.year);
-        // labels above this base mark anchor pairs; they cannot collide
-        // with union-find roots, which are bounded by the record count
-        const ANCHOR_BASE: u64 = 1 << 40;
 
         let mut remaining_old: Vec<&PersonRecord> = self.old.records().iter().collect();
         let mut remaining_new: Vec<&PersonRecord> = self.new.records().iter().collect();
@@ -174,11 +319,20 @@ impl<'a> Linker<'a> {
         let mut groups = GroupMapping::new();
         let mut iterations = Vec::new();
         let mut provenance = HashMap::new();
+        let mut anchors = AnchorInjector::new();
 
         // compiled profiles are δ-independent: build each residue
         // record's profile once and reuse it across the whole schedule
         // (and the remainder pass, whose specs usually coincide)
         let mut cache = ProfileCache::new();
+        // so is agg_sim itself: in incremental mode every blocked pair
+        // is scored once against the schedule floor, and later
+        // iterations only filter the cached scores
+        let mut pair_cache: Option<PairScoreCache> = None;
+        // score the cache at the exact bound the loop's break condition
+        // uses: float-stepped deltas can land marginally below δ_low, so
+        // a cache scored at δ_low exactly could miss their pairs
+        let floor = (config.delta_low - 1e-9).max(0.0);
 
         let mut delta = config.delta_high;
         let mut iter_idx = 0usize;
@@ -187,45 +341,98 @@ impl<'a> Linker<'a> {
             let sim = config.sim_func.with_threshold(delta);
             let pm = {
                 let _prematch = obs.span("prematch");
-                let (old_profiles, new_profiles) =
-                    cache.profiles(&sim, &remaining_old, &remaining_new);
-                let mut pm = prematch_with_profiles(
-                    &remaining_old,
-                    &remaining_new,
-                    &old_profiles,
-                    &new_profiles,
-                    year_gap,
-                    &sim,
-                    config.blocking,
-                    config.threads,
-                    config.prematch_max_age_gap,
-                    obs,
-                );
+                let mut pm = if config.incremental {
+                    if pair_cache.is_none() {
+                        let build_sim = config.sim_func.with_threshold(floor);
+                        let (old_profiles, new_profiles) =
+                            cache.profiles(&build_sim, &remaining_old, &remaining_new);
+                        pair_cache = Some(PairScoreCache::build(
+                            &remaining_old,
+                            &remaining_new,
+                            &old_profiles,
+                            &new_profiles,
+                            year_gap,
+                            &build_sim,
+                            config.blocking,
+                            config.parallelism(),
+                            config.prematch_max_age_gap,
+                            obs,
+                        ));
+                    }
+                    let pc = pair_cache.as_ref().expect("pair cache just built");
+                    let matches = pc.select(delta, &remaining_old, &remaining_new);
+                    if iter_idx > 0 {
+                        obs.add(Counter::PairCacheHits, matches.len() as u64);
+                        obs.add(
+                            Counter::PairCacheFiltered,
+                            (pc.len() - matches.len()) as u64,
+                        );
+                    }
+                    build_prematch(&remaining_old, &remaining_new, &matches)
+                } else {
+                    let (old_profiles, new_profiles) =
+                        cache.profiles(&sim, &remaining_old, &remaining_new);
+                    prematch_with_profiles(
+                        &remaining_old,
+                        &remaining_new,
+                        &old_profiles,
+                        &new_profiles,
+                        year_gap,
+                        &sim,
+                        config.blocking,
+                        config.parallelism(),
+                        config.prematch_max_age_gap,
+                        obs,
+                    )
+                };
 
                 // inject confirmed links as high-confidence anchors
-                for (idx, (o, n)) in records.iter().enumerate() {
-                    let label = ANCHOR_BASE + idx as u64;
-                    pm.label_old.insert(o, label);
-                    pm.label_new.insert(n, label);
-                    pm.cluster_size.insert(label, 2);
-                    pm.pair_sims.insert((o, n), 1.0);
-                }
+                anchors.inject(&mut pm, &records);
                 pm
             };
 
             let candidates = {
                 let _subgraph = obs.span("subgraph");
-                // candidate group pairs: households connected by ≥1 match pair
-                let mut cand_pairs: BTreeSet<(HouseholdId, HouseholdId)> = BTreeSet::new();
-                for &(o, n) in pm.pair_sims.keys() {
-                    let (Some(ro), Some(rn)) = (self.old.record(o), self.new.record(n)) else {
-                        continue;
-                    };
-                    cand_pairs.insert((ro.household, rn.household));
-                }
+                // candidate group pairs: households connected by ≥1 match
+                // pair, sorted and deduplicated (deterministic order)
+                let dense = !self.old_graph_of.is_empty() && !self.new_graph_of.is_empty();
+                let mut cand_list: Vec<GroupCandidate> = if dense {
+                    pm.pair_sims
+                        .keys()
+                        .filter_map(|&(o, n)| {
+                            let gi_o = *self.old_graph_of.get(o.raw() as usize)?;
+                            let gi_n = *self.new_graph_of.get(n.raw() as usize)?;
+                            (gi_o != u32::MAX && gi_n != u32::MAX).then(|| {
+                                (
+                                    (
+                                        self.old_graphs[gi_o as usize].household,
+                                        self.new_graphs[gi_n as usize].household,
+                                    ),
+                                    (gi_o, gi_n),
+                                )
+                            })
+                        })
+                        .collect()
+                } else {
+                    pm.pair_sims
+                        .keys()
+                        .filter_map(|&(o, n)| {
+                            let (ro, rn) = (self.old.record(o)?, self.new.record(n)?);
+                            let gi_o = *self.old_gidx.get(&ro.household)?;
+                            let gi_n = *self.new_gidx.get(&rn.household)?;
+                            Some(((ro.household, rn.household), (gi_o as u32, gi_n as u32)))
+                        })
+                        .collect()
+                };
+                cand_list.sort_unstable();
+                cand_list.dedup();
 
-                let cand_list: Vec<(HouseholdId, HouseholdId)> = cand_pairs.into_iter().collect();
-                self.score_candidates(&cand_list, &pm, config, delta, iter_idx, obs)
+                let labels = LabelViews::build(
+                    &pm,
+                    (!self.old_graph_of.is_empty()).then_some(self.old_graph_of.len()),
+                    (!self.new_graph_of.is_empty()).then_some(self.new_graph_of.len()),
+                );
+                self.score_candidates(&cand_list, &pm, &labels, config, delta, iter_idx, obs)
             };
 
             let _selection = obs.span("selection");
@@ -290,6 +497,7 @@ impl<'a> Linker<'a> {
                 &mut records,
                 &mut groups,
                 &mut cache,
+                pair_cache.as_ref(),
                 obs,
             )
         };
@@ -356,6 +564,62 @@ mod tests {
         }
         assert!(subgraph > remainder);
         assert_eq!(subgraph + remainder, result.records.len());
+    }
+
+    #[test]
+    fn anchor_labels_stay_stable_across_iterations() {
+        use census_model::RecordId;
+        let mut anchors = AnchorInjector::new();
+        let mut records = RecordMapping::new();
+        records.insert(RecordId(3), RecordId(30));
+        records.insert(RecordId(1), RecordId(10));
+
+        let mut pm1 = crate::PreMatch::default();
+        anchors.inject(&mut pm1, &records);
+        let first: std::collections::HashMap<_, _> = records
+            .iter()
+            .map(|(o, n)| ((o, n), pm1.label_old[&o]))
+            .collect();
+        for (&(o, n), &label) in &first {
+            assert!(label >= AnchorInjector::BASE);
+            assert_eq!(pm1.label_new[&n], label);
+            assert_eq!(pm1.cluster_size[&label], 2);
+            assert_eq!(pm1.pair_sims[&(o, n)], 1.0);
+        }
+
+        // a later iteration confirmed more links; the earlier anchors
+        // must keep their labels even though the mapping (and its
+        // iteration order) changed
+        records.insert(RecordId(0), RecordId(40));
+        records.insert(RecordId(2), RecordId(20));
+        let mut pm2 = crate::PreMatch::default();
+        anchors.inject(&mut pm2, &records);
+        for (&(o, n), &label) in &first {
+            assert_eq!(
+                pm2.label_old[&o], label,
+                "anchor {o}->{n} changed label between iterations"
+            );
+            assert_eq!(pm2.label_new[&n], label);
+        }
+        // every confirmed link is anchored, under distinct labels
+        let labels: std::collections::HashSet<u64> =
+            records.iter().map(|(o, _)| pm2.label_old[&o]).collect();
+        assert_eq!(labels.len(), records.len());
+    }
+
+    #[test]
+    fn incremental_default_matches_recompute() {
+        let series = generate_series(&SimConfig::small());
+        let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+        let linker = Linker::new(old, new);
+        let incremental = linker.run(&LinkageConfig::default());
+        let recompute = linker.run(&LinkageConfig {
+            incremental: false,
+            ..LinkageConfig::default()
+        });
+        let a: std::collections::BTreeSet<_> = incremental.records.iter().collect();
+        let b: std::collections::BTreeSet<_> = recompute.records.iter().collect();
+        assert_eq!(a, b);
     }
 
     #[test]

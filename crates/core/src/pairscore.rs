@@ -1,0 +1,400 @@
+//! Cross-iteration cache of candidate pair scores.
+//!
+//! The aggregated attribute similarity (Eq. 3) is δ-independent: a pair
+//! scored at δ = 0.70 has exactly the same `agg_sim` at δ = 0.65. The
+//! iterative driver (Algorithm 1) nevertheless used to re-block and
+//! re-score the residue at every δ step. [`PairScoreCache`] scores every
+//! blocked candidate pair **once**, with the acceptance threshold
+//! lowered to the schedule's floor (keeping early-exit pruning, now
+//! against that floor), and keeps every pair that reaches the floor in a
+//! compact vec sorted by `(old id, new id)`. Each later iteration is
+//! then a filter-only pass — cached pairs with `agg_sim ≥ δ_current`
+//! whose endpoints are still unlinked — with zero re-blocking,
+//! re-tokenisation or re-scoring.
+//!
+//! ## Why the filter is exact
+//!
+//! `SimFunc::matches_compiled` accepts a pair iff its full aggregate
+//! score satisfies `s ≥ threshold`; the early-exit bound only prunes
+//! pairs *provably* below the threshold, so the accepted set at any δ is
+//! exactly `{pairs : agg_sim ≥ δ}`. A cache built at floor `f ≤ δ`
+//! therefore contains every pair that any iteration at δ ≥ f can accept,
+//! with bit-identical scores, and filtering it at δ reproduces a fresh
+//! scoring pass exactly. Residues preserve this: blocking keys are
+//! per-record, so the blocked pairs of a residue are precisely the
+//! blocked pairs of the full input restricted to residue endpoints, and
+//! the age-plausibility filter is per-pair and δ-independent.
+
+use crate::blocking::{candidate_pairs_filtered, BlockingStrategy};
+use crate::config::Parallelism;
+use crate::prematch::{age_plausible, score_pairs};
+use crate::simfunc::{AttributeSpec, CompiledProfile, SimFunc};
+use census_model::{PersonRecord, RecordId};
+use obs::{Collector, Counter};
+use std::collections::HashMap;
+
+/// Record-id → residue-index lookup for the per-δ filter passes. Record
+/// ids are snapshot-local and dense in practice, so the filter probes an
+/// array (`u32::MAX` = not in the residue) instead of hashing every
+/// cached entry's endpoints; sparse id spaces fall back to a hash map.
+enum ResidueIndex {
+    Dense(Vec<u32>),
+    Sparse(HashMap<RecordId, u32>),
+}
+
+impl ResidueIndex {
+    fn build(records: &[&PersonRecord]) -> Self {
+        let max = records.iter().map(|r| r.id.raw()).max().unwrap_or(0);
+        if max < records.len() as u64 * 8 + 1024 {
+            let mut v = vec![u32::MAX; max as usize + 1];
+            for (i, r) in records.iter().enumerate() {
+                v[r.id.raw() as usize] = i as u32;
+            }
+            Self::Dense(v)
+        } else {
+            Self::Sparse(
+                records
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| (r.id, i as u32))
+                    .collect(),
+            )
+        }
+    }
+
+    #[inline]
+    fn get(&self, id: RecordId) -> Option<u32> {
+        match self {
+            Self::Dense(v) => {
+                let i = *v.get(id.raw() as usize)?;
+                (i != u32::MAX).then_some(i)
+            }
+            Self::Sparse(m) => m.get(&id).copied(),
+        }
+    }
+}
+
+/// Pair scores computed once per snapshot pair and filtered per δ step.
+/// See the module docs for the exactness argument.
+#[derive(Debug, Clone)]
+pub struct PairScoreCache {
+    specs: Vec<AttributeSpec>,
+    /// The threshold the pairs were scored against (the schedule floor).
+    floor: f64,
+    /// Age-plausibility tolerance applied before scoring, if any.
+    tolerance: Option<u32>,
+    strategy: BlockingStrategy,
+    /// `(old id, new id, agg_sim)`, sorted by `(old id, new id)` — the
+    /// same order a fresh scoring pass over id-ordered residues yields.
+    entries: Vec<(RecordId, RecordId, f64)>,
+}
+
+impl PairScoreCache {
+    /// Block and score every candidate pair of `old × new` once, at
+    /// `sim`'s threshold (the schedule floor). `old_profiles[i]` must be
+    /// `sim.compile(old[i])`, and likewise for the new side.
+    #[allow(clippy::too_many_arguments)] // the full pre-matching input set
+    #[must_use]
+    pub fn build(
+        old: &[&PersonRecord],
+        new: &[&PersonRecord],
+        old_profiles: &[&CompiledProfile],
+        new_profiles: &[&CompiledProfile],
+        year_gap: i64,
+        sim: &SimFunc,
+        strategy: BlockingStrategy,
+        par: Parallelism,
+        max_age_gap: Option<u32>,
+        obs: &Collector,
+    ) -> Self {
+        let pairs =
+            candidate_pairs_filtered(old, new, year_gap, strategy, par.threads, max_age_gap);
+        obs.add(Counter::BlockingPairsGenerated, pairs.len() as u64);
+        let matches = score_pairs(&pairs, old_profiles, new_profiles, sim, par, obs);
+        let mut entries: Vec<(RecordId, RecordId, f64)> = matches
+            .into_iter()
+            .map(|(i, j, s)| (old[i as usize].id, new[j as usize].id, s))
+            .collect();
+        entries.sort_unstable_by_key(|e| (e.0, e.1));
+        Self {
+            specs: sim.specs().to_vec(),
+            floor: sim.threshold,
+            tolerance: max_age_gap,
+            strategy,
+            entries,
+        }
+    }
+
+    /// Number of cached pairs (everything at or above the floor).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no pairs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The threshold the cache was scored against.
+    #[must_use]
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+
+    /// Filter-only pre-matching pass: the match pairs a fresh scoring of
+    /// the given residues at `delta` would produce, as `(old index, new
+    /// index, agg_sim)` triples over the residue slices. `delta` must be
+    /// at or above the build floor.
+    #[must_use]
+    pub fn select(
+        &self,
+        delta: f64,
+        remaining_old: &[&PersonRecord],
+        remaining_new: &[&PersonRecord],
+    ) -> Vec<(u32, u32, f64)> {
+        let old_idx = ResidueIndex::build(remaining_old);
+        let new_idx = ResidueIndex::build(remaining_new);
+        self.entries
+            .iter()
+            .filter_map(|&(o, n, s)| {
+                if s < delta {
+                    return None;
+                }
+                Some((old_idx.get(o)?, new_idx.get(n)?, s))
+            })
+            .collect()
+    }
+
+    /// Whether a remainder pass with this similarity function, age
+    /// tolerance and blocking strategy can be served from the cache:
+    /// same attribute specs (so the cached scores *are* that function's
+    /// scores), a threshold at or above the floor (so no accepted pair
+    /// is missing), an age filter at least as strict as the build's (so
+    /// re-applying it loses nothing), and the same blocking strategy.
+    #[must_use]
+    pub fn covers(&self, sim: &SimFunc, max_age_gap: u32, strategy: BlockingStrategy) -> bool {
+        sim.specs() == self.specs.as_slice()
+            && sim.threshold >= self.floor
+            && self.tolerance.is_none_or(|t| max_age_gap <= t)
+            && strategy == self.strategy
+    }
+
+    /// Serve a remainder pass from the cache: scored residue pairs at or
+    /// above `sim.threshold`, with the remainder's (stricter) age filter
+    /// re-applied. Callers must check [`PairScoreCache::covers`] first.
+    #[must_use]
+    pub fn select_remainder(
+        &self,
+        sim: &SimFunc,
+        max_age_gap: u32,
+        year_gap: i64,
+        remaining_old: &[&PersonRecord],
+        remaining_new: &[&PersonRecord],
+    ) -> Vec<(f64, RecordId, RecordId)> {
+        let old_by_id: HashMap<RecordId, &PersonRecord> =
+            remaining_old.iter().map(|r| (r.id, *r)).collect();
+        let new_by_id: HashMap<RecordId, &PersonRecord> =
+            remaining_new.iter().map(|r| (r.id, *r)).collect();
+        self.entries
+            .iter()
+            .filter_map(|&(o, n, s)| {
+                if s < sim.threshold {
+                    return None;
+                }
+                let (ro, rn) = (old_by_id.get(&o)?, new_by_id.get(&n)?);
+                if !age_plausible(ro, rn, year_gap, max_age_gap) {
+                    return None;
+                }
+                Some((s, o, n))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prematch::prematch_with_profiles;
+    use census_model::{HouseholdId, Role, Sex};
+
+    fn rec(id: u64, fname: &str, sname: &str, age: u32) -> PersonRecord {
+        let mut r = PersonRecord::empty(RecordId(id), HouseholdId(0), Role::Head);
+        r.first_name = fname.into();
+        r.surname = sname.into();
+        r.sex = Some(Sex::Male);
+        r.age = Some(age);
+        r.address = "mill lane".into();
+        r.occupation = "weaver".into();
+        r
+    }
+
+    fn profiles<'a>(
+        sim: &SimFunc,
+        recs: &[&PersonRecord],
+        store: &'a mut Vec<CompiledProfile>,
+    ) -> Vec<&'a CompiledProfile> {
+        *store = recs.iter().map(|r| sim.compile(r)).collect();
+        store.iter().collect()
+    }
+
+    #[test]
+    fn select_matches_fresh_scoring_at_every_delta() {
+        let olds: Vec<PersonRecord> = (0..40)
+            .map(|i| {
+                rec(
+                    i,
+                    ["john", "jon", "mary", "marey"][i as usize % 4],
+                    ["ashworth", "ashwerth"][i as usize % 2],
+                    30 + (i % 7) as u32,
+                )
+            })
+            .collect();
+        let news: Vec<PersonRecord> = (0..40)
+            .map(|i| {
+                rec(
+                    i,
+                    ["john", "mary"][i as usize % 2],
+                    "ashworth",
+                    40 + (i % 7) as u32,
+                )
+            })
+            .collect();
+        let o: Vec<&PersonRecord> = olds.iter().collect();
+        let n: Vec<&PersonRecord> = news.iter().collect();
+        let par = Parallelism::default();
+        let floor_sim = SimFunc::omega2(0.5);
+        let (mut ostore, mut nstore) = (Vec::new(), Vec::new());
+        let op = profiles(&floor_sim, &o, &mut ostore);
+        let np = profiles(&floor_sim, &n, &mut nstore);
+        let cache = PairScoreCache::build(
+            &o,
+            &n,
+            &op,
+            &np,
+            10,
+            &floor_sim,
+            BlockingStrategy::Full,
+            par,
+            Some(3),
+            &Collector::disabled(),
+        );
+        for delta in [0.5, 0.55, 0.6, 0.7, 0.9] {
+            let sim = floor_sim.with_threshold(delta);
+            let fresh = prematch_with_profiles(
+                &o,
+                &n,
+                &op,
+                &np,
+                10,
+                &sim,
+                BlockingStrategy::Full,
+                par,
+                Some(3),
+                &Collector::disabled(),
+            );
+            let selected = cache.select(delta, &o, &n);
+            let selected_sims: HashMap<(RecordId, RecordId), f64> = selected
+                .iter()
+                .map(|&(i, j, s)| ((o[i as usize].id, n[j as usize].id), s))
+                .collect();
+            assert_eq!(selected_sims, fresh.pair_sims, "δ={delta}");
+        }
+    }
+
+    #[test]
+    fn select_drops_linked_endpoints() {
+        let o1 = rec(0, "john", "ashworth", 30);
+        let o2 = rec(1, "mary", "ashworth", 33);
+        let n1 = rec(0, "john", "ashworth", 40);
+        let n2 = rec(1, "mary", "ashworth", 43);
+        let sim = SimFunc::omega2(0.5);
+        let all_o = [&o1, &o2];
+        let all_n = [&n1, &n2];
+        let (mut ostore, mut nstore) = (Vec::new(), Vec::new());
+        let op = profiles(&sim, &all_o, &mut ostore);
+        let np = profiles(&sim, &all_n, &mut nstore);
+        let cache = PairScoreCache::build(
+            &all_o,
+            &all_n,
+            &op,
+            &np,
+            10,
+            &sim,
+            BlockingStrategy::Full,
+            Parallelism::default(),
+            None,
+            &Collector::disabled(),
+        );
+        assert!(cache.len() >= 2);
+        // once john is linked, only the mary pair survives the filter
+        let selected = cache.select(0.5, &[&o2], &[&n2]);
+        assert_eq!(selected.len(), 1);
+        assert_eq!((selected[0].0, selected[0].1), (0, 0)); // residue indices
+    }
+
+    #[test]
+    fn covers_requires_specs_threshold_and_tolerance() {
+        let o = rec(0, "john", "ashworth", 30);
+        let n = rec(0, "john", "ashworth", 40);
+        let sim = SimFunc::omega2(0.5);
+        let (mut ostore, mut nstore) = (Vec::new(), Vec::new());
+        let op = profiles(&sim, &[&o], &mut ostore);
+        let np = profiles(&sim, &[&n], &mut nstore);
+        let cache = PairScoreCache::build(
+            &[&o],
+            &[&n],
+            &op,
+            &np,
+            10,
+            &sim,
+            BlockingStrategy::Standard,
+            Parallelism::default(),
+            Some(3),
+            &Collector::disabled(),
+        );
+        let std = BlockingStrategy::Standard;
+        assert!(cache.covers(&SimFunc::omega2(0.78), 3, std));
+        assert!(cache.covers(&SimFunc::omega2(0.5), 2, std));
+        // different specs
+        assert!(!cache.covers(&SimFunc::omega1(0.78), 3, std));
+        // threshold below the floor
+        assert!(!cache.covers(&SimFunc::omega2(0.4), 3, std));
+        // looser age tolerance than the build applied
+        assert!(!cache.covers(&SimFunc::omega2(0.78), 5, std));
+        // different blocking strategy
+        assert!(!cache.covers(&SimFunc::omega2(0.78), 3, BlockingStrategy::Full));
+    }
+
+    #[test]
+    fn select_remainder_reapplies_age_filter() {
+        // ages drift by 5 — inside a build tolerance of 6, outside a
+        // remainder tolerance of 3
+        let o = rec(0, "john", "ashworth", 30);
+        let n = rec(0, "john", "ashworth", 45);
+        let sim = SimFunc::omega2(0.5);
+        let (mut ostore, mut nstore) = (Vec::new(), Vec::new());
+        let op = profiles(&sim, &[&o], &mut ostore);
+        let np = profiles(&sim, &[&n], &mut nstore);
+        let cache = PairScoreCache::build(
+            &[&o],
+            &[&n],
+            &op,
+            &np,
+            10,
+            &sim,
+            BlockingStrategy::Full,
+            Parallelism::default(),
+            Some(6),
+            &Collector::disabled(),
+        );
+        assert_eq!(cache.len(), 1);
+        let rem = SimFunc::omega2(0.78);
+        assert!(cache.covers(&rem, 3, BlockingStrategy::Full));
+        let scored = cache.select_remainder(&rem, 3, 10, &[&o], &[&n]);
+        assert!(scored.is_empty(), "remainder age filter must re-apply");
+        let scored = cache.select_remainder(&rem, 6, 10, &[&o], &[&n]);
+        assert_eq!(scored.len(), 1);
+    }
+}

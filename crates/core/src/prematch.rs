@@ -7,19 +7,113 @@
 //! record is assigned its cluster label. Scoring is parallelised across
 //! worker threads with `crossbeam` scoped threads.
 
-use crate::blocking::{candidate_pairs, BlockingStrategy};
+use crate::blocking::{candidate_pairs_filtered, BlockingStrategy};
 use crate::cluster::UnionFind;
+use crate::config::Parallelism;
 use crate::simfunc::{CompiledProfile, SimFunc};
 use census_model::{PersonRecord, RecordId};
 use obs::{Collector, Counter};
 use std::collections::HashMap;
 use std::time::Instant;
 
+/// Dense per-attribute value ids over both record sides: profiles with
+/// equal raw values (hence equal compiled representations) share an id,
+/// so `(old id, new id)` keys a memo of `CompiledValue::similarity`.
+/// Laid out `ids[record * n_specs + spec]`.
+struct ValueIds {
+    n_specs: usize,
+    /// Id-space size per spec (unique values across both sides).
+    uniques: Vec<usize>,
+    old: Vec<u32>,
+    new: Vec<u32>,
+}
+
+impl ValueIds {
+    fn build(old_profiles: &[&CompiledProfile], new_profiles: &[&CompiledProfile]) -> Self {
+        fn assign<'a>(
+            profiles: &[&'a CompiledProfile],
+            intern: &mut [HashMap<&'a str, u32>],
+        ) -> Vec<u32> {
+            let mut ids = Vec::with_capacity(profiles.len() * intern.len());
+            for p in profiles {
+                for (k, v) in p.values().iter().enumerate() {
+                    let next = intern[k].len() as u32;
+                    ids.push(*intern[k].entry(v.raw()).or_insert(next));
+                }
+            }
+            ids
+        }
+        let n_specs = old_profiles
+            .first()
+            .or(new_profiles.first())
+            .map_or(0, |p| p.values().len());
+        let mut intern: Vec<HashMap<&str, u32>> = (0..n_specs).map(|_| HashMap::new()).collect();
+        let old = assign(old_profiles, &mut intern);
+        let new = assign(new_profiles, &mut intern);
+        Self {
+            n_specs,
+            uniques: intern.iter().map(HashMap::len).collect(),
+            old,
+            new,
+        }
+    }
+}
+
+/// Lazily-filled dense memo of one attribute's similarities over its
+/// interned value ids. A bitset marks filled cells (0.0 is a legitimate
+/// similarity, so the score itself cannot be the sentinel); both vecs
+/// are zero-initialised, which the allocator serves from untouched
+/// pages, so unprobed regions cost nothing.
+struct SimTable {
+    n: usize,
+    filled: Vec<u64>,
+    sims: Vec<f64>,
+}
+
+impl SimTable {
+    /// Cells above this cap fall back to direct scoring. Beyond bounding
+    /// memory, the cap is a locality heuristic: a near-unique attribute
+    /// (many distinct values, e.g. addresses) yields a table too large to
+    /// stay cached and a hit rate too low to amortise the misses — there,
+    /// recomputing the merge outright is cheaper than probing.
+    const MAX_CELLS: usize = 1 << 21;
+
+    fn new(unique_values: usize) -> Option<Self> {
+        let cells = unique_values.checked_mul(unique_values)?;
+        if cells > Self::MAX_CELLS {
+            return None;
+        }
+        Some(Self {
+            n: unique_values,
+            filled: vec![0; cells.div_ceil(64)],
+            sims: vec![0.0; cells],
+        })
+    }
+
+    #[inline]
+    fn get_or_insert_with(&mut self, a: u32, b: u32, sim: impl FnOnce() -> f64) -> f64 {
+        let idx = a as usize * self.n + b as usize;
+        let (word, bit) = (idx / 64, 1u64 << (idx % 64));
+        if self.filled[word] & bit != 0 {
+            return self.sims[idx];
+        }
+        let v = sim();
+        self.filled[word] |= bit;
+        self.sims[idx] = v;
+        v
+    }
+}
+
 /// Whether a candidate pair is age-plausible: the new age must lie within
 /// `tolerance` years of `old age + year_gap` (the paper's footnote 2:
 /// pairs whose normalised age difference exceeds 3 years are never
 /// accepted). Pairs with a missing age on either side pass.
-fn age_plausible(old: &PersonRecord, new: &PersonRecord, year_gap: i64, tolerance: u32) -> bool {
+pub(crate) fn age_plausible(
+    old: &PersonRecord,
+    new: &PersonRecord,
+    year_gap: i64,
+    tolerance: u32,
+) -> bool {
     match (old.age, new.age) {
         (Some(a), Some(b)) => {
             let expected = i64::from(a) + year_gap;
@@ -62,17 +156,55 @@ impl PreMatch {
 /// for pairs at or above the threshold. Scoring runs on compiled
 /// profiles with early-exit pruning — decision- and score-identical to
 /// the naive `aggregate_profiles` path (see `SimFunc::matches_compiled`).
-fn score_pairs(
+pub(crate) fn score_pairs(
     pairs: &[(u32, u32)],
     old_profiles: &[&CompiledProfile],
     new_profiles: &[&CompiledProfile],
     sim: &SimFunc,
-    threads: usize,
+    par: Parallelism,
     obs: &Collector,
 ) -> Vec<(u32, u32, f64)> {
-    let threads = threads.max(1);
+    let threads = par.threads.max(1);
     if pairs.is_empty() {
         return Vec::new();
+    }
+    obs.add(Counter::PrematchPairsScored, pairs.len() as u64);
+    if par.is_serial(pairs.len()) {
+        // attribute values repeat heavily across census records (name
+        // pools, shared household addresses), so the serial path serves
+        // per-attribute similarities from dense lazily-filled tables over
+        // interned value ids — bit-identical to direct scoring because
+        // `CompiledValue::similarity` is deterministic in its inputs.
+        // (The parallel path scores directly: per-worker tables would
+        // multiply the memo's memory by the thread count.)
+        let ids = ValueIds::build(old_profiles, new_profiles);
+        let mut tables: Vec<Option<SimTable>> =
+            ids.uniques.iter().map(|&u| SimTable::new(u)).collect();
+        let mut prunes = 0u64;
+        let mut out = Vec::new();
+        for &(i, j) in pairs {
+            let base_o = i as usize * ids.n_specs;
+            let base_n = j as usize * ids.n_specs;
+            let matched = sim.matches_compiled_memoized(
+                old_profiles[i as usize],
+                new_profiles[j as usize],
+                &mut prunes,
+                &mut |k, va, vb| match &mut tables[k] {
+                    Some(t) => {
+                        t.get_or_insert_with(ids.old[base_o + k], ids.new[base_n + k], || {
+                            va.similarity(vb)
+                        })
+                    }
+                    None => va.similarity(vb),
+                },
+            );
+            if let Some(s) = matched {
+                out.push((i, j, s));
+            }
+        }
+        obs.add(Counter::EarlyExitPrunes, prunes);
+        obs.add(Counter::PrematchPairsMatched, out.len() as u64);
+        return out;
     }
     // prune tallies accumulate into a worker-local integer and are
     // flushed to the collector once per slice, so the hot loop carries
@@ -92,13 +224,6 @@ fn score_pairs(
             .collect();
         (scored, prunes)
     };
-    obs.add(Counter::PrematchPairsScored, pairs.len() as u64);
-    if threads == 1 || pairs.len() < 4096 {
-        let (out, prunes) = score_slice(pairs);
-        obs.add(Counter::EarlyExitPrunes, prunes);
-        obs.add(Counter::PrematchPairsMatched, out.len() as u64);
-        return out;
-    }
     let chunk = pairs.len().div_ceil(threads);
     let mut out = Vec::with_capacity(pairs.len() / 4);
     crossbeam::scope(|scope| {
@@ -153,7 +278,10 @@ pub fn prematch(
         year_gap,
         sim,
         strategy,
-        threads,
+        Parallelism {
+            threads,
+            ..Parallelism::default()
+        },
         max_age_gap,
         &Collector::disabled(),
     )
@@ -175,23 +303,36 @@ pub fn prematch_with_profiles(
     year_gap: i64,
     sim: &SimFunc,
     strategy: BlockingStrategy,
-    threads: usize,
+    par: Parallelism,
     max_age_gap: Option<u32>,
     obs: &Collector,
 ) -> PreMatch {
     debug_assert_eq!(old.len(), old_profiles.len());
     debug_assert_eq!(new.len(), new_profiles.len());
-    let mut pairs = candidate_pairs(old, new, year_gap, strategy);
-    if let Some(tol) = max_age_gap {
-        pairs.retain(|&(i, j)| age_plausible(old[i as usize], new[j as usize], year_gap, tol));
-    }
-    let matches = score_pairs(&pairs, old_profiles, new_profiles, sim, threads, obs);
+    // the age-plausibility filter is fused into pair emission, so
+    // implausible pairs never enter the dedup sort or the scored set
+    let pairs = candidate_pairs_filtered(old, new, year_gap, strategy, par.threads, max_age_gap);
+    obs.add(Counter::BlockingPairsGenerated, pairs.len() as u64);
+    let matches = score_pairs(&pairs, old_profiles, new_profiles, sim, par, obs);
+    build_prematch(old, new, &matches)
+}
 
+/// Build the [`PreMatch`] clustering from scored match pairs: the
+/// transitive closure over the match graph, labels for every record
+/// (unmatched records form singleton clusters), cluster sizes and the
+/// per-pair similarities. `matches` holds `(old index, new index,
+/// agg_sim)` triples over the given slices — from a fresh scoring pass
+/// or from a filter over the cross-iteration pair-score cache.
+pub(crate) fn build_prematch(
+    old: &[&PersonRecord],
+    new: &[&PersonRecord],
+    matches: &[(u32, u32, f64)],
+) -> PreMatch {
     // transitive closure: indices 0..n_old are old records, n_old.. new
     let n_old = old.len();
     let mut uf = UnionFind::new(n_old + new.len());
     let mut pair_sims = HashMap::with_capacity(matches.len());
-    for &(i, j, s) in &matches {
+    for &(i, j, s) in matches {
         uf.union(i as usize, n_old + j as usize);
         pair_sims.insert((old[i as usize].id, new[j as usize].id), s);
     }

@@ -11,6 +11,8 @@
 
 use crate::simfunc::{AttributeSpec, CompiledProfile, SimFunc};
 use census_model::PersonRecord;
+use std::collections::HashMap;
+use textsim::CompiledValue;
 
 /// A per-run cache of [`CompiledProfile`]s for the two census sides,
 /// keyed by record index and invalidated when the attribute specs change.
@@ -19,6 +21,9 @@ pub struct ProfileCache {
     specs: Vec<AttributeSpec>,
     old: Vec<Option<CompiledProfile>>,
     new: Vec<Option<CompiledProfile>>,
+    /// Per-spec memo of compiled raw values, shared across both sides —
+    /// census attributes repeat heavily, so most compiles are clones.
+    value_memo: Vec<HashMap<String, CompiledValue>>,
     built: usize,
     reused: usize,
 }
@@ -38,6 +43,7 @@ impl ProfileCache {
             self.specs = sim.specs().to_vec();
             self.old.clear();
             self.new.clear();
+            self.value_memo = vec![HashMap::new(); sim.specs().len()];
         }
     }
 
@@ -45,6 +51,7 @@ impl ProfileCache {
         side: &mut Vec<Option<CompiledProfile>>,
         sim: &SimFunc,
         records: &[&PersonRecord],
+        value_memo: &mut [HashMap<String, CompiledValue>],
         built: &mut usize,
         reused: &mut usize,
     ) {
@@ -54,7 +61,7 @@ impl ProfileCache {
                 side.resize_with(idx + 1, || None);
             }
             if side[idx].is_none() {
-                side[idx] = Some(sim.compile(r));
+                side[idx] = Some(sim.compile_memoized(r, value_memo));
                 *built += 1;
             } else {
                 *reused += 1;
@@ -72,8 +79,22 @@ impl ProfileCache {
         new: &[&PersonRecord],
     ) -> (Vec<&'c CompiledProfile>, Vec<&'c CompiledProfile>) {
         self.ensure_specs(sim);
-        Self::fill(&mut self.old, sim, old, &mut self.built, &mut self.reused);
-        Self::fill(&mut self.new, sim, new, &mut self.built, &mut self.reused);
+        Self::fill(
+            &mut self.old,
+            sim,
+            old,
+            &mut self.value_memo,
+            &mut self.built,
+            &mut self.reused,
+        );
+        Self::fill(
+            &mut self.new,
+            sim,
+            new,
+            &mut self.value_memo,
+            &mut self.built,
+            &mut self.reused,
+        );
         let o = old
             .iter()
             .map(|r| {

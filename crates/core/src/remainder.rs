@@ -7,6 +7,7 @@
 
 use crate::blocking::{candidate_pairs, BlockingStrategy};
 use crate::config::RemainderConfig;
+use crate::pairscore::PairScoreCache;
 use crate::profiles::ProfileCache;
 use crate::simfunc::SimFunc;
 use census_model::{CensusDataset, GroupMapping, PersonRecord, RecordId, RecordMapping};
@@ -49,15 +50,20 @@ pub fn match_remaining(
         records,
         groups,
         &mut cache,
+        None,
         &Collector::disabled(),
     )
 }
 
 /// [`match_remaining`] reusing an existing [`ProfileCache`]: when the
 /// remainder function's specs equal the cache's, every residue record's
-/// profile is a cache hit from the subgraph iterations. Pair counters
-/// are reported to `obs` (pass [`Collector::disabled`] when not
-/// tracing).
+/// profile is a cache hit from the subgraph iterations. When a
+/// [`PairScoreCache`] is given and it covers the remainder function
+/// (same specs, threshold at or above its floor, age filter no looser
+/// than its build — see [`PairScoreCache::covers`]), scoring is skipped
+/// entirely and the residue pairs are served from the cached scores;
+/// otherwise the pass blocks and scores afresh. Pair counters are
+/// reported to `obs` (pass [`Collector::disabled`] when not tracing).
 #[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's inputs
 pub fn match_remaining_cached(
     old_ds: &CensusDataset,
@@ -69,6 +75,7 @@ pub fn match_remaining_cached(
     records: &mut RecordMapping,
     groups: &mut GroupMapping,
     cache: &mut ProfileCache,
+    pair_cache: Option<&PairScoreCache>,
     obs: &Collector,
 ) -> Vec<(RecordId, RecordId)> {
     if !config.enabled || remaining_old.is_empty() || remaining_new.is_empty() {
@@ -76,27 +83,42 @@ pub fn match_remaining_cached(
     }
     let year_gap = i64::from(new_ds.year - old_ds.year);
     let sim: &SimFunc = &config.sim_func;
-    let (old_profiles, new_profiles) = cache.profiles(sim, remaining_old, remaining_new);
-    let pairs = candidate_pairs(remaining_old, remaining_new, year_gap, blocking);
-
-    obs.add(Counter::RemainderPairsScored, pairs.len() as u64);
-    let mut prunes = 0u64;
-    let mut scored: Vec<(f64, RecordId, RecordId)> = pairs
-        .into_iter()
-        .filter_map(|(i, j)| {
-            let (o, n) = (remaining_old[i as usize], remaining_new[j as usize]);
-            if !age_plausible(o, n, year_gap, config.max_age_gap) {
-                return None;
-            }
-            sim.matches_compiled_counted(
-                old_profiles[i as usize],
-                new_profiles[j as usize],
-                &mut prunes,
-            )
-            .map(|s| (s, o.id, n.id))
-        })
-        .collect();
-    obs.add(Counter::EarlyExitPrunes, prunes);
+    let served = pair_cache.filter(|pc| pc.covers(sim, config.max_age_gap, blocking));
+    let mut scored: Vec<(f64, RecordId, RecordId)> = if let Some(pc) = served {
+        let scored = pc.select_remainder(
+            sim,
+            config.max_age_gap,
+            year_gap,
+            remaining_old,
+            remaining_new,
+        );
+        obs.add(Counter::PairCacheHits, scored.len() as u64);
+        obs.add(Counter::PairCacheFiltered, (pc.len() - scored.len()) as u64);
+        scored
+    } else {
+        let (old_profiles, new_profiles) = cache.profiles(sim, remaining_old, remaining_new);
+        let pairs = candidate_pairs(remaining_old, remaining_new, year_gap, blocking);
+        obs.add(Counter::BlockingPairsGenerated, pairs.len() as u64);
+        obs.add(Counter::RemainderPairsScored, pairs.len() as u64);
+        let mut prunes = 0u64;
+        let scored = pairs
+            .into_iter()
+            .filter_map(|(i, j)| {
+                let (o, n) = (remaining_old[i as usize], remaining_new[j as usize]);
+                if !age_plausible(o, n, year_gap, config.max_age_gap) {
+                    return None;
+                }
+                sim.matches_compiled_counted(
+                    old_profiles[i as usize],
+                    new_profiles[j as usize],
+                    &mut prunes,
+                )
+                .map(|s| (s, o.id, n.id))
+            })
+            .collect();
+        obs.add(Counter::EarlyExitPrunes, prunes);
+        scored
+    };
     // mutual-best filter: drop pairs whose runner-up on either side is
     // within the margin — those are exactly the ambiguous leftovers
     if config.mutual_best_margin > 0.0 {

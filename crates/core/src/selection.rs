@@ -61,15 +61,17 @@ impl ScoredSubgroup {
 /// into `candidates` it came from.
 #[must_use]
 pub fn select_group_links(candidates: &[ScoredSubgroup], min_g_sim: f64) -> Vec<usize> {
-    // descending g_sim; deterministic tie-break on household ids
-    let mut order: Vec<usize> = (0..candidates.len()).collect();
-    order.sort_by(|&a, &b| {
-        let ca = &candidates[a];
-        let cb = &candidates[b];
-        cb.g_sim
-            .partial_cmp(&ca.g_sim)
+    // descending g_sim; deterministic tie-break on household ids — sort
+    // extracted keys instead of indices so comparisons stay in cache
+    let mut order: Vec<(f64, HouseholdId, HouseholdId, usize)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.g_sim, c.old, c.new, i))
+        .collect();
+    order.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| (ca.old, ca.new).cmp(&(cb.old, cb.new)))
+            .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
     });
 
     // lookup: records of each household already claimed by accepted links
@@ -77,24 +79,28 @@ pub fn select_group_links(candidates: &[ScoredSubgroup], min_g_sim: f64) -> Vec<
     let mut linked_new: HashMap<HouseholdId, HashSet<RecordId>> = HashMap::new();
     let mut accepted = Vec::new();
 
-    for idx in order {
+    for (_, _, _, idx) in order {
         let cand = &candidates[idx];
         if cand.sub.vertices.is_empty() || cand.g_sim < min_g_sim {
             continue;
         }
-        let old_records: HashSet<RecordId> = cand.sub.vertices.iter().map(|&(o, _)| o).collect();
-        let new_records: HashSet<RecordId> = cand.sub.vertices.iter().map(|&(_, n)| n).collect();
         let old_clash = linked_old
             .get(&cand.old)
-            .is_some_and(|s| !s.is_disjoint(&old_records));
+            .is_some_and(|s| cand.sub.vertices.iter().any(|&(o, _)| s.contains(&o)));
         let new_clash = linked_new
             .get(&cand.new)
-            .is_some_and(|s| !s.is_disjoint(&new_records));
+            .is_some_and(|s| cand.sub.vertices.iter().any(|&(_, n)| s.contains(&n)));
         if old_clash || new_clash {
             continue;
         }
-        linked_old.entry(cand.old).or_default().extend(&old_records);
-        linked_new.entry(cand.new).or_default().extend(&new_records);
+        linked_old
+            .entry(cand.old)
+            .or_default()
+            .extend(cand.sub.vertices.iter().map(|&(o, _)| o));
+        linked_new
+            .entry(cand.new)
+            .or_default()
+            .extend(cand.sub.vertices.iter().map(|&(_, n)| n));
         accepted.push(idx);
     }
     accepted
@@ -120,23 +126,25 @@ pub fn extract_record_links(
         degree[e.u] += 1;
         degree[e.v] += 1;
     }
+    let sims: Vec<f64> = sub
+        .vertices
+        .iter()
+        .map(|v| {
+            pre.pair_sims
+                .get(&(v.0, v.1))
+                .copied()
+                .unwrap_or(fallback_sim)
+        })
+        .collect();
     let mut order: Vec<usize> = (0..sub.vertices.len()).collect();
     order.sort_by(|&a, &b| {
-        let sa = sub
-            .vertices
-            .get(a)
-            .and_then(|v| pre.pair_sims.get(&(v.0, v.1)))
-            .copied()
-            .unwrap_or(fallback_sim);
-        let sb = sub
-            .vertices
-            .get(b)
-            .and_then(|v| pre.pair_sims.get(&(v.0, v.1)))
-            .copied()
-            .unwrap_or(fallback_sim);
         degree[b]
             .cmp(&degree[a])
-            .then(sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal))
+            .then(
+                sims[b]
+                    .partial_cmp(&sims[a])
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
             .then_with(|| sub.vertices[a].cmp(&sub.vertices[b]))
     });
     let mut added = Vec::new();

@@ -203,6 +203,38 @@ impl SimFunc {
         }
     }
 
+    /// [`SimFunc::compile`] with a per-spec memo of already-compiled raw
+    /// values: census attributes repeat heavily (given names, sexes,
+    /// occupations), so duplicate values clone their compiled
+    /// representation instead of re-normalising and re-tokenising.
+    /// The clone is structurally identical to a fresh compile, so every
+    /// downstream similarity is bit-identical.
+    #[must_use]
+    pub fn compile_memoized(
+        &self,
+        r: &PersonRecord,
+        memo: &mut [std::collections::HashMap<String, CompiledValue>],
+    ) -> CompiledProfile {
+        debug_assert_eq!(memo.len(), self.specs.len());
+        CompiledProfile {
+            values: self
+                .specs
+                .iter()
+                .zip(memo.iter_mut())
+                .map(|(s, m)| {
+                    let raw = r.attribute_value(s.attribute);
+                    if let Some(v) = m.get(&raw) {
+                        v.clone()
+                    } else {
+                        let v = s.measure.compile(&normalize_value(&raw));
+                        m.insert(raw, v.clone());
+                        v
+                    }
+                })
+                .collect(),
+        }
+    }
+
     /// Aggregated similarity of two compiled profiles (Eq. 3).
     ///
     /// Bit-identical to [`SimFunc::aggregate_profiles`] on the same
@@ -247,10 +279,54 @@ impl SimFunc {
         b: &CompiledProfile,
         prunes: &mut u64,
     ) -> Option<f64> {
+        self.matches_compiled_memoized(a, b, prunes, &mut |_, va, vb| va.similarity(vb))
+    }
+
+    /// [`SimFunc::matches_compiled_counted`] with the per-attribute
+    /// similarity supplied by `sim_of(spec index, a value, b value)`.
+    ///
+    /// `sim_of` **must** return exactly `va.similarity(vb)` — callers use
+    /// it to serve repeated value pairs from a memo (attribute values
+    /// repeat heavily in census data), which is bit-identical because
+    /// `CompiledValue::similarity` is deterministic in its inputs.
+    #[must_use]
+    pub fn matches_compiled_memoized<F>(
+        &self,
+        a: &CompiledProfile,
+        b: &CompiledProfile,
+        prunes: &mut u64,
+        sim_of: &mut F,
+    ) -> Option<f64>
+    where
+        F: FnMut(usize, &CompiledValue, &CompiledValue) -> f64,
+    {
+        // each attribute is scored exactly once: the early-exit loop
+        // stashes the per-attribute scores, and survivors fold them in
+        // original spec order — the exact arithmetic of
+        // `aggregate_compiled`, without a second scoring pass (which at
+        // low thresholds, where most pairs survive, would dominate)
+        const MAX_INLINE: usize = 16;
+        if self.specs.len() > MAX_INLINE {
+            let mut partial = 0.0;
+            for (k, &i) in self.order.iter().enumerate() {
+                let s = &self.specs[i];
+                partial += s.weight * sim_of(i, &a.values[i], &b.values[i]);
+                if partial + self.suffix[k + 1] < self.threshold - PRUNE_EPS {
+                    if k + 1 < self.order.len() {
+                        *prunes += 1;
+                    }
+                    return None;
+                }
+            }
+            let s = self.aggregate_compiled(a, b);
+            return (s >= self.threshold).then_some(s);
+        }
+        let mut sims = [0.0f64; MAX_INLINE];
         let mut partial = 0.0;
         for (k, &i) in self.order.iter().enumerate() {
-            let s = &self.specs[i];
-            partial += s.weight * a.values[i].similarity(&b.values[i]);
+            let v = sim_of(i, &a.values[i], &b.values[i]);
+            sims[i] = v;
+            partial += self.specs[i].weight * v;
             // upper bound: every remaining attribute scores a perfect 1.0
             if partial + self.suffix[k + 1] < self.threshold - PRUNE_EPS {
                 if k + 1 < self.order.len() {
@@ -259,7 +335,12 @@ impl SimFunc {
                 return None;
             }
         }
-        let s = self.aggregate_compiled(a, b);
+        let s: f64 = self
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, sp)| sp.weight * sims[i])
+            .sum();
         (s >= self.threshold).then_some(s)
     }
 

@@ -92,7 +92,10 @@ fn prematch_with_cached_profiles_is_identical() {
                 year_gap,
                 &sim,
                 BlockingStrategy::Full,
-                1 + round, // also cross the thread counts
+                linkage_core::Parallelism {
+                    threads: 1 + round, // also cross the thread counts
+                    cutoff: 0,
+                },
                 Some(3),
                 &obs::Collector::disabled(),
             );
@@ -146,6 +149,7 @@ fn remainder_cached_equals_uncached() {
         &mut records,
         &mut groups,
         &mut cache,
+        None,
         &obs::Collector::disabled(),
     );
     assert_eq!(added1, added2);
@@ -171,6 +175,22 @@ fn full_pipeline_scores_are_unchanged_by_the_fast_path() {
     let r1 = linkage_core::link(old, new, &LinkageConfig::default());
     let r2 = linkage_core::link(old, new, &LinkageConfig::default());
     assert_eq!(r1.provenance, r2.provenance);
+    // incremental mode compiles each profile exactly once (the pair
+    // cache makes every later pass filter-only, so nothing re-requests
+    // them); the recompute path re-requests them every δ step
     assert!(r1.profiles_built > 0);
-    assert!(r1.profiles_reused > 0, "δ schedule must reuse profiles");
+    assert_eq!(r1.profiles_reused, 0);
+    let recompute = linkage_core::link(
+        old,
+        new,
+        &LinkageConfig {
+            incremental: false,
+            ..LinkageConfig::default()
+        },
+    );
+    assert_eq!(recompute.provenance, r1.provenance);
+    assert!(
+        recompute.profiles_reused > 0,
+        "recompute δ schedule must reuse profiles"
+    );
 }

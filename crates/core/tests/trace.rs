@@ -106,6 +106,32 @@ fn counters_agree_with_result_fields() {
 }
 
 #[test]
+fn pair_cache_scores_each_unique_pair_at_most_once() {
+    // the point of the incremental driver: across the *whole* δ schedule
+    // (5 iterations by default), every unique blocked pair is scored at
+    // most once — later iterations are served from the pair-score cache
+    let series = pair();
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let config = LinkageConfig::default();
+    let obs = Collector::enabled();
+    let result = link_traced(old, new, &config, &obs);
+    let trace = obs.finish();
+
+    let unique_pairs =
+        linkage_core::dataset_candidate_pairs(old, new, config.blocking).len() as u64;
+    let scored = trace.counter("prematch_pairs_scored");
+    assert!(scored > 0);
+    assert!(
+        scored <= unique_pairs,
+        "scored {scored} pairs but only {unique_pairs} unique blocked pairs exist"
+    );
+    // every iteration after the first was served from the cache
+    assert!(result.iterations.len() >= 2, "schedule must iterate");
+    assert!(trace.counter("pair_cache_hits") > 0);
+    assert!(trace.counter("blocking_pairs_generated") >= scored);
+}
+
+#[test]
 fn disabled_collector_records_nothing() {
     let series = pair();
     let (old, new) = (&series.snapshots[0], &series.snapshots[1]);

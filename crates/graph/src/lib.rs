@@ -42,4 +42,7 @@ mod subgraph;
 
 pub use enrich::{derive_pair_rel, EnrichedEdge, EnrichedGraph};
 pub use household_type::{household_type_counts, HouseholdType};
-pub use subgraph::{match_subgraph, MatchedSubgraph, SubgraphConfig, SubgraphEdge};
+pub use subgraph::{
+    match_subgraph, match_subgraph_with, MatchedSubgraph, SubgraphConfig, SubgraphEdge,
+    SubgraphScratch,
+};

@@ -102,11 +102,56 @@ where
     G: Fn(RecordId) -> Option<u64>,
     A: Fn(RecordId, RecordId) -> bool,
 {
-    let old_labels: Vec<Option<u64>> = old.nodes().iter().map(|&r| label_of_old(r)).collect();
-    let new_labels: Vec<Option<u64>> = new.nodes().iter().map(|&r| label_of_new(r)).collect();
+    match_subgraph_with(
+        old,
+        new,
+        label_of_old,
+        label_of_new,
+        accept,
+        config,
+        &mut SubgraphScratch::default(),
+    )
+}
+
+/// Reusable buffers for repeated [`match_subgraph`] calls: households are
+/// small, so on a candidate sweep the per-call label and vertex-index
+/// vectors cost more in allocator traffic than the matching itself.
+/// [`match_subgraph_with`] borrows them from the caller instead.
+#[derive(Debug, Default)]
+pub struct SubgraphScratch {
+    old_labels: Vec<Option<u64>>,
+    new_labels: Vec<Option<u64>>,
+    vert_idx: Vec<(usize, usize)>,
+}
+
+/// [`match_subgraph`] with caller-provided scratch buffers — identical
+/// result, no per-call label/index allocations.
+pub fn match_subgraph_with<F, G, A>(
+    old: &EnrichedGraph,
+    new: &EnrichedGraph,
+    label_of_old: F,
+    label_of_new: G,
+    accept: A,
+    config: &SubgraphConfig,
+    scratch: &mut SubgraphScratch,
+) -> MatchedSubgraph
+where
+    F: Fn(RecordId) -> Option<u64>,
+    G: Fn(RecordId) -> Option<u64>,
+    A: Fn(RecordId, RecordId) -> bool,
+{
+    let SubgraphScratch {
+        old_labels,
+        new_labels,
+        vert_idx,
+    } = scratch;
+    old_labels.clear();
+    old_labels.extend(old.nodes().iter().map(|&r| label_of_old(r)));
+    new_labels.clear();
+    new_labels.extend(new.nodes().iter().map(|&r| label_of_new(r)));
 
     // vertices: equal-label cross pairs (node-index form)
-    let mut vert_idx: Vec<(usize, usize)> = Vec::new();
+    vert_idx.clear();
     let mut vertices: Vec<(RecordId, RecordId)> = Vec::new();
     for (i, lo) in old_labels.iter().enumerate() {
         let Some(lo) = lo else { continue };

@@ -86,11 +86,20 @@ pub enum Counter {
     ProfilesBuilt,
     /// Compiled profiles served from the cache (hits).
     ProfilesReused,
+    /// Cached pair scores reused by an incremental filter-only pass
+    /// (iterations after the first, and a compatible remainder pass).
+    PairCacheHits,
+    /// Cached pair scores skipped by a filter-only pass (below the
+    /// current δ, or an endpoint already linked).
+    PairCacheFiltered,
+    /// Candidate pairs emitted by the blocking layer, before any
+    /// age-plausibility filtering.
+    BlockingPairsGenerated,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 14] = [
         Counter::PrematchPairsScored,
         Counter::PrematchPairsMatched,
         Counter::EarlyExitPrunes,
@@ -102,6 +111,9 @@ impl Counter {
         Counter::RemainderLinks,
         Counter::ProfilesBuilt,
         Counter::ProfilesReused,
+        Counter::PairCacheHits,
+        Counter::PairCacheFiltered,
+        Counter::BlockingPairsGenerated,
     ];
 
     /// Stable snake_case name used in the JSON trace.
@@ -119,6 +131,9 @@ impl Counter {
             Counter::RemainderLinks => "remainder_links",
             Counter::ProfilesBuilt => "profiles_built",
             Counter::ProfilesReused => "profiles_reused",
+            Counter::PairCacheHits => "pair_cache_hits",
+            Counter::PairCacheFiltered => "pair_cache_filtered",
+            Counter::BlockingPairsGenerated => "blocking_pairs_generated",
         }
     }
 

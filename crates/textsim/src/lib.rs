@@ -39,10 +39,10 @@ pub use jaro::{jaro, jaro_winkler, jaro_winkler_with_prefix};
 pub use levenshtein::{
     damerau_levenshtein, damerau_levenshtein_similarity, levenshtein, levenshtein_similarity,
 };
-pub use normalize::{normalize_name, normalize_value, strip_diacritics};
+pub use normalize::{fold_diacritic, normalize_name, normalize_value, strip_diacritics};
 pub use numeric::{abs_diff_similarity, age_difference_similarity, year_gap_expected_age};
 pub use nysiis::nysiis;
-pub use phonetic::soundex;
+pub use phonetic::{soundex, soundex_code};
 pub use qgram::{qgram_multiset, qgram_similarity, QGramIndexKey};
 pub use smith_waterman::{smith_waterman_similarity, smith_waterman_with, SwScores};
 pub use tokens::{monge_elkan, token_jaccard};

@@ -35,27 +35,35 @@ pub fn normalize_name(s: &str) -> String {
     strip_diacritics(&normalize_value(s))
 }
 
+/// Fold one lowercase Latin-1 / Latin Extended-A diacritic character to
+/// its ASCII base letter. Characters outside the table pass through
+/// unchanged. The per-character core of [`strip_diacritics`], exposed so
+/// allocation-free consumers (the blocking key builder) can fold without
+/// materialising a `String`.
+#[must_use]
+pub fn fold_diacritic(c: char) -> char {
+    match c {
+        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'ā' | 'ă' => 'a',
+        'ç' | 'ć' | 'č' => 'c',
+        'è' | 'é' | 'ê' | 'ë' | 'ē' | 'ė' => 'e',
+        'ì' | 'í' | 'î' | 'ï' | 'ī' => 'i',
+        'ñ' | 'ń' => 'n',
+        'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ø' | 'ō' => 'o',
+        'ù' | 'ú' | 'û' | 'ü' | 'ū' => 'u',
+        'ý' | 'ÿ' => 'y',
+        'ž' | 'ź' | 'ż' => 'z',
+        'š' | 'ś' => 's',
+        'ß' => 's', // best-effort single-char fold
+        other => other,
+    }
+}
+
 /// Fold the Latin-1 / Latin Extended-A diacritics that occur in European
 /// names to their ASCII base letters. Characters outside the table pass
 /// through unchanged.
 #[must_use]
 pub fn strip_diacritics(s: &str) -> String {
-    s.chars()
-        .map(|c| match c {
-            'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'ā' | 'ă' => 'a',
-            'ç' | 'ć' | 'č' => 'c',
-            'è' | 'é' | 'ê' | 'ë' | 'ē' | 'ė' => 'e',
-            'ì' | 'í' | 'î' | 'ï' | 'ī' => 'i',
-            'ñ' | 'ń' => 'n',
-            'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ø' | 'ō' => 'o',
-            'ù' | 'ú' | 'û' | 'ü' | 'ū' => 'u',
-            'ý' | 'ÿ' => 'y',
-            'ž' | 'ź' | 'ż' => 'z',
-            'š' | 'ś' => 's',
-            'ß' => 's', // best-effort single-char fold
-            other => other,
-        })
-        .collect()
+    s.chars().map(fold_diacritic).collect()
 }
 
 #[cfg(test)]

@@ -4,6 +4,60 @@
 //! the blocking layer can propose candidate pairs that raw q-gram keys would
 //! miss. We implement the American Soundex standard.
 
+/// [`soundex`] of the *normalised* name, packed into four ASCII bytes
+/// without allocating. Equivalent to
+/// `soundex(&normalize_name(name)).map(|s| s.into_bytes())` — lowercase
+/// expansion and diacritic folding are applied inline, so "Müller" and
+/// "Muller" produce the same code — but runs with zero heap traffic,
+/// which matters in the blocking layer where it is called twice per
+/// record per key pass.
+#[must_use]
+pub fn soundex_code(name: &str) -> Option<[u8; 4]> {
+    fn digit(c: u8) -> u8 {
+        match c {
+            b'B' | b'F' | b'P' | b'V' => 1,
+            b'C' | b'G' | b'J' | b'K' | b'Q' | b'S' | b'X' | b'Z' => 2,
+            b'D' | b'T' => 3,
+            b'L' => 4,
+            b'M' | b'N' => 5,
+            b'R' => 6,
+            // vowels + H, W, Y
+            _ => 0,
+        }
+    }
+    // the same letter stream `soundex(&normalize_name(name))` sees:
+    // normalisation only lowercases and folds diacritics (both done
+    // here), and every character it drops is non-ASCII-alphabetic, which
+    // the soundex letter filter drops anyway
+    let mut letters = name
+        .chars()
+        .flat_map(char::to_lowercase)
+        .map(crate::normalize::fold_diacritic)
+        .filter(char::is_ascii_alphabetic)
+        .map(|c| c.to_ascii_uppercase() as u8);
+    let first = letters.next()?;
+    let mut out = [b'0'; 4];
+    out[0] = first;
+    let mut len = 1;
+    let mut prev = digit(first);
+    for c in letters {
+        // H and W are transparent: they do not reset the previous code
+        if c == b'H' || c == b'W' {
+            continue;
+        }
+        let d = digit(c);
+        if d != 0 && d != prev {
+            out[len] = b'0' + d;
+            len += 1;
+            if len == 4 {
+                return Some(out);
+            }
+        }
+        prev = d;
+    }
+    Some(out)
+}
+
 /// American Soundex code of a name: an uppercase letter followed by three
 /// digits (zero-padded). Returns `None` when the input contains no ASCII
 /// letter to anchor the code.
@@ -98,7 +152,42 @@ mod tests {
         assert_eq!(soundex("A").as_deref(), Some("A000"));
     }
 
+    #[test]
+    fn packed_code_equals_soundex_of_normalized_name() {
+        use crate::normalize_name;
+        for name in [
+            "Robert",
+            "Rupert",
+            "Ashcraft",
+            "Tymczak",
+            "Pfister",
+            "Honeyman",
+            "Lee",
+            "A",
+            "",
+            "42",
+            "  o'Brien ",
+            "Müller",
+            "José",
+            "weiß",
+            "Ashton-under-Lyne!",
+            "van der Berg",
+        ] {
+            let via_string = soundex(&normalize_name(name));
+            let packed = soundex_code(name).map(|c| String::from_utf8(c.to_vec()).unwrap());
+            assert_eq!(packed, via_string, "mismatch for {name:?}");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_packed_code_matches_string_path(name in ".{0,20}") {
+            use crate::normalize_name;
+            let via_string = soundex(&normalize_name(&name));
+            let packed = soundex_code(&name).map(|c| String::from_utf8(c.to_vec()).unwrap());
+            prop_assert_eq!(packed, via_string);
+        }
+
         #[test]
         fn prop_shape(name in "[A-Za-z]{1,15}") {
             let code = soundex(&name).unwrap();

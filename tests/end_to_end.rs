@@ -216,21 +216,38 @@ fn thread_count_does_not_change_results() {
 fn profile_cache_reuses_profiles_across_iterations() {
     let series = small_series(9);
     let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
-    let result = link(old, new, &LinkageConfig::default());
     let total = old.records().len() + new.records().len();
-    // every record's profile is compiled at most once: the default
-    // remainder function shares the ω2 specs, so the cache never resets
+
+    // default (incremental) pipeline: pairs are scored once at the
+    // schedule floor, so each profile is compiled exactly once and no
+    // later pass needs to fetch it again
+    let result = link(old, new, &LinkageConfig::default());
     assert!(
         result.profiles_built <= total,
         "{} built, {total} records",
         result.profiles_built
     );
     assert!(result.profiles_built > 0);
-    // the iterative schedule re-scores residue records at δ−Δ and the
-    // remainder pass re-scores the leftovers — those must all be hits
+
+    // recompute pipeline: the iterative schedule re-scores residue
+    // records at δ−Δ and the remainder pass re-scores the leftovers —
+    // those must all be profile-cache hits
+    let recompute = link(
+        old,
+        new,
+        &LinkageConfig {
+            incremental: false,
+            ..LinkageConfig::default()
+        },
+    );
     assert!(
-        result.profiles_reused > 0,
-        "iterative run should reuse cached profiles"
+        recompute.profiles_built <= total,
+        "{} built, {total} records",
+        recompute.profiles_built
+    );
+    assert!(
+        recompute.profiles_reused > 0,
+        "iterative recompute run should reuse cached profiles"
     );
 }
 
