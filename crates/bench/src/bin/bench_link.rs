@@ -8,6 +8,7 @@
 //! ```text
 //! cargo run --release -p census-bench --bin bench_link -- \
 //!     [--out BENCH_link.json] [--scales S,M,L] [--iters 3] [--threads N] \
+//!     [--trace-out trace.json] \
 //!     [--before S=14179,M=234242,L=4162575] [--before-ref COMMIT]
 //! ```
 //!
@@ -16,6 +17,13 @@
 //! machine). Phase times come from the pipeline's own trace collector,
 //! so the breakdown matches `link --trace-out` exactly.
 //!
+//! Per scale the harness also measures observability overhead — the
+//! incremental pipeline with the collector disabled, enabled, and
+//! enabled with decision logging — and embeds the enabled run's
+//! histogram summaries. `--trace-out FILE` writes the fastest
+//! incremental run's full trace of the *last* scale measured, for
+//! `trace-diff` CI gating.
+//!
 //! `--before` embeds externally measured per-scale `link` totals (e.g.
 //! from running this harness's loop against an older commit) so the
 //! report carries an end-to-end before/after comparison; `--before-ref`
@@ -23,8 +31,9 @@
 
 use census_synth::{generate_series, SimConfig};
 use linkage_core::{link_traced, LinkageConfig};
-use obs::Collector;
+use obs::{Collector, DecisionConfig, RunTrace};
 use serde_json::{json, Value};
+use std::time::Instant;
 
 struct Scale {
     label: &'static str,
@@ -46,13 +55,15 @@ const SCALES: [Scale; 3] = [
     },
 ];
 
-/// One measured run: total wall time plus the per-phase breakdown.
+/// One measured run: total wall time, the per-phase breakdown and the
+/// full trace it came from.
 struct Measurement {
     total_us: u64,
     phases: Vec<(String, u64)>,
     pairs_scored: u64,
     cache_hits: u64,
     record_links: usize,
+    trace: RunTrace,
 }
 
 fn measure(
@@ -73,6 +84,7 @@ fn measure(
         pairs_scored: trace.counter("prematch_pairs_scored"),
         cache_hits: trace.counter("pair_cache_hits"),
         record_links: result.records.len(),
+        trace,
     }
 }
 
@@ -86,6 +98,79 @@ fn best_of(
         .map(|_| measure(old, new, config))
         .min_by_key(|m| m.total_us)
         .expect("at least one iteration")
+}
+
+/// Best-of wall time of the pipeline with a specific collector setup
+/// (measured externally so disabled runs need no trace).
+fn best_wall_us(
+    iters: usize,
+    old: &census_model::CensusDataset,
+    new: &census_model::CensusDataset,
+    config: &LinkageConfig,
+    make_obs: impl Fn() -> Collector,
+) -> u64 {
+    (0..iters.max(1))
+        .map(|_| {
+            let obs = make_obs();
+            let start = Instant::now();
+            let result = link_traced(old, new, config, &obs);
+            let us = start.elapsed().as_micros() as u64;
+            assert!(!result.records.is_empty());
+            us
+        })
+        .min()
+        .expect("at least one iteration")
+}
+
+/// The observability cost ladder: disabled collector, enabled
+/// collector, enabled collector with decision logging.
+fn obs_overhead_json(
+    iters: usize,
+    old: &census_model::CensusDataset,
+    new: &census_model::CensusDataset,
+    config: &LinkageConfig,
+) -> Value {
+    let disabled = best_wall_us(iters, old, new, config, Collector::disabled);
+    let enabled = best_wall_us(iters, old, new, config, Collector::enabled);
+    let decisions = best_wall_us(iters, old, new, config, || {
+        Collector::enabled().with_decisions(DecisionConfig::default())
+    });
+    let pct = |us: u64| (us as f64 - disabled as f64) / disabled.max(1) as f64 * 100.0;
+    eprintln!(
+        "  obs overhead: disabled {:.1} ms, enabled {:+.2}%, +decisions {:+.2}%",
+        disabled as f64 / 1000.0,
+        pct(enabled),
+        pct(decisions)
+    );
+    json!({
+        "disabled_total_us": (disabled),
+        "enabled_total_us": (enabled),
+        "decisions_total_us": (decisions),
+        "enabled_overhead_pct": (pct(enabled)),
+        "decisions_overhead_pct": (pct(decisions))
+    })
+}
+
+/// Summaries of the distribution telemetry captured by the fastest
+/// incremental run.
+fn histograms_json(trace: &RunTrace) -> Value {
+    Value::Seq(
+        trace
+            .histograms
+            .iter()
+            .map(|h| {
+                json!({
+                    "name": (h.name.clone()),
+                    "unit": (h.unit.clone()),
+                    "count": (h.hist.count),
+                    "mean": (h.hist.mean()),
+                    "p50": (h.hist.percentile(0.50)),
+                    "p99": (h.hist.percentile(0.99)),
+                    "max": (h.hist.max)
+                })
+            })
+            .collect(),
+    )
 }
 
 fn mode_json(m: &Measurement) -> Value {
@@ -119,6 +204,7 @@ fn main() {
         parse_flag(&mut args, "--iters").map_or(3, |s| s.parse().expect("--iters needs a number"));
     let threads: Option<usize> =
         parse_flag(&mut args, "--threads").map(|s| s.parse().expect("--threads needs a number"));
+    let trace_out = parse_flag(&mut args, "--trace-out");
     // "S=14179,M=234242,L=4162575" — externally measured baseline totals
     let before_totals: Vec<(String, u64)> = parse_flag(&mut args, "--before")
         .map(|spec| {
@@ -140,6 +226,7 @@ fn main() {
 
     let wanted: Vec<&str> = scales.split(',').map(str::trim).collect();
     let mut rows = Vec::new();
+    let mut last_trace: Option<RunTrace> = None;
     for scale in SCALES.iter().filter(|s| wanted.contains(&s.label)) {
         let sim = SimConfig {
             snapshots: 2,
@@ -183,7 +270,9 @@ fn main() {
             "records_new": (new.records().len()),
             "recompute": (mode_json(&recompute)),
             "incremental": (mode_json(&incremental)),
-            "speedup": (speedup)
+            "speedup": (speedup),
+            "obs_overhead": (obs_overhead_json(iters, old, new, &incremental_config)),
+            "histograms": (histograms_json(&incremental.trace))
         });
         if let Some((_, before_us)) = before_totals.iter().find(|(l, _)| l == scale.label) {
             let vs_before = *before_us as f64 / incremental.total_us.max(1) as f64;
@@ -201,6 +290,14 @@ fn main() {
             }
         }
         rows.push(row);
+        last_trace = Some(incremental.trace);
+    }
+
+    if let Some(path) = trace_out {
+        let trace = last_trace.as_ref().expect("at least one scale measured");
+        let text = serde_json::to_string_pretty(trace).expect("trace serializes") + "\n";
+        std::fs::write(&path, text).expect("write trace");
+        eprintln!("wrote {path}");
     }
 
     let mut report = json!({

@@ -7,11 +7,13 @@
 //! census-linkage stats FILE.csv --year YEAR
 //! census-linkage link OLD.csv NEW.csv --old-year Y --new-year Y --out DIR
 //!                [--threads N] [--parallel-cutoff N] [--delta-low D]
-//!                [--trace-out FILE.json] [--verbose]
+//!                [--trace-out FILE.json] [--decisions-out DIR] [--verbose]
 //! census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
 //!                [--threads N] [--parallel-cutoff N] [--delta-low D]
 //!                [--trace-out FILE.json] [--verbose]
 //! census-linkage trace-check FILE.json
+//! census-linkage trace-diff OLD.json NEW.json [--fail-on SPEC]...
+//! census-linkage explain link --decisions DIR --group OLD:NEW
 //! ```
 //!
 //! All subcommand logic — including argument parsing, via [`run_cli`] —
@@ -28,7 +30,8 @@ use census_model::{CensusDataset, GroupMapping, RecordMapping};
 use census_synth::{generate_series, SimConfig};
 use evolution::{detect_patterns, largest_component, preserve_chain_counts, EvolutionGraph};
 use linkage_core::{link_traced, LinkageConfig};
-use obs::{Collector, MultiTrace, RunTrace, TraceSink};
+use obs::diff::{compare, Threshold};
+use obs::{Collector, DecisionConfig, DecisionRecord, MultiTrace, RunTrace, TraceSink};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -53,6 +56,9 @@ pub struct LinkOptions {
     pub delta_low: Option<f64>,
     /// Write the pipeline trace as JSON to this file (`--trace-out`).
     pub trace_out: Option<PathBuf>,
+    /// Record decision provenance and write it as JSONL into this
+    /// directory (`--decisions-out`, `link` only).
+    pub decisions_out: Option<PathBuf>,
     /// Print the human-readable phase table (`--verbose`).
     pub verbose: bool,
 }
@@ -168,7 +174,8 @@ pub fn cmd_stats(file: &Path, year: i32) -> Result<String, CliError> {
 /// `record_mapping.csv` and `group_mapping.csv` into `out` and return a
 /// human-readable summary. With `opts.trace_out` the pipeline trace is
 /// written as JSON; with `opts.verbose` the phase table is appended to
-/// the summary.
+/// the summary. With `opts.decisions_out` the decision log is written
+/// as `decisions.jsonl` into that directory, for `explain`.
 ///
 /// # Errors
 ///
@@ -185,7 +192,10 @@ pub fn cmd_link(
     let new = load(new_file, new_year)?;
     let mut config = LinkageConfig::default();
     opts.apply(&mut config)?;
-    let obs = Collector::new(opts.tracing_enabled());
+    let mut obs = Collector::new(opts.tracing_enabled() || opts.decisions_out.is_some());
+    if opts.decisions_out.is_some() {
+        obs = obs.with_decisions(DecisionConfig::default());
+    }
     let result = link_traced(&old, &new, &config, &obs);
     std::fs::create_dir_all(out).map_err(|e| io_err("creating output dir", e))?;
     let rec_path = out.join("record_mapping.csv");
@@ -219,6 +229,22 @@ pub fn cmd_link(
     );
     let _ = writeln!(summary, "wrote {}", rec_path.display());
     let _ = writeln!(summary, "wrote {}", grp_path.display());
+    if let Some(dir) = &opts.decisions_out {
+        let log = obs.take_decisions().expect("decisions were enabled");
+        std::fs::create_dir_all(dir).map_err(|e| io_err("creating decisions dir", e))?;
+        let path = dir.join("decisions.jsonl");
+        let text = log
+            .to_jsonl()
+            .map_err(|e| io_err("serializing decisions", e))?;
+        std::fs::write(&path, text).map_err(|e| io_err("writing decisions file", e))?;
+        let _ = writeln!(
+            summary,
+            "wrote {} ({} decision(s), {} dropped)",
+            path.display(),
+            log.len(),
+            log.dropped_links + log.dropped_rejections
+        );
+    }
     if opts.tracing_enabled() {
         let trace = obs.finish();
         if let Some(path) = &opts.trace_out {
@@ -250,6 +276,9 @@ pub fn cmd_evolve(
 ) -> Result<String, CliError> {
     if files.len() < 2 {
         return Err("evolve needs at least two snapshot files".into());
+    }
+    if opts.decisions_out.is_some() {
+        return Err("--decisions-out is only supported by link".into());
     }
     let mut snapshots = Vec::new();
     for (i, file) in files.iter().enumerate() {
@@ -424,6 +453,234 @@ pub fn cmd_trace_check(file: &Path) -> Result<String, CliError> {
     ))
 }
 
+fn load_run_trace(file: &Path) -> Result<RunTrace, CliError> {
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| io_err(&format!("reading {}", file.display()), e))?;
+    if let Ok(trace) = serde_json::from_str::<RunTrace>(&text) {
+        return Ok(trace);
+    }
+    if serde_json::from_str::<MultiTrace>(&text).is_ok() {
+        return Err(format!(
+            "{} is a multi-run trace; trace-diff compares single-run traces \
+             (written by `link --trace-out` or `bench_link --trace-out`)",
+            file.display()
+        ));
+    }
+    Err(format!("{}: not a valid trace JSON file", file.display()))
+}
+
+/// `trace-diff`: compare two single-run trace JSON files — counter
+/// deltas, histogram distribution shift (normalised L1), phase-time
+/// ratios — and render a report. Each `--fail-on` spec
+/// (`counter:NAME:PCT`, `phase:NAME:RATIO`, `hist:NAME:L1MAX`,
+/// `p99:NAME:PCT`, `total:RATIO`) turns a regression past the
+/// threshold into a nonzero exit, for CI gating.
+///
+/// # Errors
+///
+/// Fails on I/O or parse errors, invalid `--fail-on` specs, or — with
+/// the rendered report — when any threshold is violated.
+pub fn cmd_trace_diff(
+    old_file: &Path,
+    new_file: &Path,
+    fail_on: &[String],
+) -> Result<String, CliError> {
+    let thresholds = fail_on
+        .iter()
+        .map(|s| Threshold::parse(s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let old = load_run_trace(old_file)?;
+    let new = load_run_trace(new_file)?;
+    let report = compare(&old, &new);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace-diff {} -> {}",
+        old_file.display(),
+        new_file.display()
+    );
+    let _ = writeln!(out, "{}", report.render());
+    if report.is_identical() {
+        let _ = writeln!(out, "traces are identical (ignoring wall times)");
+    }
+    let violations = report.check(&thresholds);
+    if violations.is_empty() {
+        return Ok(out);
+    }
+    for v in &violations {
+        let _ = writeln!(out, "FAIL {}: {}", v.spec, v.message);
+    }
+    let _ = writeln!(out, "{} threshold(s) violated", violations.len());
+    Err(out)
+}
+
+/// Parse an `OLD:NEW` id pair; a leading non-digit prefix per side (as
+/// in `G1880:G42`) is ignored.
+fn parse_id_pair(spec: &str) -> Result<(u64, u64), CliError> {
+    let bad = || format!("bad id pair {spec:?} (expected OLD:NEW, e.g. 1880:42 or G1880:G42)");
+    let (old, new) = spec.split_once(':').ok_or_else(bad)?;
+    let digits = |s: &str| {
+        let t = s.trim_start_matches(|c: char| !c.is_ascii_digit());
+        if t.is_empty() {
+            Err(bad())
+        } else {
+            t.parse::<u64>().map_err(|_| bad())
+        }
+    };
+    Ok((digits(old)?, digits(new)?))
+}
+
+fn reason_text(reason: obs::RejectionReason) -> &'static str {
+    match reason {
+        obs::RejectionReason::LowerGSim => "lower g_sim than the conflicting winner",
+        obs::RejectionReason::TieBreak => "lost the (old, new) tie-break at equal g_sim",
+        obs::RejectionReason::BelowMinGSim => "g_sim below the min_g_sim floor",
+        obs::RejectionReason::EmptySubgraph => "empty matched subgraph",
+    }
+}
+
+fn render_group_decision(g: &obs::GroupDecision) -> String {
+    let uniq_w = (1.0 - g.alpha - g.beta).max(0.0);
+    let mut out = String::new();
+    let _ = writeln!(out, "group link G{} -> G{}", g.old_group, g.new_group);
+    let _ = writeln!(
+        out,
+        "  accepted in iteration {} (delta = {:.2})",
+        g.iteration, g.delta
+    );
+    let _ = writeln!(out, "  g_sim = {:.6}", g.g_sim);
+    let _ = writeln!(
+        out,
+        "        = {:.2}*avg_sim({:.6}) + {:.2}*e_sim({:.6}) + {:.2}*unique({:.6})",
+        g.alpha, g.avg_sim, g.beta, g.e_sim, uniq_w, g.unique
+    );
+    let _ = writeln!(out, "  matched subgraph: {} vertices", g.subgraph_size);
+    if g.records.is_empty() {
+        let _ = writeln!(out, "  record links: none new (members already linked)");
+    } else {
+        let pairs: Vec<String> = g.records.iter().map(|(o, n)| format!("{o}->{n}")).collect();
+        let _ = writeln!(out, "  record links: {}", pairs.join(", "));
+    }
+    if g.losers.is_empty() {
+        let _ = writeln!(out, "  no competing candidates lost to this link");
+    } else {
+        let _ = writeln!(out, "  beat {} candidate(s):", g.losers.len());
+        for l in &g.losers {
+            let _ = writeln!(
+                out,
+                "    G{} -> G{}  g_sim {:.6}  ({})",
+                l.old_group,
+                l.new_group,
+                l.g_sim,
+                reason_text(l.reason)
+            );
+        }
+    }
+    out
+}
+
+fn load_decisions(dir: &Path) -> Result<Vec<DecisionRecord>, CliError> {
+    let path = dir.join("decisions.jsonl");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| io_err(&format!("reading {}", path.display()), e))?;
+    obs::DecisionLog::parse_jsonl(&text).map_err(|e| io_err("parsing decision log", e))
+}
+
+/// `explain link`: resolve one group or record link against a decision
+/// log directory written by `link --decisions-out DIR` and pretty-print
+/// the full provenance — the winning `g_sim` breakdown and the
+/// candidates it beat, or why the queried candidate lost.
+///
+/// Exactly one of `group` / `record` must be given (enforced by the
+/// argument parser).
+///
+/// # Errors
+///
+/// Fails on I/O or parse errors, or when the queried pair has no
+/// decision record.
+pub fn cmd_explain_link(
+    dir: &Path,
+    group: Option<(u64, u64)>,
+    record: Option<(u64, u64)>,
+) -> Result<String, CliError> {
+    let entries = load_decisions(dir)?;
+    if let Some((o, n)) = group {
+        // a winning decision first, then rejections, then remainder links
+        for e in &entries {
+            if let DecisionRecord::Group(g) = e {
+                if g.old_group == o && g.new_group == n {
+                    return Ok(render_group_decision(g));
+                }
+            }
+        }
+        let mut rejections = String::new();
+        for e in &entries {
+            if let DecisionRecord::Rejected(r) = e {
+                if r.old_group == o && r.new_group == n {
+                    let _ = writeln!(
+                        rejections,
+                        "candidate G{o} -> G{n} rejected in iteration {} (delta = {:.2}): \
+                         g_sim {:.6}, {}",
+                        r.iteration,
+                        r.delta,
+                        r.g_sim,
+                        reason_text(r.reason)
+                    );
+                    if let Some((wo, wn)) = r.winner {
+                        let _ = writeln!(rejections, "  conflicting winner: G{wo} -> G{wn}");
+                    }
+                }
+            }
+        }
+        let remainder: Vec<String> = entries
+            .iter()
+            .filter_map(|e| match e {
+                DecisionRecord::Remainder(r) if r.old_group == o && r.new_group == n => {
+                    Some(format!(
+                        "  record {} -> {}  agg_sim {:.6}",
+                        r.old_record, r.new_record, r.agg_sim
+                    ))
+                }
+                _ => None,
+            })
+            .collect();
+        if !remainder.is_empty() {
+            let mut out =
+                format!("group link G{o} -> G{n} induced by the attribute-only remainder pass:\n");
+            for line in remainder {
+                let _ = writeln!(out, "{line}");
+            }
+            if !rejections.is_empty() {
+                let _ = writeln!(out, "earlier subgraph-phase rejections:\n{rejections}");
+            }
+            return Ok(out);
+        }
+        if !rejections.is_empty() {
+            return Ok(rejections);
+        }
+        return Err(format!("no decision recorded for group pair {o}:{n}"));
+    }
+    let (o, n) = record.expect("parser guarantees a query");
+    for e in &entries {
+        match e {
+            DecisionRecord::Group(g) if g.records.contains(&(o, n)) => {
+                let mut out = format!("record link {o} -> {n} extracted from a group link:\n");
+                out.push_str(&render_group_decision(g));
+                return Ok(out);
+            }
+            DecisionRecord::Remainder(r) if r.old_record == o && r.new_record == n => {
+                return Ok(format!(
+                    "record link {o} -> {n} made by the attribute-only remainder pass:\n  \
+                     households G{} -> G{}, agg_sim {:.6}\n",
+                    r.old_group, r.new_group, r.agg_sim
+                ));
+            }
+            _ => {}
+        }
+    }
+    Err(format!("no decision recorded for record pair {o}:{n}"))
+}
+
 /// The usage text printed by `--help` and on invalid invocations.
 pub const USAGE: &str = "\
 census-linkage — temporal record and household linkage for census data
@@ -433,12 +690,16 @@ USAGE:
   census-linkage stats FILE.csv --year YEAR
   census-linkage link OLD.csv NEW.csv --old-year Y --new-year Y --out DIR
                  [--threads N] [--parallel-cutoff N] [--delta-low D]
-                 [--trace-out FILE.json] [--verbose]
+                 [--trace-out FILE.json] [--decisions-out DIR] [--verbose]
   census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
                  [--threads N] [--parallel-cutoff N] [--delta-low D]
                  [--trace-out FILE.json] [--verbose]
   census-linkage evaluate FOUND.csv TRUTH.csv --kind records|groups
   census-linkage trace-check FILE.json
+  census-linkage trace-diff OLD.json NEW.json [--fail-on SPEC]...
+                 SPEC: counter:NAME:PCT | phase:NAME:RATIO
+                     | hist:NAME:L1MAX | p99:NAME:PCT | total:RATIO
+  census-linkage explain link --decisions DIR (--group OLD:NEW | --record OLD:NEW)
 ";
 
 fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
@@ -512,12 +773,14 @@ fn take_link_options(args: &mut Vec<String>) -> Result<LinkOptions, CliError> {
         .map(|s| s.parse::<f64>().map_err(|_| format!("bad delta-low {s:?}")))
         .transpose()?;
     let trace_out = take_value(args, "--trace-out")?.map(PathBuf::from);
+    let decisions_out = take_value(args, "--decisions-out")?.map(PathBuf::from);
     let verbose = take_flag(args, "--verbose");
     Ok(LinkOptions {
         threads,
         parallel_cutoff,
         delta_low,
         trace_out,
+        decisions_out,
         verbose,
     })
 }
@@ -595,6 +858,37 @@ pub fn run_cli(mut args: Vec<String>) -> Result<String, CliError> {
             reject_unknown_flags(&args, "trace-check")?;
             expect_positionals(&args, "trace-check", 1, "one FILE.json argument")?;
             cmd_trace_check(&PathBuf::from(&args[0]))
+        }
+        "trace-diff" => {
+            let mut fail_on = Vec::new();
+            while let Some(spec) = take_value(&mut args, "--fail-on")? {
+                fail_on.push(spec);
+            }
+            reject_unknown_flags(&args, "trace-diff")?;
+            expect_positionals(&args, "trace-diff", 2, "OLD.json and NEW.json")?;
+            cmd_trace_diff(&PathBuf::from(&args[0]), &PathBuf::from(&args[1]), &fail_on)
+        }
+        "explain" => {
+            let decisions =
+                take_value(&mut args, "--decisions")?.ok_or("explain needs --decisions DIR")?;
+            let group = take_value(&mut args, "--group")?;
+            let record = take_value(&mut args, "--record")?;
+            reject_unknown_flags(&args, "explain")?;
+            expect_positionals(&args, "explain", 1, "the target `link`")?;
+            if args[0] != "link" {
+                return Err(format!("explain knows only `link`, got {:?}", args[0]));
+            }
+            let (group, record) = match (group, record) {
+                (Some(g), None) => (Some(parse_id_pair(&g)?), None),
+                (None, Some(r)) => (None, Some(parse_id_pair(&r)?)),
+                _ => {
+                    return Err(
+                        "explain link needs exactly one of --group OLD:NEW or --record OLD:NEW"
+                            .into(),
+                    )
+                }
+            };
+            cmd_explain_link(&PathBuf::from(decisions), group, record)
         }
         "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
@@ -889,6 +1183,169 @@ mod tests {
         .unwrap();
         assert!(summary.contains("1 iteration(s)"), "{summary}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explain_resolves_every_group_link() {
+        let dir = tmp_dir("explain");
+        cmd_generate(&dir, "small", Some(21)).unwrap();
+        let out = dir.join("linked");
+        let decisions = dir.join("decisions");
+        let summary = cli(&[
+            "link",
+            dir.join("census_1851.csv").to_str().unwrap(),
+            dir.join("census_1861.csv").to_str().unwrap(),
+            "--old-year",
+            "1851",
+            "--new-year",
+            "1861",
+            "--out",
+            out.to_str().unwrap(),
+            "--decisions-out",
+            decisions.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(summary.contains("decisions.jsonl"), "{summary}");
+
+        // every written group link must be explainable from the log
+        let f = File::open(out.join("group_mapping.csv")).unwrap();
+        let groups = read_group_mapping(BufReader::new(f)).unwrap();
+        assert!(!groups.is_empty());
+        let mut accepted = 0;
+        for (o, n) in groups.iter() {
+            let spec = format!("G{}:G{}", o.raw(), n.raw());
+            let text = cli(&[
+                "explain",
+                "link",
+                "--decisions",
+                decisions.to_str().unwrap(),
+                "--group",
+                &spec,
+            ])
+            .unwrap_or_else(|e| panic!("group {spec} unexplained: {e}"));
+            if text.contains("g_sim =") {
+                accepted += 1;
+            } else {
+                assert!(text.contains("remainder pass"), "{text}");
+            }
+        }
+        assert!(accepted > 0, "no subgraph-phase group links explained");
+
+        // record queries resolve too (first written record link)
+        let f = File::open(out.join("record_mapping.csv")).unwrap();
+        let records = read_record_mapping(BufReader::new(f)).unwrap();
+        let (o, n) = records.iter().next().unwrap();
+        let text = cli(&[
+            "explain",
+            "link",
+            "--decisions",
+            decisions.to_str().unwrap(),
+            "--record",
+            &format!("{}:{}", o.raw(), n.raw()),
+        ])
+        .unwrap();
+        assert!(text.contains("record link"), "{text}");
+
+        // unknown pairs and bad queries fail loudly
+        let err = cli(&[
+            "explain",
+            "link",
+            "--decisions",
+            decisions.to_str().unwrap(),
+            "--group",
+            "999999999:999999999",
+        ])
+        .unwrap_err();
+        assert!(err.contains("no decision recorded"), "{err}");
+        let err = cli(&["explain", "link", "--decisions", "x"]).unwrap_err();
+        assert!(err.contains("exactly one of"), "{err}");
+        assert!(parse_id_pair("G1880").is_err());
+        assert!(parse_id_pair("G:G2").is_err());
+        assert_eq!(parse_id_pair("G1880:42").unwrap(), (1880, 42));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_diff_gates_on_thresholds() {
+        let dir = tmp_dir("tdiff");
+        cmd_generate(&dir, "small", Some(23)).unwrap();
+        let trace_path = dir.join("trace.json");
+        cli(&[
+            "link",
+            dir.join("census_1851.csv").to_str().unwrap(),
+            dir.join("census_1861.csv").to_str().unwrap(),
+            "--old-year",
+            "1851",
+            "--new-year",
+            "1861",
+            "--out",
+            dir.join("linked").to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        // a trace against itself: zero deltas, all thresholds pass
+        let p = trace_path.to_str().unwrap();
+        let report = cli(&[
+            "trace-diff",
+            p,
+            p,
+            "--fail-on",
+            "counter:prematch_pairs_matched:0%",
+            "--fail-on",
+            "hist:pair_agg_sim_bp:0.0",
+        ])
+        .unwrap();
+        assert!(report.contains("traces are identical"), "{report}");
+
+        // doctor a counter: the diff reports it and the gate trips
+        let mut doctored: RunTrace =
+            serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        let c = doctored
+            .counters
+            .iter_mut()
+            .find(|c| c.name == "prematch_pairs_matched")
+            .unwrap();
+        c.value *= 3;
+        let doctored_path = dir.join("doctored.json");
+        write_trace_json(&doctored_path, &doctored).unwrap();
+        let err = cli(&[
+            "trace-diff",
+            p,
+            doctored_path.to_str().unwrap(),
+            "--fail-on",
+            "counter:prematch_pairs_matched:10%",
+        ])
+        .unwrap_err();
+        assert!(err.contains("FAIL counter:prematch_pairs_matched"), "{err}");
+        assert!(err.contains("1 threshold(s) violated"), "{err}");
+        // without a threshold the same diff merely reports
+        let report = cli(&["trace-diff", p, doctored_path.to_str().unwrap()]).unwrap();
+        assert!(!report.contains("identical"), "{report}");
+
+        // bad specs and unknown flags are rejected up front
+        let err = cli(&["trace-diff", p, p, "--fail-on", "counter:only_two"]).unwrap_err();
+        assert!(err.contains("invalid --fail-on"), "{err}");
+        let err = cli(&["trace-diff", p, p, "--fial-on", "total:2"]).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn decisions_out_is_link_only() {
+        let err = cmd_evolve(
+            &[PathBuf::from("a.csv"), PathBuf::from("b.csv")],
+            1851,
+            10,
+            None,
+            &LinkOptions {
+                decisions_out: Some(PathBuf::from("/tmp/x")),
+                ..LinkOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("only supported by link"), "{err}");
     }
 
     #[test]

@@ -60,5 +60,5 @@ pub use pipeline::{link, link_series, link_traced, IterationStats, LinkPhase, Li
 pub use prematch::{prematch, prematch_with_profiles, PreMatch};
 pub use profiles::ProfileCache;
 pub use remainder::{match_remaining, match_remaining_cached};
-pub use selection::{select_group_links, ScoredSubgroup};
+pub use selection::{select_group_links, RejectReason, ScoredSubgroup, SelectionOutcome};
 pub use simfunc::{AttributeSpec, CompiledProfile, SimFunc};

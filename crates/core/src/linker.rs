@@ -10,7 +10,7 @@ use crate::pairscore::PairScoreCache;
 use crate::prematch::{build_prematch, prematch_with_profiles, PreMatch};
 use crate::profiles::ProfileCache;
 use crate::remainder::match_remaining_cached;
-use crate::selection::{select_and_extract, ScoredSubgroup};
+use crate::selection::{select_and_extract, RejectReason, ScoredSubgroup, SelectionOutcome};
 use crate::{IterationStats, LinkPhase, LinkageResult};
 use census_model::{
     CensusDataset, GroupMapping, HouseholdId, PersonRecord, RecordId, RecordMapping,
@@ -20,7 +20,10 @@ use hhgraph::{match_subgraph_with, EnrichedGraph, SubgraphScratch};
 /// A candidate group pair: the household ids plus their enriched-graph
 /// indices, so the scoring hot loop skips the household→graph hash maps.
 type GroupCandidate = ((HouseholdId, HouseholdId), (u32, u32));
-use obs::{Collector, Counter, ITERATION_SPAN};
+use obs::{
+    Collector, Counter, DecisionRecord, GroupDecision, Histogram, LiveHist, LosingCandidate,
+    RejectedCandidate, RejectionReason, ITERATION_SPAN,
+};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -148,6 +151,91 @@ impl LabelViews {
             }
             None => pm.label_new.get(&r).copied(),
         }
+    }
+}
+
+/// Emit the decision provenance of one selection round: a
+/// [`GroupDecision`] per winner (with its record links and the top-k
+/// candidates it beat) and a standalone [`RejectedCandidate`] per loser.
+fn emit_group_decisions(
+    config: &LinkageConfig,
+    delta: f64,
+    iteration: usize,
+    candidates: &[ScoredSubgroup],
+    outcome: &SelectionOutcome,
+    obs: &Collector,
+) {
+    let top_k = obs.decision_top_k();
+    // conflict losers, grouped under the winner that blocked them
+    let mut losers_of: HashMap<usize, Vec<LosingCandidate>> = HashMap::new();
+    for &(idx, reason) in &outcome.rejections {
+        let (winner, why) = match reason {
+            RejectReason::LowerGSim { winner } => (winner, RejectionReason::LowerGSim),
+            RejectReason::TieBreak { winner } => (winner, RejectionReason::TieBreak),
+            RejectReason::EmptySubgraph | RejectReason::BelowMinGSim => continue,
+        };
+        let c = &candidates[idx];
+        losers_of.entry(winner).or_default().push(LosingCandidate {
+            old_group: c.old.raw(),
+            new_group: c.new.raw(),
+            g_sim: c.g_sim,
+            reason: why,
+        });
+    }
+    let mut records_of: HashMap<usize, Vec<(u64, u64)>> = HashMap::new();
+    for &(o, n, idx) in &outcome.added {
+        records_of.entry(idx).or_default().push((o.raw(), n.raw()));
+    }
+    for &idx in &outcome.accepted {
+        let c = &candidates[idx];
+        let mut losers = losers_of.remove(&idx).unwrap_or_default();
+        losers.sort_by(|a, b| {
+            b.g_sim
+                .partial_cmp(&a.g_sim)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.old_group, a.new_group).cmp(&(b.old_group, b.new_group)))
+        });
+        losers.truncate(top_k);
+        obs.decide(DecisionRecord::Group(GroupDecision {
+            iteration,
+            delta,
+            old_group: c.old.raw(),
+            new_group: c.new.raw(),
+            avg_sim: c.score.avg_sim,
+            e_sim: c.score.e_sim,
+            unique: c.score.unique,
+            alpha: config.weights.alpha,
+            beta: config.weights.beta,
+            g_sim: c.g_sim,
+            subgraph_size: c.sub.vertices.len(),
+            records: records_of.remove(&idx).unwrap_or_default(),
+            losers,
+        }));
+    }
+    for &(idx, reason) in &outcome.rejections {
+        let c = &candidates[idx];
+        let (why, winner) = match reason {
+            RejectReason::EmptySubgraph => (RejectionReason::EmptySubgraph, None),
+            RejectReason::BelowMinGSim => (RejectionReason::BelowMinGSim, None),
+            RejectReason::LowerGSim { winner } => (
+                RejectionReason::LowerGSim,
+                Some((candidates[winner].old.raw(), candidates[winner].new.raw())),
+            ),
+            RejectReason::TieBreak { winner } => (
+                RejectionReason::TieBreak,
+                Some((candidates[winner].old.raw(), candidates[winner].new.raw())),
+            ),
+        };
+        obs.decide(DecisionRecord::Rejected(RejectedCandidate {
+            iteration,
+            delta,
+            old_group: c.old.raw(),
+            new_group: c.new.raw(),
+            g_sim: c.g_sim,
+            subgraph_size: c.sub.vertices.len(),
+            reason: why,
+            winner,
+        }));
     }
 }
 
@@ -284,6 +372,13 @@ impl<'a> Linker<'a> {
             out
         };
         obs.add(Counter::GroupCandidates, scored.len() as u64);
+        if obs.is_enabled() {
+            let mut sizes = Histogram::new();
+            for c in &scored {
+                sizes.record(c.sub.vertices.len() as u64);
+            }
+            obs.observe_hist(LiveHist::SubgraphSize, &sizes);
+        }
         scored
     }
 
@@ -438,15 +533,17 @@ impl<'a> Linker<'a> {
             let _selection = obs.span("selection");
             let records_before = records.len();
             let groups_before = groups.len();
-            let (accepted, added) = select_and_extract(
+            let audit = obs.decisions_enabled();
+            let outcome = select_and_extract(
                 &candidates,
                 &pm,
                 delta,
                 config.min_g_sim,
+                audit,
                 &mut groups,
                 &mut records,
             );
-            for (o, n, cand_idx) in added {
+            for &(o, n, cand_idx) in &outcome.added {
                 provenance.insert(
                     (o, n),
                     LinkPhase::Subgraph {
@@ -455,9 +552,12 @@ impl<'a> Linker<'a> {
                     },
                 );
             }
+            if audit {
+                emit_group_decisions(config, delta, iter_idx, &candidates, &outcome, obs);
+            }
             let record_links = records.len() - records_before;
             let group_links = groups.len() - groups_before;
-            let progress = accepted > 0 && (group_links > 0 || record_links > 0);
+            let progress = !outcome.accepted.is_empty() && (group_links > 0 || record_links > 0);
             obs.add(Counter::GroupLinksAccepted, group_links as u64);
             obs.add(Counter::RecordLinks, record_links as u64);
 

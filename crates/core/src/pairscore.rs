@@ -24,6 +24,14 @@
 //! per-record, so the blocked pairs of a residue are precisely the
 //! blocked pairs of the full input restricted to residue endpoints, and
 //! the age-plausibility filter is per-pair and δ-independent.
+//!
+//! ## Observability
+//!
+//! Because pairs are scored once at the floor, the `pair_agg_sim_bp`
+//! histogram of a traced incremental run reflects the floor-scored pair
+//! set (everything with `agg_sim ≥ δ_low`), sampled at build time;
+//! filter-only iterations add no histogram samples, only
+//! `pair_cache_hits`/`pair_cache_filtered` counters.
 
 use crate::blocking::{candidate_pairs_filtered, BlockingStrategy};
 use crate::config::Parallelism;

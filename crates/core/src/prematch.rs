@@ -204,6 +204,7 @@ pub(crate) fn score_pairs(
         }
         obs.add(Counter::EarlyExitPrunes, prunes);
         obs.add(Counter::PrematchPairsMatched, out.len() as u64);
+        sample_match_scores(&out, obs);
         return out;
     }
     // prune tallies accumulate into a worker-local integer and are
@@ -247,7 +248,21 @@ pub(crate) fn score_pairs(
     })
     .expect("crossbeam scope");
     obs.add(Counter::PrematchPairsMatched, out.len() as u64);
+    sample_match_scores(&out, obs);
     out
+}
+
+/// Record every matched pair's `agg_sim` into the pair-score histogram
+/// (in basis points), batched through one local histogram so the hot
+/// path takes the collector lock once.
+fn sample_match_scores(matched: &[(u32, u32, f64)], obs: &Collector) {
+    if obs.is_enabled() {
+        let mut hist = obs::Histogram::new();
+        for &(_, _, s) in matched {
+            hist.record(obs::score_bp(s));
+        }
+        obs.observe_hist(obs::LiveHist::PairScore, &hist);
+    }
 }
 
 /// Run pre-matching over two record sets.

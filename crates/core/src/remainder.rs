@@ -115,8 +115,17 @@ pub fn match_remaining_cached(
                 )
                 .map(|s| (s, o.id, n.id))
             })
-            .collect();
+            .collect::<Vec<_>>();
         obs.add(Counter::EarlyExitPrunes, prunes);
+        if obs.is_enabled() {
+            // cache-served scores were sampled when the cache was built;
+            // fresh scores flow into the same pair-score histogram here
+            let mut hist = obs::Histogram::new();
+            for &(s, _, _) in &scored {
+                hist.record(obs::score_bp(s));
+            }
+            obs.observe_hist(obs::LiveHist::PairScore, &hist);
+        }
         scored
     };
     // mutual-best filter: drop pairs whose runner-up on either side is
@@ -155,7 +164,7 @@ pub fn match_remaining_cached(
             .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
     });
     let mut added = Vec::new();
-    for (_, o, n) in scored {
+    for (s, o, n) in scored {
         if records.contains_old(o) || records.contains_new(n) {
             continue;
         }
@@ -166,6 +175,15 @@ pub fn match_remaining_cached(
                 continue;
             };
             groups.insert(ro.household, rn.household);
+            if obs.decisions_enabled() {
+                obs.decide(obs::DecisionRecord::Remainder(obs::RemainderDecision {
+                    old_record: o.raw(),
+                    new_record: n.raw(),
+                    old_group: ro.household.raw(),
+                    new_group: rn.household.raw(),
+                    agg_sim: s,
+                }));
+            }
         }
     }
     obs.add(Counter::RemainderLinks, added.len() as u64);

@@ -5,7 +5,7 @@ use crate::group_sim::{score_subgraph, GroupScore, SelectionWeights};
 use crate::prematch::PreMatch;
 use census_model::{GroupMapping, HouseholdId, RecordId, RecordMapping};
 use hhgraph::MatchedSubgraph;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// One candidate group pair with its matched subgraph and scores — the
 /// quadruple `⟨g_i, g_{i+1}, g_sub, g_sim⟩` of Algorithm 2.
@@ -46,6 +46,125 @@ impl ScoredSubgroup {
     }
 }
 
+/// Why Algorithm 2 skipped a candidate group pair, for decision
+/// provenance. Conflict variants carry the index (into the candidate
+/// slice) of the already-accepted winner whose claimed records blocked
+/// this candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The matched subgraph had no vertices.
+    EmptySubgraph,
+    /// `g_sim` fell below the `min_g_sim` acceptance floor.
+    BelowMinGSim,
+    /// A record-disjointness conflict with a winner of strictly higher
+    /// `g_sim`.
+    LowerGSim {
+        /// Candidate index of the blocking winner.
+        winner: usize,
+    },
+    /// A record-disjointness conflict with a winner of equal `g_sim`
+    /// that sorted earlier under the `(old, new)` ascending tie-break.
+    TieBreak {
+        /// Candidate index of the blocking winner.
+        winner: usize,
+    },
+}
+
+/// The outcome of one selection round: the winners, the record links
+/// they produced, and (when auditing) the losers with reasons.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionOutcome {
+    /// Indices into the candidate slice of the accepted group pairs, in
+    /// acceptance order.
+    pub accepted: Vec<usize>,
+    /// Every record link added, with the candidate index of the
+    /// subgroup it was extracted from (for provenance).
+    pub added: Vec<(RecordId, RecordId, usize)>,
+    /// When auditing: every skipped candidate with its reason, in
+    /// consideration order. Empty otherwise.
+    pub rejections: Vec<(usize, RejectReason)>,
+}
+
+/// Core of Algorithm 2: greedy acceptance in descending `g_sim` order
+/// under record-disjointness. Claimed records map to the index of the
+/// winner that claimed them so conflicts can be attributed; rejection
+/// records are only pushed when `audit` is set.
+fn run_selection(
+    candidates: &[ScoredSubgroup],
+    min_g_sim: f64,
+    audit: bool,
+) -> (Vec<usize>, Vec<(usize, RejectReason)>) {
+    // descending g_sim; deterministic tie-break on household ids — sort
+    // extracted keys instead of indices so comparisons stay in cache
+    let mut order: Vec<(f64, HouseholdId, HouseholdId, usize)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.g_sim, c.old, c.new, i))
+        .collect();
+    order.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
+    });
+
+    // records of each household already claimed by accepted links,
+    // mapped to the claiming candidate's index
+    let mut linked_old: HashMap<HouseholdId, HashMap<RecordId, usize>> = HashMap::new();
+    let mut linked_new: HashMap<HouseholdId, HashMap<RecordId, usize>> = HashMap::new();
+    let mut accepted = Vec::new();
+    let mut rejections = Vec::new();
+
+    for (_, _, _, idx) in order {
+        let cand = &candidates[idx];
+        if cand.sub.vertices.is_empty() {
+            if audit {
+                rejections.push((idx, RejectReason::EmptySubgraph));
+            }
+            continue;
+        }
+        if cand.g_sim < min_g_sim {
+            if audit {
+                rejections.push((idx, RejectReason::BelowMinGSim));
+            }
+            continue;
+        }
+        let old_blocker = linked_old.get(&cand.old).and_then(|m| {
+            cand.sub
+                .vertices
+                .iter()
+                .find_map(|&(o, _)| m.get(&o).copied())
+        });
+        let new_blocker = linked_new.get(&cand.new).and_then(|m| {
+            cand.sub
+                .vertices
+                .iter()
+                .find_map(|&(_, n)| m.get(&n).copied())
+        });
+        if let Some(winner) = old_blocker.or(new_blocker) {
+            if audit {
+                let tie = (candidates[winner].g_sim - cand.g_sim).abs() <= f64::EPSILON;
+                let reason = if tie {
+                    RejectReason::TieBreak { winner }
+                } else {
+                    RejectReason::LowerGSim { winner }
+                };
+                rejections.push((idx, reason));
+            }
+            continue;
+        }
+        let old_claims = linked_old.entry(cand.old).or_default();
+        for &(o, _) in &cand.sub.vertices {
+            old_claims.insert(o, idx);
+        }
+        let new_claims = linked_new.entry(cand.new).or_default();
+        for &(_, n) in &cand.sub.vertices {
+            new_claims.insert(n, idx);
+        }
+        accepted.push(idx);
+    }
+    (accepted, rejections)
+}
+
 /// Algorithm 2: greedily accept candidate group pairs in descending
 /// `g_sim` order, subject to record-disjointness per household —
 /// a household may link to several counterparts (N:M), but only through
@@ -61,49 +180,7 @@ impl ScoredSubgroup {
 /// into `candidates` it came from.
 #[must_use]
 pub fn select_group_links(candidates: &[ScoredSubgroup], min_g_sim: f64) -> Vec<usize> {
-    // descending g_sim; deterministic tie-break on household ids — sort
-    // extracted keys instead of indices so comparisons stay in cache
-    let mut order: Vec<(f64, HouseholdId, HouseholdId, usize)> = candidates
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (c.g_sim, c.old, c.new, i))
-        .collect();
-    order.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
-    });
-
-    // lookup: records of each household already claimed by accepted links
-    let mut linked_old: HashMap<HouseholdId, HashSet<RecordId>> = HashMap::new();
-    let mut linked_new: HashMap<HouseholdId, HashSet<RecordId>> = HashMap::new();
-    let mut accepted = Vec::new();
-
-    for (_, _, _, idx) in order {
-        let cand = &candidates[idx];
-        if cand.sub.vertices.is_empty() || cand.g_sim < min_g_sim {
-            continue;
-        }
-        let old_clash = linked_old
-            .get(&cand.old)
-            .is_some_and(|s| cand.sub.vertices.iter().any(|&(o, _)| s.contains(&o)));
-        let new_clash = linked_new
-            .get(&cand.new)
-            .is_some_and(|s| cand.sub.vertices.iter().any(|&(_, n)| s.contains(&n)));
-        if old_clash || new_clash {
-            continue;
-        }
-        linked_old
-            .entry(cand.old)
-            .or_default()
-            .extend(cand.sub.vertices.iter().map(|&(o, _)| o));
-        linked_new
-            .entry(cand.new)
-            .or_default()
-            .extend(cand.sub.vertices.iter().map(|&(_, n)| n));
-        accepted.push(idx);
-    }
-    accepted
+    run_selection(candidates, min_g_sim, false).0
 }
 
 /// Extract record links from an accepted subgraph into the global record
@@ -158,18 +235,19 @@ pub fn extract_record_links(
 }
 
 /// Convenience: run selection and extraction, extending `groups` and
-/// `records`. Returns the number of accepted group links plus, for every
-/// record link added, the subgroup it was extracted from (for
-/// provenance).
+/// `records`. Returns the full [`SelectionOutcome`]; `audit` additionally
+/// collects every skipped candidate with its [`RejectReason`] (the
+/// accept/reject decisions themselves are identical either way).
 pub fn select_and_extract(
     candidates: &[ScoredSubgroup],
     pre: &PreMatch,
     fallback_sim: f64,
     min_g_sim: f64,
+    audit: bool,
     groups: &mut GroupMapping,
     records: &mut RecordMapping,
-) -> (usize, Vec<(RecordId, RecordId, usize)>) {
-    let accepted = select_group_links(candidates, min_g_sim);
+) -> SelectionOutcome {
+    let (accepted, rejections) = run_selection(candidates, min_g_sim, audit);
     let mut added = Vec::new();
     for &idx in &accepted {
         let cand = &candidates[idx];
@@ -178,7 +256,11 @@ pub fn select_and_extract(
             added.push((o, n, idx));
         }
     }
-    (accepted.len(), added)
+    SelectionOutcome {
+        accepted,
+        added,
+        rejections,
+    }
 }
 
 #[cfg(test)]
@@ -332,11 +414,57 @@ mod tests {
         let pre = PreMatch::default();
         let mut groups = GroupMapping::new();
         let mut records = RecordMapping::new();
-        let (n, added) = select_and_extract(&cands, &pre, 0.5, 0.0, &mut groups, &mut records);
-        assert_eq!(n, 1);
-        assert_eq!(added.len(), 2);
-        assert!(added.iter().all(|&(_, _, idx)| idx == 0));
+        let out = select_and_extract(&cands, &pre, 0.5, 0.0, false, &mut groups, &mut records);
+        assert_eq!(out.accepted, vec![0]);
+        assert_eq!(out.added.len(), 2);
+        assert!(out.added.iter().all(|&(_, _, idx)| idx == 0));
+        assert!(out.rejections.is_empty());
         assert!(groups.contains(HouseholdId(0), HouseholdId(0)));
         assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn audit_attributes_rejections_without_changing_decisions() {
+        let cands = vec![
+            scored(0, 0, vec![(0, 10), (1, 11), (3, 12)], 0.9), // winner
+            scored(0, 1, vec![(0, 13), (1, 14)], 0.4),          // conflict: lower g_sim
+            scored(2, 2, vec![], 0.9),                          // empty subgraph
+            scored(3, 3, vec![(7, 17)], 0.05),                  // below min_g_sim
+        ];
+        let pre = PreMatch::default();
+        let mut groups = GroupMapping::new();
+        let mut records = RecordMapping::new();
+        let audited = select_and_extract(&cands, &pre, 0.5, 0.2, true, &mut groups, &mut records);
+
+        let mut groups2 = GroupMapping::new();
+        let mut records2 = RecordMapping::new();
+        let silent = select_and_extract(&cands, &pre, 0.5, 0.2, false, &mut groups2, &mut records2);
+        assert_eq!(audited.accepted, silent.accepted);
+        assert_eq!(audited.added, silent.added);
+        assert!(silent.rejections.is_empty());
+
+        assert_eq!(audited.accepted, vec![0]);
+        let reasons: HashMap<usize, RejectReason> = audited.rejections.into_iter().collect();
+        assert_eq!(reasons[&1], RejectReason::LowerGSim { winner: 0 });
+        assert_eq!(reasons[&2], RejectReason::EmptySubgraph);
+        assert_eq!(reasons[&3], RejectReason::BelowMinGSim);
+    }
+
+    #[test]
+    fn audit_marks_equal_score_conflicts_as_tie_breaks() {
+        // same g_sim, overlapping old records: (old, new) ascending wins
+        let cands = vec![
+            scored(1, 1, vec![(5, 15)], 0.5),
+            scored(1, 0, vec![(5, 16)], 0.5),
+        ];
+        let pre = PreMatch::default();
+        let mut groups = GroupMapping::new();
+        let mut records = RecordMapping::new();
+        let out = select_and_extract(&cands, &pre, 0.5, 0.0, true, &mut groups, &mut records);
+        assert_eq!(out.accepted, vec![1]);
+        assert_eq!(
+            out.rejections,
+            vec![(0, RejectReason::TieBreak { winner: 1 })]
+        );
     }
 }

@@ -1,0 +1,369 @@
+//! Decision provenance: *why* each group and record link was selected.
+//!
+//! The pipeline counters and spans answer *how much* and *how long*;
+//! this module answers *why this link*. When enabled (opt-in via
+//! [`crate::Collector::with_decisions`]), the selection phase records a
+//! [`GroupDecision`] for every winning group link — the full `g_sim`
+//! breakdown of Eq. 4–7, the δ-iteration, the matched-subgraph size,
+//! the record links it produced, and the top-k losing candidates with
+//! their rejection reasons — plus a [`RemainderDecision`] for every
+//! link made by the attribute-only remainder pass.
+//!
+//! The log is **bounded**: [`DecisionConfig`] caps the number of link
+//! entries and standalone rejection entries separately; overflow
+//! increments drop counters instead of growing without bound, so a
+//! pathological run costs memory proportional to the caps, not to the
+//! candidate count. Entries serialize one-per-line as JSONL
+//! ([`DecisionLog::to_jsonl`]) for the CLI `link --decisions-out` /
+//! `explain` pair.
+
+use serde::{Deserialize, Serialize};
+
+/// Bounds and verbosity knobs for a [`DecisionLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionConfig {
+    /// Maximum accepted-link entries (group + remainder) kept in the log.
+    pub max_links: usize,
+    /// Maximum standalone [`RejectedCandidate`] entries kept in the log.
+    pub max_rejections: usize,
+    /// How many losing candidates each [`GroupDecision`] lists.
+    pub top_k: usize,
+}
+
+impl Default for DecisionConfig {
+    fn default() -> Self {
+        Self {
+            max_links: 65_536,
+            max_rejections: 65_536,
+            top_k: 3,
+        }
+    }
+}
+
+/// Why a candidate group pair lost to (or was dropped in favour of)
+/// another during Algorithm 2's greedy selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectionReason {
+    /// A record-disjointness conflict with a winner of strictly higher `g_sim`.
+    LowerGSim,
+    /// A record-disjointness conflict with a winner of equal `g_sim`
+    /// that sorted earlier under the `(old, new)` ascending tie-break.
+    TieBreak,
+    /// `g_sim` fell below the configured `min_g_sim` floor.
+    BelowMinGSim,
+    /// The matched subgraph was empty (no common vertices survived).
+    EmptySubgraph,
+}
+
+/// One losing candidate listed inside a [`GroupDecision`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LosingCandidate {
+    /// Raw id of the losing candidate's old-snapshot household.
+    pub old_group: u64,
+    /// Raw id of the losing candidate's new-snapshot household.
+    pub new_group: u64,
+    /// The losing candidate's group similarity.
+    pub g_sim: f64,
+    /// Why it lost.
+    pub reason: RejectionReason,
+}
+
+/// The full provenance of one accepted group link: everything
+/// Algorithm 2 looked at when it picked this candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupDecision {
+    /// Zero-based δ-iteration index that produced the link.
+    pub iteration: usize,
+    /// The δ threshold of that iteration.
+    pub delta: f64,
+    /// Raw id of the old-snapshot household.
+    pub old_group: u64,
+    /// Raw id of the new-snapshot household.
+    pub new_group: u64,
+    /// Mean pair similarity over the matched subgraph (Eq. 5).
+    pub avg_sim: f64,
+    /// Edge similarity of the matched subgraph (Eq. 6).
+    pub e_sim: f64,
+    /// Uniqueness component (Eq. 7).
+    pub unique: f64,
+    /// Weight on `avg_sim` at selection time.
+    pub alpha: f64,
+    /// Weight on `e_sim` at selection time.
+    pub beta: f64,
+    /// The combined group similarity (Eq. 4) the link won with.
+    pub g_sim: f64,
+    /// Vertex count of the matched subgraph.
+    pub subgraph_size: usize,
+    /// Record links `(old, new)` extracted from this group link, by raw id.
+    pub records: Vec<(u64, u64)>,
+    /// The top-k candidates that competed for these records and lost.
+    pub losers: Vec<LosingCandidate>,
+}
+
+impl GroupDecision {
+    /// Recompute Eq. 4 from the logged components; `explain` checks this
+    /// stays within 1e-9 of the logged [`GroupDecision::g_sim`].
+    #[must_use]
+    pub fn recomputed_g_sim(&self) -> f64 {
+        let uniq_w = (1.0 - self.alpha - self.beta).max(0.0);
+        self.alpha * self.avg_sim + self.beta * self.e_sim + uniq_w * self.unique
+    }
+}
+
+/// A standalone rejection entry: a candidate that never won anywhere.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RejectedCandidate {
+    /// Zero-based δ-iteration index of the selection round.
+    pub iteration: usize,
+    /// The δ threshold of that iteration.
+    pub delta: f64,
+    /// Raw id of the old-snapshot household.
+    pub old_group: u64,
+    /// Raw id of the new-snapshot household.
+    pub new_group: u64,
+    /// The candidate's group similarity.
+    pub g_sim: f64,
+    /// Vertex count of the candidate's matched subgraph.
+    pub subgraph_size: usize,
+    /// Why it was rejected.
+    pub reason: RejectionReason,
+    /// The `(old, new)` raw household ids of the conflicting winner, for
+    /// record-disjointness rejections; `None` for threshold rejections.
+    pub winner: Option<(u64, u64)>,
+}
+
+/// Provenance of a record link made by the attribute-only remainder
+/// pass (no group decision backs it; the attribution is the pass itself).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemainderDecision {
+    /// Raw id of the old-snapshot record.
+    pub old_record: u64,
+    /// Raw id of the new-snapshot record.
+    pub new_record: u64,
+    /// Raw id of the old record's household (the induced group link side).
+    pub old_group: u64,
+    /// Raw id of the new record's household.
+    pub new_group: u64,
+    /// The pair's attribute similarity (Eq. 3).
+    pub agg_sim: f64,
+}
+
+/// One entry of the decision log, externally tagged in JSON as
+/// `{"Group": …}`, `{"Rejected": …}` or `{"Remainder": …}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DecisionRecord {
+    /// An accepted group link with its full `g_sim` breakdown.
+    Group(GroupDecision),
+    /// A candidate that lost everywhere it competed.
+    Rejected(RejectedCandidate),
+    /// A record link from the attribute-only remainder pass.
+    Remainder(RemainderDecision),
+}
+
+/// A bounded, append-only log of [`DecisionRecord`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionLog {
+    config: DecisionConfig,
+    entries: Vec<DecisionRecord>,
+    links: usize,
+    rejections: usize,
+    /// Accepted-link entries dropped because `max_links` was reached.
+    pub dropped_links: u64,
+    /// Rejection entries dropped because `max_rejections` was reached.
+    pub dropped_rejections: u64,
+}
+
+impl DecisionLog {
+    /// An empty log with the given bounds.
+    #[must_use]
+    pub fn new(config: DecisionConfig) -> Self {
+        Self {
+            config,
+            entries: Vec::new(),
+            links: 0,
+            rejections: 0,
+            dropped_links: 0,
+            dropped_rejections: 0,
+        }
+    }
+
+    /// How many losing candidates each group decision should list.
+    #[must_use]
+    pub fn top_k(&self) -> usize {
+        self.config.top_k
+    }
+
+    /// Append an entry, respecting the per-kind caps. Over-cap entries
+    /// are counted in the drop counters instead of stored.
+    pub fn push(&mut self, record: DecisionRecord) {
+        match record {
+            DecisionRecord::Group(_) | DecisionRecord::Remainder(_) => {
+                if self.links >= self.config.max_links {
+                    self.dropped_links += 1;
+                    return;
+                }
+                self.links += 1;
+                self.entries.push(record);
+            }
+            DecisionRecord::Rejected(_) => {
+                if self.rejections >= self.config.max_rejections {
+                    self.dropped_rejections += 1;
+                    return;
+                }
+                self.rejections += 1;
+                self.entries.push(record);
+            }
+        }
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored entries, in emission order.
+    #[must_use]
+    pub fn entries(&self) -> &[DecisionRecord] {
+        &self.entries
+    }
+
+    /// Serialize the log as JSONL: one [`DecisionRecord`] per line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer error (e.g. a non-finite float).
+    pub fn to_jsonl(&self) -> Result<String, String> {
+        let mut out = String::new();
+        for entry in &self.entries {
+            let line = serde_json::to_string(entry).map_err(|e| e.to_string())?;
+            out.push_str(&line);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Parse a JSONL decision log back into records, skipping blank lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns the line number and parse error of the first bad line.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<DecisionRecord>, String> {
+        let mut out = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: DecisionRecord =
+                serde_json::from_str(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            out.push(rec);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(old: u64, new: u64) -> DecisionRecord {
+        DecisionRecord::Group(GroupDecision {
+            iteration: 0,
+            delta: 0.7,
+            old_group: old,
+            new_group: new,
+            avg_sim: 0.9,
+            e_sim: 0.8,
+            unique: 0.5,
+            alpha: 0.2,
+            beta: 0.7,
+            g_sim: 0.2 * 0.9 + 0.7 * 0.8 + 0.1 * 0.5,
+            subgraph_size: 3,
+            records: vec![(1, 2), (3, 4)],
+            losers: vec![LosingCandidate {
+                old_group: 9,
+                new_group: 9,
+                g_sim: 0.4,
+                reason: RejectionReason::LowerGSim,
+            }],
+        })
+    }
+
+    fn rejected(old: u64, new: u64) -> DecisionRecord {
+        DecisionRecord::Rejected(RejectedCandidate {
+            iteration: 1,
+            delta: 0.65,
+            old_group: old,
+            new_group: new,
+            g_sim: 0.3,
+            subgraph_size: 2,
+            reason: RejectionReason::BelowMinGSim,
+            winner: None,
+        })
+    }
+
+    #[test]
+    fn recomputed_g_sim_matches_components() {
+        if let DecisionRecord::Group(g) = group(1, 2) {
+            assert!((g.recomputed_g_sim() - g.g_sim).abs() < 1e-12);
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn caps_are_per_kind_and_count_drops() {
+        let mut log = DecisionLog::new(DecisionConfig {
+            max_links: 2,
+            max_rejections: 1,
+            top_k: 3,
+        });
+        log.push(group(1, 1));
+        log.push(DecisionRecord::Remainder(RemainderDecision {
+            old_record: 1,
+            new_record: 2,
+            old_group: 10,
+            new_group: 20,
+            agg_sim: 0.8,
+        }));
+        log.push(group(2, 2)); // over max_links
+        log.push(rejected(3, 3));
+        log.push(rejected(4, 4)); // over max_rejections
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped_links, 1);
+        assert_eq!(log.dropped_rejections, 1);
+        // rejections do not eat into the link budget or vice versa
+        assert!(matches!(log.entries()[2], DecisionRecord::Rejected(_)));
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut log = DecisionLog::new(DecisionConfig::default());
+        log.push(group(5, 6));
+        log.push(rejected(7, 8));
+        log.push(DecisionRecord::Remainder(RemainderDecision {
+            old_record: 11,
+            new_record: 12,
+            old_group: 1,
+            new_group: 2,
+            agg_sim: 0.75,
+        }));
+        let text = log.to_jsonl().unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let back = DecisionLog::parse_jsonl(&text).unwrap();
+        assert_eq!(back.as_slice(), log.entries());
+    }
+
+    #[test]
+    fn parse_jsonl_reports_bad_lines() {
+        let err = DecisionLog::parse_jsonl("{\"Group\":").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        assert!(DecisionLog::parse_jsonl("\n  \n").unwrap().is_empty());
+    }
+}

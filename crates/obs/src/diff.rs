@@ -1,0 +1,589 @@
+//! Trace comparison: turn two [`RunTrace`]s into a delta report and
+//! optional CI-gating threshold checks.
+//!
+//! [`compare`] walks the union of counter names, phase names and
+//! histogram names of two traces and produces a [`DiffReport`]:
+//! counter deltas, phase wall-time ratios and per-histogram
+//! distribution shift (the normalised L1 distance of
+//! [`Histogram::l1_distance`]). [`DiffReport::check`] then evaluates
+//! `--fail-on` style [`Threshold`]s ("pairs scored regressed >25%",
+//! "selection p99 regressed >100%"), returning the violations for the
+//! CLI to exit nonzero on.
+//!
+//! Counters in this pipeline are seed-deterministic and independent of
+//! the thread count, so tight counter/histogram thresholds are safe to
+//! gate CI on across machines; wall-clock phase times are not — gate
+//! those only with generous ratios.
+
+use crate::hist::Histogram;
+use crate::report::RunTrace;
+
+/// One counter compared across two traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDelta {
+    /// Counter name.
+    pub name: String,
+    /// Value in the old trace (0 when absent).
+    pub old: u64,
+    /// Value in the new trace (0 when absent).
+    pub new: u64,
+}
+
+impl CounterDelta {
+    /// Relative change in percent, against `max(old, 1)` so a zero
+    /// baseline cannot divide by zero.
+    #[must_use]
+    pub fn pct_change(&self) -> f64 {
+        let old = self.old.max(1) as f64;
+        (self.new as f64 - self.old as f64) / old * 100.0
+    }
+}
+
+/// One pipeline phase's total wall time compared across two traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseDelta {
+    /// Phase name.
+    pub name: String,
+    /// Total microseconds in the old trace (0 when absent).
+    pub old_us: u64,
+    /// Total microseconds in the new trace (0 when absent).
+    pub new_us: u64,
+}
+
+impl PhaseDelta {
+    /// `new / max(old, 1)` wall-time ratio.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.new_us as f64 / self.old_us.max(1) as f64
+    }
+}
+
+/// One histogram compared across two traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistDelta {
+    /// Histogram name.
+    pub name: String,
+    /// Normalised L1 distance between the two bucket distributions
+    /// (0 identical shape, 2 disjoint; 2 when exactly one is empty).
+    pub l1: f64,
+    /// p99 estimate of the old histogram.
+    pub old_p99: u64,
+    /// p99 estimate of the new histogram.
+    pub new_p99: u64,
+    /// Sample count of the old histogram.
+    pub old_count: u64,
+    /// Sample count of the new histogram.
+    pub new_count: u64,
+}
+
+/// The full comparison of two traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Union of counters, in old-trace order then new-only names.
+    pub counters: Vec<CounterDelta>,
+    /// Union of pipeline phases.
+    pub phases: Vec<PhaseDelta>,
+    /// Union of histograms.
+    pub histograms: Vec<HistDelta>,
+    /// Total wall time of the old trace, microseconds.
+    pub old_total_us: u64,
+    /// Total wall time of the new trace, microseconds.
+    pub new_total_us: u64,
+}
+
+fn union_names<'a>(
+    old: impl Iterator<Item = &'a str>,
+    new: impl Iterator<Item = &'a str>,
+) -> Vec<String> {
+    let mut names: Vec<String> = old.map(str::to_owned).collect();
+    for n in new {
+        if !names.iter().any(|have| have == n) {
+            names.push(n.to_owned());
+        }
+    }
+    names
+}
+
+/// Compare two traces into a [`DiffReport`]. Names present in only one
+/// trace appear with 0 / empty on the missing side.
+#[must_use]
+pub fn compare(old: &RunTrace, new: &RunTrace) -> DiffReport {
+    let counters = union_names(
+        old.counters.iter().map(|c| c.name.as_str()),
+        new.counters.iter().map(|c| c.name.as_str()),
+    )
+    .into_iter()
+    .map(|name| CounterDelta {
+        old: old.counter(&name),
+        new: new.counter(&name),
+        name,
+    })
+    .collect();
+
+    let phases = union_names(
+        old.phases.iter().map(|p| p.name.as_str()),
+        new.phases.iter().map(|p| p.name.as_str()),
+    )
+    .into_iter()
+    .map(|name| PhaseDelta {
+        old_us: old
+            .phases
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0, |p| p.total_us),
+        new_us: new
+            .phases
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0, |p| p.total_us),
+        name,
+    })
+    .collect();
+
+    let empty = Histogram::new();
+    let histograms = union_names(
+        old.histograms.iter().map(|h| h.name.as_str()),
+        new.histograms.iter().map(|h| h.name.as_str()),
+    )
+    .into_iter()
+    .map(|name| {
+        let a = old.histogram(&name).unwrap_or(&empty);
+        let b = new.histogram(&name).unwrap_or(&empty);
+        HistDelta {
+            l1: a.l1_distance(b),
+            old_p99: a.percentile(0.99),
+            new_p99: b.percentile(0.99),
+            old_count: a.count,
+            new_count: b.count,
+            name,
+        }
+    })
+    .collect();
+
+    DiffReport {
+        counters,
+        phases,
+        histograms,
+        old_total_us: old.total_us,
+        new_total_us: new.total_us,
+    }
+}
+
+impl DiffReport {
+    /// Whether the deterministic portions of the two traces are
+    /// identical: every counter delta zero and every histogram at L1
+    /// distance 0 with equal sample counts. Wall times are ignored —
+    /// they never repeat exactly.
+    #[must_use]
+    pub fn is_identical(&self) -> bool {
+        self.counters.iter().all(|c| c.old == c.new)
+            && self
+                .histograms
+                .iter()
+                .all(|h| h.l1 == 0.0 && h.old_count == h.new_count)
+    }
+
+    /// Render the report as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "total wall time  {:>10} us -> {:>10} us  ({:.2}x)\n",
+            self.old_total_us,
+            self.new_total_us,
+            self.new_total_us as f64 / self.old_total_us.max(1) as f64
+        ));
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters\n");
+            for c in &self.counters {
+                let marker = if c.old == c.new { ' ' } else { '*' };
+                out.push_str(&format!(
+                    "{marker} {:<28} {:>12} -> {:>12}  ({:+.1}%)\n",
+                    c.name,
+                    c.old,
+                    c.new,
+                    c.pct_change()
+                ));
+            }
+        }
+        if !self.phases.is_empty() {
+            out.push_str("\nphases\n");
+            for p in &self.phases {
+                out.push_str(&format!(
+                    "  {:<28} {:>10} us -> {:>10} us  ({:.2}x)\n",
+                    p.name,
+                    p.old_us,
+                    p.new_us,
+                    p.ratio()
+                ));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\nhistograms\n");
+            for h in &self.histograms {
+                let marker = if h.l1 == 0.0 && h.old_count == h.new_count {
+                    ' '
+                } else {
+                    '*'
+                };
+                out.push_str(&format!(
+                    "{marker} {:<28} n {:>9} -> {:>9}  p99 {:>9} -> {:>9}  L1 {:.4}\n",
+                    h.name, h.old_count, h.new_count, h.old_p99, h.new_p99, h.l1
+                ));
+            }
+        }
+        out
+    }
+
+    /// Evaluate `--fail-on` thresholds against this report.
+    #[must_use]
+    pub fn check(&self, thresholds: &[Threshold]) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for t in thresholds {
+            match t {
+                Threshold::Counter { name, max_pct } => {
+                    match self.counters.iter().find(|c| c.name == *name) {
+                        None => violations.push(Violation {
+                            spec: t.spec(),
+                            message: format!("counter '{name}' not present in either trace"),
+                        }),
+                        Some(c) => {
+                            let pct = c.pct_change().abs();
+                            if pct > *max_pct {
+                                violations.push(Violation {
+                                    spec: t.spec(),
+                                    message: format!(
+                                        "counter '{name}' changed {pct:.1}% ({} -> {}), limit {max_pct}%",
+                                        c.old, c.new
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                Threshold::Phase { name, max_ratio } => {
+                    match self.phases.iter().find(|p| p.name == *name) {
+                        None => violations.push(Violation {
+                            spec: t.spec(),
+                            message: format!("phase '{name}' not present in either trace"),
+                        }),
+                        Some(p) => {
+                            if p.ratio() > *max_ratio {
+                                violations.push(Violation {
+                                    spec: t.spec(),
+                                    message: format!(
+                                        "phase '{name}' took {:.2}x the baseline ({} us -> {} us), limit {max_ratio}x",
+                                        p.ratio(),
+                                        p.old_us,
+                                        p.new_us
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                Threshold::Hist { name, max_l1 } => {
+                    match self.histograms.iter().find(|h| h.name == *name) {
+                        None => violations.push(Violation {
+                            spec: t.spec(),
+                            message: format!("histogram '{name}' not present in either trace"),
+                        }),
+                        Some(h) => {
+                            if h.l1 > *max_l1 {
+                                violations.push(Violation {
+                                    spec: t.spec(),
+                                    message: format!(
+                                        "histogram '{name}' shifted L1 {:.4}, limit {max_l1}",
+                                        h.l1
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                Threshold::P99 { name, max_pct } => {
+                    match self.histograms.iter().find(|h| h.name == *name) {
+                        None => violations.push(Violation {
+                            spec: t.spec(),
+                            message: format!("histogram '{name}' not present in either trace"),
+                        }),
+                        Some(h) => {
+                            let limit = h.old_p99.max(1) as f64 * (1.0 + max_pct / 100.0);
+                            if h.new_p99 as f64 > limit {
+                                violations.push(Violation {
+                                    spec: t.spec(),
+                                    message: format!(
+                                        "histogram '{name}' p99 regressed {} -> {}, limit +{max_pct}%",
+                                        h.old_p99, h.new_p99
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                Threshold::Total { max_ratio } => {
+                    let ratio = self.new_total_us as f64 / self.old_total_us.max(1) as f64;
+                    if ratio > *max_ratio {
+                        violations.push(Violation {
+                            spec: t.spec(),
+                            message: format!(
+                                "total wall time {:.2}x the baseline ({} us -> {} us), limit {max_ratio}x",
+                                ratio, self.old_total_us, self.new_total_us
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
+/// A violated threshold, for the CLI to report and exit nonzero on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The `--fail-on` spec that was violated, verbatim.
+    pub spec: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// One parsed `--fail-on` threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Threshold {
+    /// `counter:NAME:PCT[%]` — fail when |Δ| exceeds PCT percent of the
+    /// baseline value.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Maximum absolute change in percent.
+        max_pct: f64,
+    },
+    /// `phase:NAME:RATIO` — fail when the phase takes more than RATIO
+    /// times the baseline wall time.
+    Phase {
+        /// Phase name.
+        name: String,
+        /// Maximum new/old wall-time ratio.
+        max_ratio: f64,
+    },
+    /// `hist:NAME:L1MAX` — fail when the histogram's normalised L1
+    /// distance from baseline exceeds L1MAX.
+    Hist {
+        /// Histogram name.
+        name: String,
+        /// Maximum L1 distance (0–2).
+        max_l1: f64,
+    },
+    /// `p99:NAME:PCT[%]` — fail when the histogram's p99 estimate
+    /// regresses more than PCT percent over baseline.
+    P99 {
+        /// Histogram name.
+        name: String,
+        /// Maximum p99 regression in percent.
+        max_pct: f64,
+    },
+    /// `total:RATIO` — fail when total wall time exceeds RATIO times
+    /// the baseline.
+    Total {
+        /// Maximum new/old total wall-time ratio.
+        max_ratio: f64,
+    },
+}
+
+impl Threshold {
+    /// Parse a `--fail-on` spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when the spec's shape or number is invalid.
+    pub fn parse(spec: &str) -> Result<Threshold, String> {
+        let bad = || {
+            format!(
+                "invalid --fail-on spec '{spec}' (expected counter:NAME:PCT, \
+                 phase:NAME:RATIO, hist:NAME:L1MAX, p99:NAME:PCT or total:RATIO)"
+            )
+        };
+        let mut parts = spec.splitn(3, ':');
+        let kind = parts.next().ok_or_else(bad)?;
+        if kind == "total" {
+            let ratio: f64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            if parts.next().is_some() || !ratio.is_finite() || ratio <= 0.0 {
+                return Err(bad());
+            }
+            return Ok(Threshold::Total { max_ratio: ratio });
+        }
+        let name = parts.next().ok_or_else(bad)?.to_owned();
+        let value = parts.next().ok_or_else(bad)?;
+        let number: f64 = value.trim_end_matches('%').parse().map_err(|_| bad())?;
+        if name.is_empty() || !number.is_finite() || number < 0.0 {
+            return Err(bad());
+        }
+        match kind {
+            "counter" => Ok(Threshold::Counter {
+                name,
+                max_pct: number,
+            }),
+            "phase" => Ok(Threshold::Phase {
+                name,
+                max_ratio: number,
+            }),
+            "hist" => Ok(Threshold::Hist {
+                name,
+                max_l1: number,
+            }),
+            "p99" => Ok(Threshold::P99 {
+                name,
+                max_pct: number,
+            }),
+            _ => Err(bad()),
+        }
+    }
+
+    /// The spec string this threshold renders back to (for violation
+    /// messages).
+    #[must_use]
+    pub fn spec(&self) -> String {
+        match self {
+            Threshold::Counter { name, max_pct } => format!("counter:{name}:{max_pct}%"),
+            Threshold::Phase { name, max_ratio } => format!("phase:{name}:{max_ratio}"),
+            Threshold::Hist { name, max_l1 } => format!("hist:{name}:{max_l1}"),
+            Threshold::P99 { name, max_pct } => format!("p99:{name}:{max_pct}%"),
+            Threshold::Total { max_ratio } => format!("total:{max_ratio}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::NamedHistogram;
+    use crate::report::{CounterValue, PhaseStat};
+
+    fn trace(pairs: u64, selection_us: u64, scores: &[u64]) -> RunTrace {
+        let mut hist = Histogram::new();
+        for &s in scores {
+            hist.record(s);
+        }
+        RunTrace {
+            enabled: true,
+            total_us: 1000 + selection_us,
+            phases: vec![PhaseStat {
+                name: "selection".into(),
+                calls: 1,
+                total_us: selection_us,
+            }],
+            iterations: vec![],
+            counters: vec![CounterValue {
+                name: "prematch_pairs_scored".into(),
+                value: pairs,
+            }],
+            chunks: vec![],
+            spans: vec![],
+            histograms: vec![NamedHistogram {
+                name: "pair_agg_sim_bp".into(),
+                unit: "bp".into(),
+                hist,
+            }],
+        }
+    }
+
+    #[test]
+    fn self_diff_is_identical_with_zero_deltas() {
+        let t = trace(100, 50, &[5000, 6000, 7000]);
+        let report = compare(&t, &t);
+        assert!(report.is_identical());
+        assert!(report
+            .check(&[
+                Threshold::parse("counter:prematch_pairs_scored:0").unwrap(),
+                Threshold::parse("hist:pair_agg_sim_bp:0").unwrap(),
+                Threshold::parse("p99:pair_agg_sim_bp:0").unwrap(),
+            ])
+            .is_empty());
+    }
+
+    #[test]
+    fn doctored_trace_trips_thresholds() {
+        let old = trace(100, 50, &[5000, 6000]);
+        let new = trace(200, 5000, &[20, 20]);
+        let report = compare(&old, &new);
+        assert!(!report.is_identical());
+        let violations = report.check(&[
+            Threshold::parse("counter:prematch_pairs_scored:25%").unwrap(),
+            Threshold::parse("phase:selection:10").unwrap(),
+            Threshold::parse("hist:pair_agg_sim_bp:0.5").unwrap(),
+        ]);
+        assert_eq!(violations.len(), 3, "{violations:?}");
+        // well inside generous limits: no violations
+        assert!(report
+            .check(&[Threshold::parse("counter:prematch_pairs_scored:150%").unwrap()])
+            .is_empty());
+    }
+
+    #[test]
+    fn unknown_names_in_thresholds_are_violations() {
+        let t = trace(1, 1, &[1]);
+        let report = compare(&t, &t);
+        let v = report.check(&[Threshold::parse("counter:no_such_counter:5").unwrap()]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("not present"));
+    }
+
+    #[test]
+    fn names_missing_on_one_side_compare_against_zero() {
+        let old = trace(100, 50, &[5000]);
+        let mut new = old.clone();
+        new.counters.push(CounterValue {
+            name: "brand_new_counter".into(),
+            value: 7,
+        });
+        new.histograms.clear();
+        let report = compare(&old, &new);
+        let added = report
+            .counters
+            .iter()
+            .find(|c| c.name == "brand_new_counter")
+            .unwrap();
+        assert_eq!((added.old, added.new), (0, 7));
+        let hist = &report.histograms[0];
+        assert_eq!(hist.l1, 2.0);
+        assert_eq!(hist.new_count, 0);
+    }
+
+    #[test]
+    fn threshold_parsing_accepts_all_kinds_and_rejects_garbage() {
+        assert!(matches!(
+            Threshold::parse("counter:record_links:10%").unwrap(),
+            Threshold::Counter { max_pct, .. } if max_pct == 10.0
+        ));
+        assert!(matches!(
+            Threshold::parse("phase:selection:200").unwrap(),
+            Threshold::Phase { max_ratio, .. } if max_ratio == 200.0
+        ));
+        assert!(matches!(
+            Threshold::parse("total:3.5").unwrap(),
+            Threshold::Total { max_ratio } if max_ratio == 3.5
+        ));
+        for bad in [
+            "counter:only_name",
+            "phase::2",
+            "hist:x:-1",
+            "total:0",
+            "total:abc",
+            "nonsense:x:1",
+            "",
+        ] {
+            assert!(Threshold::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn render_marks_changed_rows() {
+        let old = trace(100, 50, &[5000]);
+        let mut new = old.clone();
+        new.counters[0].value = 150;
+        let text = compare(&old, &new).render();
+        assert!(text.contains("* prematch_pairs_scored"));
+        assert!(text.contains("(+50.0%)"));
+    }
+}

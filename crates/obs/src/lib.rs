@@ -44,15 +44,23 @@
 
 #![warn(missing_docs)]
 
+pub mod decision;
+pub mod diff;
+pub mod hist;
 mod report;
 
+pub use decision::{
+    DecisionConfig, DecisionLog, DecisionRecord, GroupDecision, LosingCandidate, RejectedCandidate,
+    RejectionReason, RemainderDecision,
+};
+pub use hist::{score_bp, Histogram, LiveHist, NamedHistogram, HIST_BUCKETS};
 pub use report::{
     ChunkTiming, CounterValue, IterationTrace, LabeledTrace, MultiTrace, PhaseStat, RunTrace,
     SpanRecord, PIPELINE_PHASES,
 };
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// The pipeline counters a [`Collector`] tracks.
@@ -160,6 +168,15 @@ struct SpanState {
     finished: Vec<SpanRecord>,
 }
 
+/// Lock a mutex, recovering the data if a panicking thread poisoned it.
+/// The collector's state stays structurally valid mid-operation (every
+/// push/pop is a single call), so the data behind a poisoned lock is
+/// still usable — and instrumentation must never turn a caught pipeline
+/// panic into a second panic.
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// The instrumentation collector threaded through a pipeline run.
 ///
 /// See the crate docs for the cost model. A collector observes exactly
@@ -171,6 +188,8 @@ pub struct Collector {
     state: Mutex<SpanState>,
     counters: [AtomicU64; Counter::ALL.len()],
     chunks: Mutex<Vec<ChunkTiming>>,
+    hists: Mutex<Vec<Histogram>>,
+    decisions: Option<Mutex<DecisionLog>>,
 }
 
 impl Collector {
@@ -195,13 +214,62 @@ impl Collector {
             state: Mutex::new(SpanState::default()),
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             chunks: Mutex::new(Vec::new()),
+            hists: Mutex::new(vec![Histogram::new(); LiveHist::ALL.len()]),
+            decisions: None,
         }
+    }
+
+    /// Turn on bounded decision-provenance recording (see
+    /// [`decision`]). Has no effect on a disabled collector.
+    #[must_use]
+    pub fn with_decisions(mut self, config: DecisionConfig) -> Self {
+        if self.enabled {
+            self.decisions = Some(Mutex::new(DecisionLog::new(config)));
+        }
+        self
     }
 
     /// Whether this collector records anything.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Whether decision provenance is being recorded.
+    #[must_use]
+    pub fn decisions_enabled(&self) -> bool {
+        self.decisions.is_some()
+    }
+
+    /// How many losing candidates each group decision should list
+    /// (0 when decision recording is off).
+    #[must_use]
+    pub fn decision_top_k(&self) -> usize {
+        self.decisions
+            .as_ref()
+            .map_or(0, |d| lock_or_recover(d).top_k())
+    }
+
+    /// Append a decision record to the bounded log. Thread-safe; a
+    /// no-op unless [`Collector::with_decisions`] was applied.
+    pub fn decide(&self, record: DecisionRecord) {
+        if let Some(log) = &self.decisions {
+            lock_or_recover(log).push(record);
+        }
+    }
+
+    /// Take the decision log out of the collector (leaving an empty one
+    /// behind), or `None` when decision recording is off.
+    #[must_use]
+    pub fn take_decisions(&self) -> Option<DecisionLog> {
+        self.decisions.as_ref().map(|log| {
+            let mut guard = lock_or_recover(log);
+            let empty = DecisionLog::new(DecisionConfig {
+                top_k: guard.top_k(),
+                ..DecisionConfig::default()
+            });
+            std::mem::replace(&mut *guard, empty)
+        })
     }
 
     /// Open a phase span; it ends (and is recorded) when the returned
@@ -234,7 +302,7 @@ impl Collector {
         if !self.enabled {
             return SpanGuard { collector: None };
         }
-        let mut st = self.state.lock().expect("span state poisoned");
+        let mut st = lock_or_recover(&self.state);
         st.stack.push(Frame {
             name,
             iteration,
@@ -247,8 +315,12 @@ impl Collector {
     }
 
     fn end_span(&self) {
-        let mut st = self.state.lock().expect("span state poisoned");
-        let frame = st.stack.pop().expect("span guard dropped without frame");
+        let mut st = lock_or_recover(&self.state);
+        let Some(frame) = st.stack.pop() else {
+            // a panic unwound past an outer guard before this one
+            // dropped; the span is already closed — never re-panic
+            return;
+        };
         let duration_us = as_us(frame.start.elapsed());
         let parent = st.stack.last().map(|f| f.name.to_owned());
         let mut iteration = frame.iteration;
@@ -307,35 +379,46 @@ impl Collector {
         if !self.enabled {
             return;
         }
-        self.chunks
-            .lock()
-            .expect("chunk state poisoned")
-            .push(ChunkTiming {
-                phase: phase.to_owned(),
-                iteration,
-                chunk,
-                items,
-                duration_us: as_us(duration),
-            });
+        lock_or_recover(&self.chunks).push(ChunkTiming {
+            phase: phase.to_owned(),
+            iteration,
+            chunk,
+            items,
+            duration_us: as_us(duration),
+        });
     }
 
-    /// Snapshot the collected spans, counters and chunk timings into a
-    /// [`RunTrace`]. Total wall time is measured from the collector's
-    /// construction. Open spans are not included — close every guard
-    /// before finishing.
+    /// Record one sample into a live histogram. Thread-safe; a no-op
+    /// when disabled. Hot loops should prefer [`Collector::observe_hist`]
+    /// with a thread-local histogram to amortise the lock.
+    pub fn observe(&self, which: LiveHist, value: u64) {
+        if self.enabled {
+            lock_or_recover(&self.hists)[which.index()].record(value);
+        }
+    }
+
+    /// Merge a locally-accumulated histogram into a live histogram slot
+    /// (one lock per batch instead of per sample). Thread-safe; a no-op
+    /// when disabled.
+    pub fn observe_hist(&self, which: LiveHist, hist: &Histogram) {
+        if self.enabled && !hist.is_empty() {
+            lock_or_recover(&self.hists)[which.index()].merge(hist);
+        }
+    }
+
+    /// Snapshot the collected spans, counters, chunk timings and
+    /// histograms into a [`RunTrace`]. Total wall time is measured from
+    /// the collector's construction. Open spans are not included — close
+    /// every guard before finishing (a caught panic closes its spans via
+    /// the guards' `Drop` during unwinding).
     #[must_use]
     pub fn finish(&self) -> RunTrace {
         let total_us = as_us(self.epoch.elapsed());
         let spans = {
-            let st = self.state.lock().expect("span state poisoned");
-            debug_assert!(
-                st.stack.is_empty(),
-                "finish() with {} open span(s)",
-                st.stack.len()
-            );
+            let st = lock_or_recover(&self.state);
             st.finished.clone()
         };
-        let chunks = self.chunks.lock().expect("chunk state poisoned").clone();
+        let chunks = lock_or_recover(&self.chunks).clone();
         let counters = Counter::ALL
             .iter()
             .map(|&c| CounterValue {
@@ -343,7 +426,20 @@ impl Collector {
                 value: self.counter(c),
             })
             .collect();
-        RunTrace::assemble(self.enabled, total_us, spans, counters, chunks)
+        let live_hists = if self.enabled {
+            let hists = lock_or_recover(&self.hists);
+            LiveHist::ALL
+                .iter()
+                .map(|&h| NamedHistogram {
+                    name: h.name().to_owned(),
+                    unit: h.unit().to_owned(),
+                    hist: hists[h.index()].clone(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        RunTrace::assemble(self.enabled, total_us, spans, counters, chunks, live_hists)
     }
 }
 
@@ -535,6 +631,122 @@ mod tests {
     }
 
     #[test]
+    fn panic_inside_span_still_closes_it() {
+        let obs = Collector::enabled();
+        {
+            let _outer = obs.span("enrich");
+        }
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _inner = obs.span("prematch");
+            obs.add(Counter::PrematchPairsScored, 3);
+            panic!("scoring blew up");
+        }));
+        assert!(caught.is_err());
+        let trace = obs.finish();
+        // the guard's Drop ran during unwinding, so the span is closed
+        assert!(trace.phase("prematch").is_some());
+        assert_eq!(trace.counter("prematch_pairs_scored"), 3);
+        trace
+            .validate_basic()
+            .expect("trace valid after caught panic");
+    }
+
+    #[test]
+    fn panicking_worker_thread_does_not_poison_the_collector() {
+        let obs = Collector::enabled();
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _span = obs.span("subgraph");
+                    obs.thread_chunk("subgraph", None, 0, 5, Duration::from_micros(10));
+                    panic!("worker died mid-span");
+                })
+                .join()
+        });
+        assert!(result.is_err());
+        // the main thread can keep instrumenting and finish cleanly
+        {
+            let _s = obs.span("selection");
+            obs.observe(LiveHist::SubgraphSize, 4);
+        }
+        let trace = obs.finish();
+        assert!(trace.phase("subgraph").is_some());
+        assert!(trace.phase("selection").is_some());
+        assert_eq!(trace.chunks.len(), 1);
+        trace
+            .validate_basic()
+            .expect("trace valid after worker panic");
+    }
+
+    #[test]
+    fn live_histograms_flow_into_the_trace() {
+        let obs = Collector::enabled();
+        obs.observe(LiveHist::PairScore, score_bp(0.8));
+        obs.observe(LiveHist::PairScore, score_bp(0.6));
+        let mut local = Histogram::new();
+        local.record(3);
+        local.record(7);
+        obs.observe_hist(LiveHist::SubgraphSize, &local);
+        {
+            let _s = obs.span("prematch");
+        }
+        let trace = obs.finish();
+        assert_eq!(trace.histogram("pair_agg_sim_bp").unwrap().count, 2);
+        assert_eq!(trace.histogram("subgraph_size").unwrap().count, 2);
+        assert_eq!(trace.histogram("subgraph_size").unwrap().max, 7);
+        // derived phase-latency histogram appears alongside
+        assert_eq!(trace.histogram("phase_us_prematch").unwrap().count, 1);
+        trace.validate_basic().unwrap();
+
+        let off = Collector::disabled();
+        off.observe(LiveHist::PairScore, 1);
+        off.observe_hist(LiveHist::SubgraphSize, &local);
+        assert!(off.finish().histograms.is_empty());
+    }
+
+    #[test]
+    fn decision_log_is_opt_in_and_bounded() {
+        let obs = Collector::enabled();
+        assert!(!obs.decisions_enabled());
+        assert_eq!(obs.decision_top_k(), 0);
+        obs.decide(DecisionRecord::Remainder(RemainderDecision {
+            old_record: 1,
+            new_record: 2,
+            old_group: 3,
+            new_group: 4,
+            agg_sim: 0.9,
+        }));
+        assert!(obs.take_decisions().is_none());
+
+        let obs = Collector::enabled().with_decisions(DecisionConfig {
+            max_links: 1,
+            max_rejections: 8,
+            top_k: 2,
+        });
+        assert!(obs.decisions_enabled());
+        assert_eq!(obs.decision_top_k(), 2);
+        for r in 0..3 {
+            obs.decide(DecisionRecord::Remainder(RemainderDecision {
+                old_record: r,
+                new_record: r,
+                old_group: r,
+                new_group: r,
+                agg_sim: 0.5,
+            }));
+        }
+        let log = obs.take_decisions().unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.dropped_links, 2);
+        // taking leaves an empty log behind
+        assert!(obs.take_decisions().unwrap().is_empty());
+
+        // a disabled collector never records decisions, even when asked
+        let off = Collector::disabled().with_decisions(DecisionConfig::default());
+        assert!(!off.decisions_enabled());
+        assert!(off.take_decisions().is_none());
+    }
+
+    #[test]
     fn sink_records_labelled_traces_only_when_enabled() {
         let mut sink = TraceSink::disabled();
         let obs = sink.collector();
@@ -551,5 +763,41 @@ mod tests {
         let multi = sink.into_multi();
         assert_eq!(multi.runs.len(), 1);
         assert_eq!(multi.runs[0].label, "run-1");
+    }
+
+    #[test]
+    fn empty_multi_trace_validates_and_serialises() {
+        let multi = TraceSink::enabled().into_multi();
+        assert!(multi.runs.is_empty());
+        multi.validate().unwrap();
+        assert!(multi.run("anything").is_none());
+        let json = serde_json::to_string(&multi).unwrap();
+        let back: MultiTrace = serde_json::from_str(&json).unwrap();
+        assert!(back.runs.is_empty());
+    }
+
+    #[test]
+    fn duplicate_labels_are_kept_and_lookup_returns_the_first() {
+        let mut sink = TraceSink::enabled();
+        let first = sink.collector();
+        first.add(Counter::RecordLinks, 1);
+        sink.record("pair", &first);
+        let second = sink.collector();
+        second.add(Counter::RecordLinks, 2);
+        sink.record("pair", &second);
+        let multi = sink.into_multi();
+        assert_eq!(multi.runs.len(), 2);
+        multi.validate().unwrap();
+        assert_eq!(multi.run("pair").unwrap().counter("record_links"), 1);
+    }
+
+    #[test]
+    fn into_multi_on_disabled_sink_is_empty() {
+        let mut sink = TraceSink::disabled();
+        let obs = sink.collector();
+        sink.record("dropped", &obs);
+        let multi = sink.into_multi();
+        assert!(multi.runs.is_empty());
+        multi.validate().unwrap();
     }
 }

@@ -1,6 +1,7 @@
 //! The serialisable trace report assembled from a [`crate::Collector`].
 
-use crate::ITERATION_SPAN;
+use crate::hist::{Histogram, NamedHistogram};
+use crate::{Counter, ITERATION_SPAN};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -97,6 +98,11 @@ pub struct RunTrace {
     pub chunks: Vec<ChunkTiming>,
     /// The raw spans, innermost-first within each nest.
     pub spans: Vec<SpanRecord>,
+    /// Distribution telemetry: live-sampled histograms (pair `agg_sim`
+    /// scores, subgraph sizes) plus `phase_us_*`/`chunk_us` latency
+    /// histograms derived from the spans and chunk timings. Empty
+    /// histograms are omitted.
+    pub histograms: Vec<NamedHistogram>,
 }
 
 /// The phase names of a full `link` pipeline run, in execution order.
@@ -111,6 +117,7 @@ impl RunTrace {
         spans: Vec<SpanRecord>,
         counters: Vec<CounterValue>,
         chunks: Vec<ChunkTiming>,
+        live_hists: Vec<NamedHistogram>,
     ) -> Self {
         // phases: top-level spans plus direct children of `iteration`
         let is_phase = |s: &SpanRecord| {
@@ -161,6 +168,37 @@ impl RunTrace {
             }
         }
 
+        // derived latency histograms: per-phase span durations and
+        // parallel chunk wall times
+        let mut histograms: Vec<NamedHistogram> = live_hists
+            .into_iter()
+            .filter(|h| !h.hist.is_empty())
+            .collect();
+        for p in &phases {
+            let mut hist = Histogram::new();
+            for s in spans.iter().filter(|s| is_phase(s) && s.name == p.name) {
+                hist.record(s.duration_us);
+            }
+            if !hist.is_empty() {
+                histograms.push(NamedHistogram {
+                    name: format!("phase_us_{}", p.name),
+                    unit: "us".to_owned(),
+                    hist,
+                });
+            }
+        }
+        let mut chunk_hist = Histogram::new();
+        for c in &chunks {
+            chunk_hist.record(c.duration_us);
+        }
+        if !chunk_hist.is_empty() {
+            histograms.push(NamedHistogram {
+                name: "chunk_us".to_owned(),
+                unit: "us".to_owned(),
+                hist: chunk_hist,
+            });
+        }
+
         Self {
             enabled,
             total_us,
@@ -169,6 +207,7 @@ impl RunTrace {
             counters,
             chunks,
             spans,
+            histograms,
         }
     }
 
@@ -185,6 +224,15 @@ impl RunTrace {
             .iter()
             .find(|c| c.name == name)
             .map_or(0, |c| c.value)
+    }
+
+    /// A histogram by its name, if present (empty ones are omitted).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| &h.hist)
     }
 
     /// Fraction of profile lookups served from the cross-iteration
@@ -250,6 +298,16 @@ impl RunTrace {
                     w[0].delta, w[1].delta
                 ));
             }
+        }
+        for c in &self.counters {
+            if !Counter::ALL.iter().any(|k| k.name() == c.name) {
+                return Err(format!("trace has unknown counter {:?}", c.name));
+            }
+        }
+        for h in &self.histograms {
+            h.hist
+                .validate()
+                .map_err(|e| format!("histogram {:?}: {e}", h.name))?;
         }
         Ok(())
     }
@@ -343,6 +401,26 @@ impl RunTrace {
                 self.early_exit_rate() * 100.0
             );
         }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "\nhistograms:");
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>10} {:>10} {:>10} {:>10}",
+                "name", "count", "p50", "p99", "max"
+            );
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>10} {:>10} {:>10} {:>10}  {}",
+                    h.name,
+                    h.hist.count,
+                    h.hist.percentile(0.5),
+                    h.hist.percentile(0.99),
+                    h.hist.max,
+                    h.unit
+                );
+            }
+        }
         if !self.chunks.is_empty() {
             let _ = writeln!(out, "\nparallel chunks: {}", self.chunks.len());
             let max = self.chunks.iter().map(|c| c.duration_us).max().unwrap_or(0);
@@ -376,6 +454,15 @@ pub struct MultiTrace {
 }
 
 impl MultiTrace {
+    /// The trace recorded under `label`, if any.
+    #[must_use]
+    pub fn run(&self, label: &str) -> Option<&RunTrace> {
+        self.runs
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| &r.trace)
+    }
+
     /// Validate every contained trace: full pipeline invariants for
     /// traces with δ iterations, basic invariants otherwise.
     ///
@@ -442,7 +529,7 @@ mod tests {
             span("iteration", None, 0, Some(1), Some(0.65), 50),
             span("remainder", None, 0, None, None, 40),
         ];
-        RunTrace::assemble(true, 1000, spans, Vec::new(), Vec::new())
+        RunTrace::assemble(true, 1000, spans, Vec::new(), Vec::new(), Vec::new())
     }
 
     #[test]
@@ -461,7 +548,7 @@ mod tests {
     #[test]
     fn missing_phase_fails_pipeline_validation() {
         let spans = vec![span("enrich", None, 0, None, None, 10)];
-        let t = RunTrace::assemble(true, 100, spans, Vec::new(), Vec::new());
+        let t = RunTrace::assemble(true, 100, spans, Vec::new(), Vec::new(), Vec::new());
         let err = t.validate_pipeline().unwrap_err();
         assert!(err.contains("missing pipeline phase"), "{err}");
     }
@@ -472,7 +559,7 @@ mod tests {
             span("enrich", None, 0, None, None, 80),
             span("remainder", None, 0, None, None, 80),
         ];
-        let t = RunTrace::assemble(true, 100, spans, Vec::new(), Vec::new());
+        let t = RunTrace::assemble(true, 100, spans, Vec::new(), Vec::new(), Vec::new());
         let err = t.validate_basic().unwrap_err();
         assert!(err.contains("exceeding total wall time"), "{err}");
     }
@@ -483,7 +570,7 @@ mod tests {
             span("iteration", None, 0, Some(0), Some(0.5), 10),
             span("iteration", None, 0, Some(1), Some(0.7), 10),
         ];
-        let t = RunTrace::assemble(true, 100, spans, Vec::new(), Vec::new());
+        let t = RunTrace::assemble(true, 100, spans, Vec::new(), Vec::new(), Vec::new());
         assert!(t.validate_basic().is_err());
     }
 
@@ -504,6 +591,7 @@ mod tests {
             vec![span("enrich", None, 0, None, None, 80)],
             Vec::new(),
             Vec::new(),
+            Vec::new(),
         );
         let multi = MultiTrace {
             runs: vec![LabeledTrace {
@@ -512,6 +600,48 @@ mod tests {
             }],
         };
         assert!(multi.validate().unwrap_err().contains("broken"));
+    }
+
+    #[test]
+    fn unknown_counter_names_fail_validation() {
+        let mut t = pipeline_trace();
+        t.counters.push(CounterValue {
+            name: "record_links".into(),
+            value: 3,
+        });
+        t.validate_basic().unwrap();
+        t.counters.push(CounterValue {
+            name: "not_a_real_counter".into(),
+            value: 1,
+        });
+        let err = t.validate_basic().unwrap_err();
+        assert!(err.contains("unknown counter"), "{err}");
+        assert!(err.contains("not_a_real_counter"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_histograms_fail_validation() {
+        let mut t = pipeline_trace();
+        // assemble derived per-phase latency histograms from the spans
+        assert!(t.histogram("phase_us_prematch").is_some());
+        t.validate_basic().unwrap();
+        // doctor a bucket so counts no longer sum to the sample count
+        t.histograms[0].hist.buckets[0] += 1;
+        let err = t.validate_basic().unwrap_err();
+        assert!(err.contains("histogram"), "{err}");
+        assert!(err.contains("sum to"), "{err}");
+    }
+
+    #[test]
+    fn multi_trace_run_looks_up_by_label() {
+        let multi = MultiTrace {
+            runs: vec![LabeledTrace {
+                label: "1851→1861".into(),
+                trace: pipeline_trace(),
+            }],
+        };
+        assert!(multi.run("1851→1861").is_some());
+        assert!(multi.run("1861→1871").is_none());
     }
 
     #[test]
