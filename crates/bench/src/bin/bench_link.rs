@@ -18,11 +18,13 @@
 //! so the breakdown matches `link --trace-out` exactly.
 //!
 //! Per scale the harness also measures observability overhead — the
-//! incremental pipeline with the collector disabled, enabled, and
-//! enabled with decision logging — and embeds the enabled run's
-//! histogram summaries. `--trace-out FILE` writes the fastest
-//! incremental run's full trace of the *last* scale measured, for
-//! `trace-diff` CI gating.
+//! incremental pipeline with the collector disabled, enabled, enabled
+//! with decision logging, and enabled with allocation tracking — plus a
+//! memory summary (peak live bytes, per-phase allocation, footprint
+//! snapshots) from one memory-tracked run, and embeds the enabled run's
+//! histogram summaries. `--trace-out FILE` writes the memory-tracked
+//! run's full trace of the *last* scale measured, for `trace-diff` CI
+//! gating on timing, counter and memory thresholds alike.
 //!
 //! `--before` embeds externally measured per-scale `link` totals (e.g.
 //! from running this harness's loop against an older commit) so the
@@ -34,6 +36,12 @@ use linkage_core::{link_traced, LinkageConfig};
 use obs::{Collector, DecisionConfig, RunTrace};
 use serde_json::{json, Value};
 use std::time::Instant;
+
+// Install the counting allocator so the memory rung of the overhead
+// ladder and the per-scale footprint summaries measure real numbers.
+// Dormant until a collector calls `with_memory`.
+#[global_allocator]
+static ALLOC: obs::CountingAlloc = obs::CountingAlloc::system();
 
 struct Scale {
     label: &'static str,
@@ -123,7 +131,8 @@ fn best_wall_us(
 }
 
 /// The observability cost ladder: disabled collector, enabled
-/// collector, enabled collector with decision logging.
+/// collector, enabled collector with decision logging, enabled
+/// collector with allocation tracking.
 fn obs_overhead_json(
     iters: usize,
     old: &census_model::CensusDataset,
@@ -135,20 +144,93 @@ fn obs_overhead_json(
     let decisions = best_wall_us(iters, old, new, config, || {
         Collector::enabled().with_decisions(DecisionConfig::default())
     });
+    // the memory rung finishes each collector: tracking is a process
+    // global window that only `finish` closes
+    let memory = (0..iters.max(1))
+        .map(|_| {
+            let obs = Collector::enabled().with_memory();
+            let start = Instant::now();
+            let result = link_traced(old, new, config, &obs);
+            let us = start.elapsed().as_micros() as u64;
+            assert!(!result.records.is_empty());
+            let _ = obs.finish();
+            us
+        })
+        .min()
+        .expect("at least one iteration");
     let pct = |us: u64| (us as f64 - disabled as f64) / disabled.max(1) as f64 * 100.0;
     eprintln!(
-        "  obs overhead: disabled {:.1} ms, enabled {:+.2}%, +decisions {:+.2}%",
+        "  obs overhead: disabled {:.1} ms, enabled {:+.2}%, +decisions {:+.2}%, +mem {:+.2}%",
         disabled as f64 / 1000.0,
         pct(enabled),
-        pct(decisions)
+        pct(decisions),
+        pct(memory)
     );
     json!({
         "disabled_total_us": (disabled),
         "enabled_total_us": (enabled),
         "decisions_total_us": (decisions),
+        "memory_total_us": (memory),
         "enabled_overhead_pct": (pct(enabled)),
-        "decisions_overhead_pct": (pct(decisions))
+        "decisions_overhead_pct": (pct(decisions)),
+        "memory_overhead_pct": (pct(memory))
     })
+}
+
+/// One memory-tracked run: peak/total allocation accounting, per-phase
+/// attribution and the largest footprint snapshot per structure. Also
+/// returns the trace so `--trace-out` baselines carry memory data.
+fn memory_summary(
+    old: &census_model::CensusDataset,
+    new: &census_model::CensusDataset,
+    config: &LinkageConfig,
+) -> (Value, RunTrace) {
+    let obs = Collector::enabled().with_memory();
+    let result = link_traced(old, new, config, &obs);
+    assert!(!result.records.is_empty());
+    let trace = obs.finish();
+    let mem = trace.memory.as_ref().expect("memory tracking was on");
+    let mut footprints: Vec<(String, u64, u64)> = Vec::new();
+    for f in &trace.footprints {
+        match footprints.iter_mut().find(|(s, _, _)| *s == f.structure) {
+            Some(entry) if entry.1 < f.bytes => {
+                entry.1 = f.bytes;
+                entry.2 = f.elements;
+            }
+            Some(_) => {}
+            None => footprints.push((f.structure.clone(), f.bytes, f.elements)),
+        }
+    }
+    eprintln!(
+        "  memory: peak live {}, {} allocated over {} allocs, {} structure footprint(s)",
+        obs::fmt_bytes(mem.peak_live_bytes),
+        obs::fmt_bytes(mem.bytes_allocated),
+        mem.allocs,
+        footprints.len()
+    );
+    let value = json!({
+        "peak_live_bytes": (mem.peak_live_bytes),
+        "bytes_allocated": (mem.bytes_allocated),
+        "allocs": (mem.allocs),
+        "phase_alloc_bytes": (Value::Map(
+            mem.phases
+                .iter()
+                .map(|p| (Value::Str(p.name.clone()), Value::U64(p.alloc_bytes)))
+                .collect(),
+        )),
+        "footprints": (Value::Map(
+            footprints
+                .iter()
+                .map(|(s, bytes, elements)| {
+                    (
+                        Value::Str(s.clone()),
+                        json!({"bytes": (*bytes), "elements": (*elements)}),
+                    )
+                })
+                .collect(),
+        ))
+    });
+    (value, trace)
 }
 
 /// Summaries of the distribution telemetry captured by the fastest
@@ -264,6 +346,7 @@ fn main() {
             recompute.total_us as f64 / 1000.0,
             incremental.total_us as f64 / 1000.0,
         );
+        let (memory, mem_trace) = memory_summary(old, new, &incremental_config);
         let mut row = json!({
             "scale": (scale.label),
             "records_old": (old.records().len()),
@@ -272,6 +355,7 @@ fn main() {
             "incremental": (mode_json(&incremental)),
             "speedup": (speedup),
             "obs_overhead": (obs_overhead_json(iters, old, new, &incremental_config)),
+            "memory": (memory),
             "histograms": (histograms_json(&incremental.trace))
         });
         if let Some((_, before_us)) = before_totals.iter().find(|(l, _)| l == scale.label) {
@@ -290,7 +374,9 @@ fn main() {
             }
         }
         rows.push(row);
-        last_trace = Some(incremental.trace);
+        // the baseline trace carries the memory table and footprint
+        // snapshots, so CI can gate on mem:/footprint: thresholds
+        last_trace = Some(mem_trace);
     }
 
     if let Some(path) = trace_out {

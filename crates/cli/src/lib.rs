@@ -7,10 +7,11 @@
 //! census-linkage stats FILE.csv --year YEAR
 //! census-linkage link OLD.csv NEW.csv --old-year Y --new-year Y --out DIR
 //!                [--threads N] [--parallel-cutoff N] [--delta-low D]
-//!                [--trace-out FILE.json] [--decisions-out DIR] [--verbose]
+//!                [--mem-budget BYTES] [--trace-out FILE.json] [--trace-mem]
+//!                [--decisions-out DIR] [--progress] [--verbose]
 //! census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
 //!                [--threads N] [--parallel-cutoff N] [--delta-low D]
-//!                [--trace-out FILE.json] [--verbose]
+//!                [--mem-budget BYTES] [--trace-out FILE.json] [--verbose]
 //! census-linkage trace-check FILE.json
 //! census-linkage trace-diff OLD.json NEW.json [--fail-on SPEC]...
 //! census-linkage explain link --decisions DIR --group OLD:NEW
@@ -29,9 +30,11 @@ use census_model::csv::{
 use census_model::{CensusDataset, GroupMapping, RecordMapping};
 use census_synth::{generate_series, SimConfig};
 use evolution::{detect_patterns, largest_component, preserve_chain_counts, EvolutionGraph};
-use linkage_core::{link_traced, LinkageConfig};
+use linkage_core::{link_traced, LinkageConfig, MemGovernor};
 use obs::diff::{compare, Threshold};
-use obs::{Collector, DecisionConfig, DecisionRecord, MultiTrace, RunTrace, TraceSink};
+use obs::{
+    Collector, Counter, DecisionConfig, DecisionRecord, MultiTrace, Progress, RunTrace, TraceSink,
+};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -59,6 +62,16 @@ pub struct LinkOptions {
     /// Record decision provenance and write it as JSONL into this
     /// directory (`--decisions-out`, `link` only).
     pub decisions_out: Option<PathBuf>,
+    /// Memory budget in bytes for the run's caches (`--mem-budget`);
+    /// over-budget caches degrade to recomputation, never changing the
+    /// linkage output.
+    pub mem_budget: Option<u64>,
+    /// Track allocations per phase and embed the memory table plus live
+    /// footprint snapshots in the trace (`--trace-mem`, `link` only).
+    pub trace_mem: bool,
+    /// Emit throttled live progress lines on stderr (`--progress`,
+    /// `link` only).
+    pub progress: bool,
     /// Print the human-readable phase table (`--verbose`).
     pub verbose: bool,
 }
@@ -94,8 +107,28 @@ impl LinkOptions {
             }
             config.delta_low = delta_low;
         }
+        if let Some(budget) = self.mem_budget {
+            config.memory_budget = Some(budget);
+        }
         Ok(())
     }
+}
+
+/// Parse a byte count with an optional binary `K`/`M`/`G` suffix
+/// (`512M` = 512 × 1024²).
+fn parse_bytes(s: &str) -> Result<u64, CliError> {
+    let t = s.trim();
+    let (digits, unit) = match t.chars().last() {
+        Some('k' | 'K') => (&t[..t.len() - 1], 1u64 << 10),
+        Some('m' | 'M') => (&t[..t.len() - 1], 1u64 << 20),
+        Some('g' | 'G') => (&t[..t.len() - 1], 1u64 << 30),
+        _ => (t, 1),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(unit))
+        .ok_or_else(|| format!("bad byte count {s:?} (expected e.g. 1048576, 512M or 2G)"))
 }
 
 fn write_trace_json<T: serde::Serialize>(path: &Path, value: &T) -> Result<(), CliError> {
@@ -192,9 +225,28 @@ pub fn cmd_link(
     let new = load(new_file, new_year)?;
     let mut config = LinkageConfig::default();
     opts.apply(&mut config)?;
-    let mut obs = Collector::new(opts.tracing_enabled() || opts.decisions_out.is_some());
+    let mut obs =
+        Collector::new(opts.tracing_enabled() || opts.decisions_out.is_some() || opts.progress);
+    if opts.trace_mem {
+        obs = obs.with_memory();
+    }
+    if opts.progress {
+        obs = obs.with_progress(Progress::stderr());
+    }
     if opts.decisions_out.is_some() {
-        obs = obs.with_decisions(DecisionConfig::default());
+        let (caps, tightened) =
+            MemGovernor::new(config.memory_budget).decision_caps(DecisionConfig::default());
+        obs = obs.with_decisions(caps);
+        if tightened {
+            obs.add(Counter::MemFallbackDecisionCaps, 1);
+            obs.event(
+                "mem_fallback_decision_caps",
+                format!(
+                    "decision log capped at {} links / {} rejections to fit the budget share",
+                    caps.max_links, caps.max_rejections
+                ),
+            );
+        }
     }
     let result = link_traced(&old, &new, &config, &obs);
     std::fs::create_dir_all(out).map_err(|e| io_err("creating output dir", e))?;
@@ -245,7 +297,9 @@ pub fn cmd_link(
             log.dropped_links + log.dropped_rejections
         );
     }
-    if opts.tracing_enabled() {
+    if obs.is_enabled() {
+        // finishing also stops allocation tracking when --trace-mem
+        // started it, so always finish an enabled collector
         let trace = obs.finish();
         if let Some(path) = &opts.trace_out {
             write_trace_json(path, &trace)?;
@@ -279,6 +333,12 @@ pub fn cmd_evolve(
     }
     if opts.decisions_out.is_some() {
         return Err("--decisions-out is only supported by link".into());
+    }
+    if opts.trace_mem {
+        return Err("--trace-mem is only supported by link".into());
+    }
+    if opts.progress {
+        return Err("--progress is only supported by link".into());
     }
     let mut snapshots = Vec::new();
     for (i, file) in files.iter().enumerate() {
@@ -690,15 +750,17 @@ USAGE:
   census-linkage stats FILE.csv --year YEAR
   census-linkage link OLD.csv NEW.csv --old-year Y --new-year Y --out DIR
                  [--threads N] [--parallel-cutoff N] [--delta-low D]
-                 [--trace-out FILE.json] [--decisions-out DIR] [--verbose]
+                 [--mem-budget BYTES] [--trace-out FILE.json] [--trace-mem]
+                 [--decisions-out DIR] [--progress] [--verbose]
   census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
                  [--threads N] [--parallel-cutoff N] [--delta-low D]
-                 [--trace-out FILE.json] [--verbose]
+                 [--mem-budget BYTES] [--trace-out FILE.json] [--verbose]
   census-linkage evaluate FOUND.csv TRUTH.csv --kind records|groups
   census-linkage trace-check FILE.json
   census-linkage trace-diff OLD.json NEW.json [--fail-on SPEC]...
                  SPEC: counter:NAME:PCT | phase:NAME:RATIO
                      | hist:NAME:L1MAX | p99:NAME:PCT | total:RATIO
+                     | mem:NAME:PCT | footprint:NAME:PCT
   census-linkage explain link --decisions DIR (--group OLD:NEW | --record OLD:NEW)
 ";
 
@@ -774,6 +836,11 @@ fn take_link_options(args: &mut Vec<String>) -> Result<LinkOptions, CliError> {
         .transpose()?;
     let trace_out = take_value(args, "--trace-out")?.map(PathBuf::from);
     let decisions_out = take_value(args, "--decisions-out")?.map(PathBuf::from);
+    let mem_budget = take_value(args, "--mem-budget")?
+        .map(|s| parse_bytes(&s))
+        .transpose()?;
+    let trace_mem = take_flag(args, "--trace-mem");
+    let progress = take_flag(args, "--progress");
     let verbose = take_flag(args, "--verbose");
     Ok(LinkOptions {
         threads,
@@ -781,6 +848,9 @@ fn take_link_options(args: &mut Vec<String>) -> Result<LinkOptions, CliError> {
         delta_low,
         trace_out,
         decisions_out,
+        mem_budget,
+        trace_mem,
+        progress,
         verbose,
     })
 }
@@ -900,6 +970,13 @@ fn load(file: &Path, year: i32) -> Result<CensusDataset, CliError> {
     read_dataset(year, BufReader::new(f))
         .map_err(|e| io_err(&format!("parsing {}", file.display()), e))
 }
+
+// Install the counting allocator in the unit-test binary too, so the
+// `--trace-mem` end-to-end test exercises real allocation numbers (the
+// shipped binary installs its own copy in `main.rs`).
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: obs::CountingAlloc = obs::CountingAlloc::system();
 
 #[cfg(test)]
 mod tests {
@@ -1330,6 +1407,238 @@ mod tests {
         let err = cli(&["trace-diff", p, p, "--fial-on", "total:2"]).unwrap_err();
         assert!(err.contains("unknown flag"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_bytes_accepts_plain_and_suffixed_counts() {
+        assert_eq!(parse_bytes("1048576").unwrap(), 1 << 20);
+        assert_eq!(parse_bytes("4K").unwrap(), 4 << 10);
+        assert_eq!(parse_bytes("512m").unwrap(), 512 << 20);
+        assert_eq!(parse_bytes("2G").unwrap(), 2 << 30);
+        assert_eq!(parse_bytes("0").unwrap(), 0);
+        assert!(parse_bytes("lots").is_err());
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("K").is_err());
+        assert!(parse_bytes("-5M").is_err());
+        assert!(parse_bytes("99999999999999G").is_err(), "overflow");
+    }
+
+    #[test]
+    fn mem_budget_flag_degrades_without_changing_output() {
+        let dir = tmp_dir("membudget");
+        cmd_generate(&dir, "small", Some(29)).unwrap();
+        let old = dir.join("census_1851.csv");
+        let new = dir.join("census_1861.csv");
+        let link = |out: &Path, extra: &[&str]| {
+            let mut args = vec![
+                "link",
+                old.to_str().unwrap(),
+                new.to_str().unwrap(),
+                "--old-year",
+                "1851",
+                "--new-year",
+                "1861",
+                "--out",
+                out.to_str().unwrap(),
+            ];
+            args.extend_from_slice(extra);
+            cli(&args).unwrap()
+        };
+        let unlimited = dir.join("unlimited");
+        link(&unlimited, &[]);
+        // a zero budget refuses every cache; the mappings must not move
+        let starved = dir.join("starved");
+        let trace_path = dir.join("starved_trace.json");
+        link(
+            &starved,
+            &[
+                "--mem-budget",
+                "0",
+                "--threads",
+                "1",
+                "--trace-out",
+                trace_path.to_str().unwrap(),
+            ],
+        );
+        for file in ["record_mapping.csv", "group_mapping.csv"] {
+            assert_eq!(
+                std::fs::read_to_string(unlimited.join(file)).unwrap(),
+                std::fs::read_to_string(starved.join(file)).unwrap(),
+                "{file} changed under a zero memory budget"
+            );
+        }
+        let trace: RunTrace =
+            serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        assert!(
+            trace
+                .events
+                .iter()
+                .any(|e| e.name == "mem_fallback_pair_cache"),
+            "starved run recorded no pair-cache fallback"
+        );
+
+        // a bad byte count is rejected up front
+        let err = cli(&[
+            "link",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--old-year",
+            "1851",
+            "--new-year",
+            "1861",
+            "--out",
+            dir.join("x").to_str().unwrap(),
+            "--mem-budget",
+            "lots",
+        ])
+        .unwrap_err();
+        assert!(err.contains("bad byte count"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_mem_embeds_memory_data_and_gates_regressions() {
+        let dir = tmp_dir("memtrace");
+        cmd_generate(&dir, "small", Some(31)).unwrap();
+        let trace_path = dir.join("trace.json");
+        cli(&[
+            "link",
+            dir.join("census_1851.csv").to_str().unwrap(),
+            dir.join("census_1861.csv").to_str().unwrap(),
+            "--old-year",
+            "1851",
+            "--new-year",
+            "1861",
+            "--out",
+            dir.join("linked").to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+            "--trace-mem",
+        ])
+        .unwrap();
+        let report = cmd_trace_check(&trace_path).unwrap();
+        assert!(report.contains("trace OK"), "{report}");
+        let trace: RunTrace =
+            serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        let mem = trace.memory.as_ref().expect("memory table embedded");
+        assert!(mem.bytes_allocated > 0, "allocator saw no allocations");
+        assert!(mem.peak_live_bytes > 0);
+        assert!(!mem.phases.is_empty(), "no per-phase attribution");
+        assert!(
+            trace
+                .footprints
+                .iter()
+                .any(|f| f.structure == "profile_cache"),
+            "no profile-cache footprint snapshot"
+        );
+
+        // identical traces pass the memory gates
+        let p = trace_path.to_str().unwrap();
+        cli(&[
+            "trace-diff",
+            p,
+            p,
+            "--fail-on",
+            "mem:total:10%",
+            "--fail-on",
+            "footprint:profile_cache:10%",
+        ])
+        .unwrap();
+
+        // an injected allocation regression trips the mem gate
+        let mut doctored = trace.clone();
+        doctored.memory.as_mut().unwrap().bytes_allocated *= 3;
+        let doctored_path = dir.join("doctored.json");
+        write_trace_json(&doctored_path, &doctored).unwrap();
+        let err = cli(&[
+            "trace-diff",
+            p,
+            doctored_path.to_str().unwrap(),
+            "--fail-on",
+            "mem:total:10%",
+        ])
+        .unwrap_err();
+        assert!(err.contains("FAIL mem:total"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traces_without_memory_data_still_check_and_diff() {
+        let dir = tmp_dir("oldtrace");
+        cmd_generate(&dir, "small", Some(37)).unwrap();
+        let trace_path = dir.join("trace.json");
+        cli(&[
+            "link",
+            dir.join("census_1851.csv").to_str().unwrap(),
+            dir.join("census_1861.csv").to_str().unwrap(),
+            "--old-year",
+            "1851",
+            "--new-year",
+            "1861",
+            "--out",
+            dir.join("linked").to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+            "--trace-mem",
+        ])
+        .unwrap();
+
+        // strip every memory-era key from the JSON itself, simulating a
+        // trace written by a build that predates memory observability
+        let mut v: serde_json::Value =
+            serde_json::parse(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        let dropped = ["memory", "footprints", "events", "histograms"];
+        match &mut v {
+            serde_json::Value::Map(entries) => entries.retain(
+                |(k, _)| !matches!(k, serde_json::Value::Str(s) if dropped.contains(&s.as_str())),
+            ),
+            other => panic!("trace JSON is not an object: {other:?}"),
+        }
+        let old_path = dir.join("pre_memory.json");
+        std::fs::write(&old_path, serde_json::to_string(&v).unwrap()).unwrap();
+
+        // it still parses and validates...
+        let report = cmd_trace_check(&old_path).unwrap();
+        assert!(report.contains("trace OK"), "{report}");
+        // ...and memory gates against it are skipped as absent, not failed
+        let report = cli(&[
+            "trace-diff",
+            old_path.to_str().unwrap(),
+            trace_path.to_str().unwrap(),
+            "--fail-on",
+            "mem:total:10%",
+            "--fail-on",
+            "mem:peak:10%",
+            "--fail-on",
+            "footprint:profile_cache:10%",
+        ])
+        .unwrap();
+        assert!(report.contains("absent in old trace"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn progress_and_trace_mem_are_link_only() {
+        for opts in [
+            LinkOptions {
+                trace_mem: true,
+                ..LinkOptions::default()
+            },
+            LinkOptions {
+                progress: true,
+                ..LinkOptions::default()
+            },
+        ] {
+            let err = cmd_evolve(
+                &[PathBuf::from("a.csv"), PathBuf::from("b.csv")],
+                1851,
+                10,
+                None,
+                &opts,
+            )
+            .unwrap_err();
+            assert!(err.contains("only supported by link"), "{err}");
+        }
     }
 
     #[test]

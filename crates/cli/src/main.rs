@@ -7,6 +7,12 @@
 
 use std::process::ExitCode;
 
+// Counting wrapper around the system allocator: dormant (two relaxed
+// no-op branches) until `link --trace-mem` starts tracking, then feeds
+// the per-phase memory table and `--progress` live-bytes readouts.
+#[global_allocator]
+static ALLOC: obs::CountingAlloc = obs::CountingAlloc::system();
+
 fn main() -> ExitCode {
     match census_cli::run_cli(std::env::args().skip(1).collect()) {
         Ok(output) => {

@@ -115,6 +115,14 @@ pub struct LinkageConfig {
     /// (`false` keeps the recompute-from-scratch path, mainly for
     /// differential testing).
     pub incremental: bool,
+    /// Soft memory budget in bytes for the pipeline's caches (CLI
+    /// `--mem-budget`). When set, a [`crate::MemGovernor`] degrades the
+    /// similarity tables, the cross-iteration pair-score cache and the
+    /// decision log to fit — every degradation falls back to
+    /// recomputation, so linkage output is bit-identical under any
+    /// budget. `None` (the default) leaves every cache at its built-in
+    /// cap.
+    pub memory_budget: Option<u64>,
 }
 
 impl LinkageConfig {
@@ -192,6 +200,7 @@ impl Default for LinkageConfig {
             threads: default_threads(),
             parallel_cutoff: DEFAULT_PARALLEL_CUTOFF,
             incremental: true,
+            memory_budget: None,
         }
     }
 }

@@ -40,6 +40,7 @@ mod cluster;
 mod config;
 mod group_sim;
 mod linker;
+mod mem;
 mod pairscore;
 mod pipeline;
 mod prematch;
@@ -55,6 +56,7 @@ pub use cluster::UnionFind;
 pub use config::{LinkageConfig, Parallelism, RemainderConfig, DEFAULT_PARALLEL_CUTOFF};
 pub use group_sim::{score_subgraph, GroupScore, SelectionWeights};
 pub use linker::Linker;
+pub use mem::MemGovernor;
 pub use pairscore::PairScoreCache;
 pub use pipeline::{link, link_series, link_traced, IterationStats, LinkPhase, LinkageResult};
 pub use prematch::{prematch, prematch_with_profiles, PreMatch};

@@ -6,6 +6,7 @@
 //! lets each [`Linker::run`] reuse them.
 
 use crate::config::LinkageConfig;
+use crate::mem::MemGovernor;
 use crate::pairscore::PairScoreCache;
 use crate::prematch::{build_prematch, prematch_with_profiles, PreMatch};
 use crate::profiles::ProfileCache;
@@ -21,8 +22,8 @@ use hhgraph::{match_subgraph_with, EnrichedGraph, SubgraphScratch};
 /// indices, so the scoring hot loop skips the household→graph hash maps.
 type GroupCandidate = ((HouseholdId, HouseholdId), (u32, u32));
 use obs::{
-    Collector, Counter, DecisionRecord, GroupDecision, Histogram, LiveHist, LosingCandidate,
-    RejectedCandidate, RejectionReason, ITERATION_SPAN,
+    Collector, Counter, DecisionRecord, Footprint, GroupDecision, Histogram, LiveHist,
+    LosingCandidate, MemoryFootprint, RejectedCandidate, RejectionReason, ITERATION_SPAN,
 };
 use std::collections::HashMap;
 use std::time::Instant;
@@ -265,6 +266,13 @@ impl<'a> Linker<'a> {
             .collect();
         let old_graph_of = graph_of(old.records(), &old_graphs);
         let new_graph_of = graph_of(new.records(), &new_graphs);
+        if obs.is_enabled() {
+            let fp = old_graphs
+                .iter()
+                .chain(new_graphs.iter())
+                .fold(Footprint::ZERO, |acc, g| acc.plus(g.footprint()));
+            obs.snapshot_footprint("enriched_graphs", fp);
+        }
         Self {
             old,
             new,
@@ -333,10 +341,14 @@ impl<'a> Linker<'a> {
         // pairs, so fan out at half the configured pair cutoff
         let scored = if threads == 1 || cand_list.len() < config.parallel_cutoff / 2 {
             let mut scratch = SubgraphScratch::default();
-            cand_list
+            let out: Vec<ScoredSubgroup> = cand_list
                 .iter()
                 .filter_map(|c| score_one(c, &mut scratch))
-                .collect()
+                .collect();
+            if obs.is_enabled() {
+                obs.snapshot_footprint("subgraph_scratch", scratch.footprint());
+            }
+            out
         } else {
             let chunk = cand_list.len().div_ceil(threads);
             let mut out = Vec::with_capacity(cand_list.len());
@@ -407,6 +419,10 @@ impl<'a> Linker<'a> {
     pub fn run_traced(&self, config: &LinkageConfig, obs: &Collector) -> LinkageResult {
         config.validate();
         let year_gap = i64::from(self.new.year - self.old.year);
+        let mem = MemGovernor::new(config.memory_budget);
+        // the governor may veto the cross-iteration pair cache, dropping
+        // the run to the recompute-every-iteration path (bit-identical)
+        let mut incremental = config.incremental;
 
         let mut remaining_old: Vec<&PersonRecord> = self.old.records().iter().collect();
         let mut remaining_new: Vec<&PersonRecord> = self.new.records().iter().collect();
@@ -436,26 +452,29 @@ impl<'a> Linker<'a> {
             let sim = config.sim_func.with_threshold(delta);
             let pm = {
                 let _prematch = obs.span("prematch");
-                let mut pm = if config.incremental {
-                    if pair_cache.is_none() {
-                        let build_sim = config.sim_func.with_threshold(floor);
-                        let (old_profiles, new_profiles) =
-                            cache.profiles(&build_sim, &remaining_old, &remaining_new);
-                        pair_cache = Some(PairScoreCache::build(
-                            &remaining_old,
-                            &remaining_new,
-                            &old_profiles,
-                            &new_profiles,
-                            year_gap,
-                            &build_sim,
-                            config.blocking,
-                            config.parallelism(),
-                            config.prematch_max_age_gap,
-                            obs,
-                        ));
-                    }
+                if incremental && pair_cache.is_none() {
+                    let build_sim = config.sim_func.with_threshold(floor);
+                    let (old_profiles, new_profiles) =
+                        cache.profiles(&build_sim, &remaining_old, &remaining_new);
+                    pair_cache = PairScoreCache::build(
+                        &remaining_old,
+                        &remaining_new,
+                        &old_profiles,
+                        &new_profiles,
+                        year_gap,
+                        &build_sim,
+                        config.blocking,
+                        config.parallelism(),
+                        config.prematch_max_age_gap,
+                        &mem,
+                        obs,
+                    );
+                    // governor refused the cache: recompute per iteration
+                    incremental = pair_cache.is_some();
+                }
+                let mut pm = if incremental {
                     let pc = pair_cache.as_ref().expect("pair cache just built");
-                    let matches = pc.select(delta, &remaining_old, &remaining_new);
+                    let matches = pc.select_traced(delta, &remaining_old, &remaining_new, obs);
                     if iter_idx > 0 {
                         obs.add(Counter::PairCacheHits, matches.len() as u64);
                         obs.add(
@@ -477,9 +496,16 @@ impl<'a> Linker<'a> {
                         config.blocking,
                         config.parallelism(),
                         config.prematch_max_age_gap,
+                        &mem,
                         obs,
                     )
                 };
+                if obs.is_enabled() {
+                    if let Some(pc) = &pair_cache {
+                        obs.snapshot_footprint("pair_score_cache", pc.footprint());
+                    }
+                    obs.snapshot_footprint("profile_cache", cache.footprint());
+                }
 
                 // inject confirmed links as high-confidence anchors
                 anchors.inject(&mut pm, &records);
@@ -573,6 +599,7 @@ impl<'a> Linker<'a> {
                 remaining_old.retain(|r| !records.contains_old(r.id));
                 remaining_new.retain(|r| !records.contains_new(r.id));
             }
+            obs.snapshot_decision_footprint();
             drop(_selection);
 
             if config.delta_step <= 0.0 {

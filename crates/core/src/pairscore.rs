@@ -35,10 +35,11 @@
 
 use crate::blocking::{candidate_pairs_filtered, BlockingStrategy};
 use crate::config::Parallelism;
+use crate::mem::MemGovernor;
 use crate::prematch::{age_plausible, score_pairs};
 use crate::simfunc::{AttributeSpec, CompiledProfile, SimFunc};
 use census_model::{PersonRecord, RecordId};
-use obs::{Collector, Counter};
+use obs::{Collector, Counter, Footprint, MemoryFootprint};
 use std::collections::HashMap;
 
 /// Record-id → residue-index lookup for the per-δ filter passes. Record
@@ -82,6 +83,18 @@ impl ResidueIndex {
     }
 }
 
+impl MemoryFootprint for ResidueIndex {
+    fn footprint(&self) -> Footprint {
+        match self {
+            Self::Dense(v) => Footprint::new(obs::footprint::vec_capacity_bytes(v), v.len() as u64),
+            Self::Sparse(m) => Footprint::new(
+                obs::footprint::map_bytes(m.len(), std::mem::size_of::<(RecordId, u32)>()),
+                m.len() as u64,
+            ),
+        }
+    }
+}
+
 /// Pair scores computed once per snapshot pair and filtered per δ step.
 /// See the module docs for the exactness argument.
 #[derive(Debug, Clone)]
@@ -101,6 +114,14 @@ impl PairScoreCache {
     /// Block and score every candidate pair of `old × new` once, at
     /// `sim`'s threshold (the schedule floor). `old_profiles[i]` must be
     /// `sim.compile(old[i])`, and likewise for the new side.
+    ///
+    /// Returns `None` when `mem` refuses the cache (its estimated size
+    /// over the blocked pairs exceeds the pair-cache budget share) —
+    /// recorded as a `mem_fallback_pair_cache` counter and trace event.
+    /// The caller then scores each δ iteration afresh, which produces
+    /// bit-identical match pairs (see the module docs). On the refusal
+    /// path no blocking counter is emitted: the fresh pass that replaces
+    /// the cache counts its own blocked pairs.
     #[allow(clippy::too_many_arguments)] // the full pre-matching input set
     #[must_use]
     pub fn build(
@@ -113,24 +134,38 @@ impl PairScoreCache {
         strategy: BlockingStrategy,
         par: Parallelism,
         max_age_gap: Option<u32>,
+        mem: &MemGovernor,
         obs: &Collector,
-    ) -> Self {
+    ) -> Option<Self> {
         let pairs =
             candidate_pairs_filtered(old, new, year_gap, strategy, par.threads, max_age_gap);
+        if !mem.allow_pair_cache(pairs.len()) {
+            obs.add(Counter::MemFallbackPairCache, 1);
+            obs.event(
+                "mem_fallback_pair_cache",
+                format!(
+                    "pair-score cache over {} blocked pairs (~{} bytes) exceeds the budget \
+                     share; re-scoring every iteration",
+                    pairs.len(),
+                    pairs.len() as u64 * MemGovernor::PAIR_ENTRY_BYTES
+                ),
+            );
+            return None;
+        }
         obs.add(Counter::BlockingPairsGenerated, pairs.len() as u64);
-        let matches = score_pairs(&pairs, old_profiles, new_profiles, sim, par, obs);
+        let matches = score_pairs(&pairs, old_profiles, new_profiles, sim, par, mem, obs);
         let mut entries: Vec<(RecordId, RecordId, f64)> = matches
             .into_iter()
             .map(|(i, j, s)| (old[i as usize].id, new[j as usize].id, s))
             .collect();
         entries.sort_unstable_by_key(|e| (e.0, e.1));
-        Self {
+        Some(Self {
             specs: sim.specs().to_vec(),
             floor: sim.threshold,
             tolerance: max_age_gap,
             strategy,
             entries,
-        }
+        })
     }
 
     /// Number of cached pairs (everything at or above the floor).
@@ -162,8 +197,35 @@ impl PairScoreCache {
         remaining_old: &[&PersonRecord],
         remaining_new: &[&PersonRecord],
     ) -> Vec<(u32, u32, f64)> {
+        self.select_traced(delta, remaining_old, remaining_new, &Collector::disabled())
+    }
+
+    /// [`PairScoreCache::select`] with the per-iteration residue-index
+    /// footprint snapshotted into `obs`.
+    pub(crate) fn select_traced(
+        &self,
+        delta: f64,
+        remaining_old: &[&PersonRecord],
+        remaining_new: &[&PersonRecord],
+        obs: &Collector,
+    ) -> Vec<(u32, u32, f64)> {
         let old_idx = ResidueIndex::build(remaining_old);
         let new_idx = ResidueIndex::build(remaining_new);
+        if obs.is_enabled() {
+            obs.snapshot_footprint(
+                "residue_index",
+                old_idx.footprint().plus(new_idx.footprint()),
+            );
+        }
+        self.select_inner(delta, &old_idx, &new_idx)
+    }
+
+    fn select_inner(
+        &self,
+        delta: f64,
+        old_idx: &ResidueIndex,
+        new_idx: &ResidueIndex,
+    ) -> Vec<(u32, u32, f64)> {
         self.entries
             .iter()
             .filter_map(|&(o, n, s)| {
@@ -218,6 +280,14 @@ impl PairScoreCache {
                 Some((s, o, n))
             })
             .collect()
+    }
+}
+
+impl MemoryFootprint for PairScoreCache {
+    fn footprint(&self) -> Footprint {
+        let bytes = obs::footprint::vec_capacity_bytes(&self.entries)
+            + obs::footprint::vec_capacity_bytes(&self.specs);
+        Footprint::new(bytes, self.entries.len() as u64)
     }
 }
 
@@ -286,8 +356,10 @@ mod tests {
             BlockingStrategy::Full,
             par,
             Some(3),
+            &MemGovernor::unlimited(),
             &Collector::disabled(),
-        );
+        )
+        .unwrap();
         for delta in [0.5, 0.55, 0.6, 0.7, 0.9] {
             let sim = floor_sim.with_threshold(delta);
             let fresh = prematch_with_profiles(
@@ -300,6 +372,7 @@ mod tests {
                 BlockingStrategy::Full,
                 par,
                 Some(3),
+                &MemGovernor::unlimited(),
                 &Collector::disabled(),
             );
             let selected = cache.select(delta, &o, &n);
@@ -333,8 +406,10 @@ mod tests {
             BlockingStrategy::Full,
             Parallelism::default(),
             None,
+            &MemGovernor::unlimited(),
             &Collector::disabled(),
-        );
+        )
+        .unwrap();
         assert!(cache.len() >= 2);
         // once john is linked, only the mary pair survives the filter
         let selected = cache.select(0.5, &[&o2], &[&n2]);
@@ -360,8 +435,10 @@ mod tests {
             BlockingStrategy::Standard,
             Parallelism::default(),
             Some(3),
+            &MemGovernor::unlimited(),
             &Collector::disabled(),
-        );
+        )
+        .unwrap();
         let std = BlockingStrategy::Standard;
         assert!(cache.covers(&SimFunc::omega2(0.78), 3, std));
         assert!(cache.covers(&SimFunc::omega2(0.5), 2, std));
@@ -395,8 +472,10 @@ mod tests {
             BlockingStrategy::Full,
             Parallelism::default(),
             Some(6),
+            &MemGovernor::unlimited(),
             &Collector::disabled(),
-        );
+        )
+        .unwrap();
         assert_eq!(cache.len(), 1);
         let rem = SimFunc::omega2(0.78);
         assert!(cache.covers(&rem, 3, BlockingStrategy::Full));

@@ -10,9 +10,10 @@
 use crate::blocking::{candidate_pairs_filtered, BlockingStrategy};
 use crate::cluster::UnionFind;
 use crate::config::Parallelism;
+use crate::mem::MemGovernor;
 use crate::simfunc::{CompiledProfile, SimFunc};
 use census_model::{PersonRecord, RecordId};
-use obs::{Collector, Counter};
+use obs::{Collector, Counter, Footprint};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -78,9 +79,13 @@ impl SimTable {
     /// recomputing the merge outright is cheaper than probing.
     const MAX_CELLS: usize = 1 << 21;
 
-    fn new(unique_values: usize) -> Option<Self> {
+    /// A table for `unique_values` interned ids, or `None` when its
+    /// `unique_values²` cells exceed `max_cells` (the locality cap,
+    /// possibly lowered by a memory budget) — the caller then computes
+    /// similarities directly, which is score-identical.
+    fn new(unique_values: usize, max_cells: usize) -> Option<Self> {
         let cells = unique_values.checked_mul(unique_values)?;
-        if cells > Self::MAX_CELLS {
+        if cells > max_cells {
             return None;
         }
         Some(Self {
@@ -88,6 +93,11 @@ impl SimTable {
             filled: vec![0; cells.div_ceil(64)],
             sims: vec![0.0; cells],
         })
+    }
+
+    /// Estimated heap bytes of this table.
+    fn bytes(&self) -> u64 {
+        (self.sims.capacity() * 8 + self.filled.capacity() * 8) as u64
     }
 
     #[inline]
@@ -162,6 +172,7 @@ pub(crate) fn score_pairs(
     new_profiles: &[&CompiledProfile],
     sim: &SimFunc,
     par: Parallelism,
+    mem: &MemGovernor,
     obs: &Collector,
 ) -> Vec<(u32, u32, f64)> {
     let threads = par.threads.max(1);
@@ -178,8 +189,39 @@ pub(crate) fn score_pairs(
         // (The parallel path scores directly: per-worker tables would
         // multiply the memo's memory by the thread count.)
         let ids = ValueIds::build(old_profiles, new_profiles);
-        let mut tables: Vec<Option<SimTable>> =
-            ids.uniques.iter().map(|&u| SimTable::new(u)).collect();
+        let max_cells = mem
+            .sim_table_max_cells(ids.uniques.len())
+            .min(SimTable::MAX_CELLS);
+        let mut budget_rejected = 0u64;
+        let tables_iter = ids.uniques.iter().map(|&u| {
+            let t = SimTable::new(u, max_cells);
+            // only count tables the default cap would have admitted:
+            // those are budget-driven fallbacks, not locality ones
+            if t.is_none()
+                && u.checked_mul(u)
+                    .is_some_and(|cells| cells <= SimTable::MAX_CELLS)
+            {
+                budget_rejected += 1;
+            }
+            t
+        });
+        let mut tables: Vec<Option<SimTable>> = tables_iter.collect();
+        if budget_rejected > 0 {
+            obs.add(Counter::MemFallbackSimTable, budget_rejected);
+            obs.event(
+                "mem_fallback_sim_table",
+                format!(
+                    "{budget_rejected} sim table(s) over the {max_cells}-cell budget cap; \
+                     scoring those attributes directly"
+                ),
+            );
+        }
+        if obs.is_enabled() {
+            let fp = tables.iter().flatten().fold(Footprint::ZERO, |acc, t| {
+                acc.plus(Footprint::new(t.bytes(), (t.n * t.n) as u64))
+            });
+            obs.snapshot_footprint("sim_tables", fp);
+        }
         let mut prunes = 0u64;
         let mut out = Vec::new();
         for &(i, j) in pairs {
@@ -298,6 +340,7 @@ pub fn prematch(
             ..Parallelism::default()
         },
         max_age_gap,
+        &MemGovernor::unlimited(),
         &Collector::disabled(),
     )
 }
@@ -307,7 +350,9 @@ pub fn prematch(
 /// `old_profiles[i]` must be `sim.compile(old[i])` — same specs, same
 /// order — and likewise for the new side. Pair/prune counters and
 /// per-thread chunk timings are reported to `obs` (pass
-/// [`Collector::disabled`] when not tracing).
+/// [`Collector::disabled`] when not tracing); `mem` caps the serial
+/// path's similarity tables (pass [`MemGovernor::unlimited`] when not
+/// budgeting — the fallback is score-identical either way).
 #[allow(clippy::too_many_arguments)] // prematch's inputs plus the profile slices
 #[must_use]
 pub fn prematch_with_profiles(
@@ -320,6 +365,7 @@ pub fn prematch_with_profiles(
     strategy: BlockingStrategy,
     par: Parallelism,
     max_age_gap: Option<u32>,
+    mem: &MemGovernor,
     obs: &Collector,
 ) -> PreMatch {
     debug_assert_eq!(old.len(), old_profiles.len());
@@ -328,7 +374,7 @@ pub fn prematch_with_profiles(
     // implausible pairs never enter the dedup sort or the scored set
     let pairs = candidate_pairs_filtered(old, new, year_gap, strategy, par.threads, max_age_gap);
     obs.add(Counter::BlockingPairsGenerated, pairs.len() as u64);
-    let matches = score_pairs(&pairs, old_profiles, new_profiles, sim, par, obs);
+    let matches = score_pairs(&pairs, old_profiles, new_profiles, sim, par, mem, obs);
     build_prematch(old, new, &matches)
 }
 

@@ -11,6 +11,7 @@
 
 use crate::simfunc::{AttributeSpec, CompiledProfile, SimFunc};
 use census_model::PersonRecord;
+use obs::{Footprint, MemoryFootprint};
 use std::collections::HashMap;
 use textsim::CompiledValue;
 
@@ -124,6 +125,27 @@ impl ProfileCache {
     #[must_use]
     pub fn reused(&self) -> usize {
         self.reused
+    }
+}
+
+impl MemoryFootprint for ProfileCache {
+    fn footprint(&self) -> Footprint {
+        // slot vectors by capacity; memoised values approximated as map
+        // entries of (key string header + payload) — the compiled-value
+        // token heap is bounded by the raw value length, which the key
+        // string mirrors, so count the key's heap twice as a stand-in
+        let slots = obs::footprint::vec_capacity_bytes(&self.old)
+            + obs::footprint::vec_capacity_bytes(&self.new);
+        let mut memo = 0u64;
+        let mut memo_entries = 0u64;
+        for m in &self.value_memo {
+            memo_entries += m.len() as u64;
+            memo +=
+                obs::footprint::map_bytes(m.len(), std::mem::size_of::<(String, CompiledValue)>());
+            memo += m.keys().map(|k| 2 * k.capacity() as u64).sum::<u64>();
+        }
+        let filled = (self.old.iter().flatten().count() + self.new.iter().flatten().count()) as u64;
+        Footprint::new(slots + memo, filled + memo_entries)
     }
 }
 

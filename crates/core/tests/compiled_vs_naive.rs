@@ -97,6 +97,7 @@ fn prematch_with_cached_profiles_is_identical() {
                     cutoff: 0,
                 },
                 Some(3),
+                &linkage_core::MemGovernor::unlimited(),
                 &obs::Collector::disabled(),
             );
             assert_eq!(plain.pair_sims, cached.pair_sims, "δ={delta} round {round}");

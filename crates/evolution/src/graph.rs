@@ -3,7 +3,7 @@
 
 use crate::detect::{detect_patterns, GroupPatternKind, PairPatterns};
 use census_model::{CensusDataset, GroupMapping, HouseholdId, RecordMapping};
-use obs::Collector;
+use obs::{Collector, Counter, Footprint, Histogram, LiveHist, MemoryFootprint};
 
 /// A typed group edge between snapshot `t` and `t + 1`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +73,13 @@ impl EvolutionGraph {
         for (t, (records, groups)) in mappings.iter().enumerate() {
             let _pair = obs.iter_span("patterns", t, None);
             let patterns = detect_patterns(snapshots[t], snapshots[t + 1], records, groups);
+            let c = &patterns.counts;
+            obs.add(Counter::EvolutionPreserveR, c.preserve_r as u64);
+            obs.add(Counter::EvolutionAddR, c.add_r as u64);
+            obs.add(Counter::EvolutionRemoveR, c.remove_r as u64);
+            obs.add(Counter::EvolutionPreserveG, c.preserve_g as u64);
+            obs.add(Counter::EvolutionAddG, c.add_g as u64);
+            obs.add(Counter::EvolutionRemoveG, c.remove_g as u64);
             for &(old, new, kind, shared) in &patterns.group_links {
                 graph.edges.push(GroupEdge {
                     from_snapshot: t,
@@ -83,6 +90,18 @@ impl EvolutionGraph {
                 });
             }
             graph.pair_patterns.push(patterns);
+        }
+        if obs.is_enabled() {
+            let mut lens = Histogram::new();
+            // entry i counts chains of i + 1 consecutive preserve edges
+            for (i, &n) in crate::chains::preserve_chain_counts(&graph)
+                .iter()
+                .enumerate()
+            {
+                lens.record_n(i as u64 + 1, n as u64);
+            }
+            obs.observe_hist(LiveHist::ChainLength, &lens);
+            obs.snapshot_footprint("evolution_graph", graph.footprint());
         }
         graph
     }
@@ -107,6 +126,32 @@ impl EvolutionGraph {
     /// Edges of one pattern kind.
     pub fn edges_of_kind(&self, kind: GroupPatternKind) -> impl Iterator<Item = &GroupEdge> + '_ {
         self.edges.iter().filter(move |e| e.kind == kind)
+    }
+}
+
+impl MemoryFootprint for EvolutionGraph {
+    fn footprint(&self) -> Footprint {
+        let mut bytes = obs::footprint::vec_capacity_bytes(&self.households_per_snapshot)
+            + obs::footprint::vec_capacity_bytes(&self.edges)
+            + obs::footprint::vec_capacity_bytes(&self.pair_patterns);
+        for p in &self.pair_patterns {
+            bytes += obs::footprint::vec_capacity_bytes(&p.group_links)
+                + obs::footprint::vec_capacity_bytes(&p.removed_groups)
+                + obs::footprint::vec_capacity_bytes(&p.added_groups);
+            bytes += p
+                .splits
+                .iter()
+                .map(|(_, v)| obs::footprint::vec_capacity_bytes(v))
+                .sum::<u64>()
+                + obs::footprint::vec_capacity_bytes(&p.splits);
+            bytes += p
+                .merges
+                .iter()
+                .map(|(v, _)| obs::footprint::vec_capacity_bytes(v))
+                .sum::<u64>()
+                + obs::footprint::vec_capacity_bytes(&p.merges);
+        }
+        Footprint::new(bytes, self.edges.len() as u64)
     }
 }
 
@@ -172,6 +217,31 @@ mod tests {
         let (snapshots, mappings) = chain_series(3);
         let refs: Vec<&CensusDataset> = snapshots.iter().collect();
         let _ = EvolutionGraph::build(&refs, &mappings[..1]);
+    }
+
+    #[test]
+    fn traced_build_records_counters_chain_hist_and_footprint() {
+        let (snapshots, mappings) = chain_series(4);
+        let refs: Vec<&CensusDataset> = snapshots.iter().collect();
+        let obs = Collector::enabled();
+        let g = EvolutionGraph::build_traced(&refs, &mappings, &obs);
+        let trace = obs.finish();
+        // 2 preserved people and 1 preserved household per pair, 3 pairs
+        assert_eq!(trace.counter("evolution_preserve_r"), 6);
+        assert_eq!(trace.counter("evolution_preserve_g"), 3);
+        assert_eq!(trace.counter("evolution_add_r"), 0);
+        assert_eq!(trace.counter("evolution_remove_g"), 0);
+        // one 3-edge chain ⇒ sub-chains of length 1/2/3 count 3/2/1
+        let h = trace.histogram("preserve_chain_len").expect("chain hist");
+        assert_eq!(h.count, 6);
+        assert_eq!(h.max, 3);
+        assert!(trace
+            .footprints
+            .iter()
+            .any(|f| f.structure == "evolution_graph" && f.phase == "evolution"));
+        let fp = g.footprint();
+        assert!(fp.bytes > 0);
+        assert_eq!(fp.elements, g.edges.len() as u64);
     }
 
     #[test]

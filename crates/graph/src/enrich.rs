@@ -92,6 +92,16 @@ pub struct EnrichedGraph {
     edges: Vec<EnrichedEdge>,
 }
 
+impl obs::MemoryFootprint for EnrichedGraph {
+    fn footprint(&self) -> obs::Footprint {
+        let bytes = obs::footprint::vec_capacity_bytes(&self.nodes)
+            + obs::footprint::vec_capacity_bytes(&self.roles)
+            + obs::footprint::vec_capacity_bytes(&self.edges)
+            + std::mem::size_of::<Self>() as u64;
+        obs::Footprint::new(bytes, (self.nodes.len() + self.edges.len()) as u64)
+    }
+}
+
 impl EnrichedGraph {
     /// Build the enriched graph of one household.
     ///

@@ -124,6 +124,15 @@ pub struct SubgraphScratch {
     vert_idx: Vec<(usize, usize)>,
 }
 
+impl obs::MemoryFootprint for SubgraphScratch {
+    fn footprint(&self) -> obs::Footprint {
+        let bytes = obs::footprint::vec_capacity_bytes(&self.old_labels)
+            + obs::footprint::vec_capacity_bytes(&self.new_labels)
+            + obs::footprint::vec_capacity_bytes(&self.vert_idx);
+        obs::Footprint::new(bytes, self.vert_idx.len() as u64)
+    }
+}
+
 /// [`match_subgraph`] with caller-provided scratch buffers — identical
 /// result, no per-call label/index allocations.
 pub fn match_subgraph_with<F, G, A>(

@@ -58,6 +58,48 @@ impl PhaseDelta {
     }
 }
 
+/// One memory metric compared across two traces: `"total"` (bytes
+/// allocated), `"peak"` (peak live bytes), or a phase's alloc bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemDelta {
+    /// Metric name (`"total"`, `"peak"`, or a phase name).
+    pub name: String,
+    /// Bytes in the old trace (0 when absent).
+    pub old_bytes: u64,
+    /// Bytes in the new trace (0 when absent).
+    pub new_bytes: u64,
+}
+
+impl MemDelta {
+    /// Relative change in percent, against `max(old, 1)`.
+    #[must_use]
+    pub fn pct_change(&self) -> f64 {
+        let old = self.old_bytes.max(1) as f64;
+        (self.new_bytes as f64 - self.old_bytes as f64) / old * 100.0
+    }
+}
+
+/// One structure's largest footprint snapshot compared across two
+/// traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FootprintDelta {
+    /// Structure name (e.g. `"pair_score_cache"`).
+    pub structure: String,
+    /// Largest snapshot bytes in the old trace (0 when absent).
+    pub old_bytes: u64,
+    /// Largest snapshot bytes in the new trace (0 when absent).
+    pub new_bytes: u64,
+}
+
+impl FootprintDelta {
+    /// Relative change in percent, against `max(old, 1)`.
+    #[must_use]
+    pub fn pct_change(&self) -> f64 {
+        let old = self.old_bytes.max(1) as f64;
+        (self.new_bytes as f64 - self.old_bytes as f64) / old * 100.0
+    }
+}
+
 /// One histogram compared across two traces.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistDelta {
@@ -85,6 +127,22 @@ pub struct DiffReport {
     pub phases: Vec<PhaseDelta>,
     /// Union of histograms.
     pub histograms: Vec<HistDelta>,
+    /// Memory metrics (`"total"`, `"peak"`, per-phase alloc bytes);
+    /// empty unless at least one trace carries a memory section.
+    pub mem: Vec<MemDelta>,
+    /// Largest footprint snapshot per structure; empty unless at least
+    /// one trace carries footprints.
+    pub footprints: Vec<FootprintDelta>,
+    /// Whether the old trace carries a memory section. A trace written
+    /// before memory tracking existed reads back without one; `mem:`
+    /// thresholds then report "absent" instead of failing.
+    pub old_has_memory: bool,
+    /// Whether the new trace carries a memory section.
+    pub new_has_memory: bool,
+    /// Whether the old trace carries footprint snapshots.
+    pub old_has_footprints: bool,
+    /// Whether the new trace carries footprint snapshots.
+    pub new_has_footprints: bool,
     /// Total wall time of the old trace, microseconds.
     pub old_total_us: u64,
     /// Total wall time of the new trace, microseconds.
@@ -95,8 +153,10 @@ fn union_names<'a>(
     old: impl Iterator<Item = &'a str>,
     new: impl Iterator<Item = &'a str>,
 ) -> Vec<String> {
-    let mut names: Vec<String> = old.map(str::to_owned).collect();
-    for n in new {
+    // dedupe within each side too: footprint snapshots repeat a
+    // structure once per phase boundary
+    let mut names: Vec<String> = Vec::new();
+    for n in old.chain(new) {
         if !names.iter().any(|have| have == n) {
             names.push(n.to_owned());
         }
@@ -160,10 +220,62 @@ pub fn compare(old: &RunTrace, new: &RunTrace) -> DiffReport {
     })
     .collect();
 
+    let mem_value = |trace: &RunTrace, name: &str| -> u64 {
+        let Some(m) = &trace.memory else { return 0 };
+        match name {
+            "total" => m.bytes_allocated,
+            "peak" => m.peak_live_bytes,
+            phase => m
+                .phases
+                .iter()
+                .find(|p| p.name == phase)
+                .map_or(0, |p| p.alloc_bytes),
+        }
+    };
+    let mem_names = |trace: &RunTrace| -> Vec<String> {
+        match &trace.memory {
+            None => Vec::new(),
+            Some(m) => ["total", "peak"]
+                .into_iter()
+                .map(str::to_owned)
+                .chain(m.phases.iter().map(|p| p.name.clone()))
+                .collect(),
+        }
+    };
+    let mem = union_names(
+        mem_names(old).iter().map(String::as_str),
+        mem_names(new).iter().map(String::as_str),
+    )
+    .into_iter()
+    .map(|name| MemDelta {
+        old_bytes: mem_value(old, &name),
+        new_bytes: mem_value(new, &name),
+        name,
+    })
+    .collect();
+
+    let footprints = union_names(
+        old.footprints.iter().map(|f| f.structure.as_str()),
+        new.footprints.iter().map(|f| f.structure.as_str()),
+    )
+    .into_iter()
+    .map(|structure| FootprintDelta {
+        old_bytes: old.max_footprint_bytes(&structure).unwrap_or(0),
+        new_bytes: new.max_footprint_bytes(&structure).unwrap_or(0),
+        structure,
+    })
+    .collect();
+
     DiffReport {
         counters,
         phases,
         histograms,
+        mem,
+        footprints,
+        old_has_memory: old.memory.is_some(),
+        new_has_memory: new.memory.is_some(),
+        old_has_footprints: !old.footprints.is_empty(),
+        new_has_footprints: !new.footprints.is_empty(),
         old_total_us: old.total_us,
         new_total_us: new.total_us,
     }
@@ -229,6 +341,42 @@ impl DiffReport {
                 out.push_str(&format!(
                     "{marker} {:<28} n {:>9} -> {:>9}  p99 {:>9} -> {:>9}  L1 {:.4}\n",
                     h.name, h.old_count, h.new_count, h.old_p99, h.new_p99, h.l1
+                ));
+            }
+        }
+        if self.old_has_memory || self.new_has_memory {
+            out.push_str("\nmemory\n");
+            match (self.old_has_memory, self.new_has_memory) {
+                (false, true) => out.push_str("  (absent in old trace; new values shown)\n"),
+                (true, false) => out.push_str("  (absent in new trace; old values shown)\n"),
+                _ => {}
+            }
+            for m in &self.mem {
+                let marker = if m.old_bytes == m.new_bytes { ' ' } else { '*' };
+                out.push_str(&format!(
+                    "{marker} {:<28} {:>14} -> {:>14} bytes  ({:+.1}%)\n",
+                    m.name,
+                    m.old_bytes,
+                    m.new_bytes,
+                    m.pct_change()
+                ));
+            }
+        }
+        if self.old_has_footprints || self.new_has_footprints {
+            out.push_str("\nfootprints (largest snapshot)\n");
+            match (self.old_has_footprints, self.new_has_footprints) {
+                (false, true) => out.push_str("  (absent in old trace; new values shown)\n"),
+                (true, false) => out.push_str("  (absent in new trace; old values shown)\n"),
+                _ => {}
+            }
+            for f in &self.footprints {
+                let marker = if f.old_bytes == f.new_bytes { ' ' } else { '*' };
+                out.push_str(&format!(
+                    "{marker} {:<28} {:>14} -> {:>14} bytes  ({:+.1}%)\n",
+                    f.structure,
+                    f.old_bytes,
+                    f.new_bytes,
+                    f.pct_change()
                 ));
             }
         }
@@ -333,6 +481,56 @@ impl DiffReport {
                         });
                     }
                 }
+                Threshold::Mem { name, max_pct } => {
+                    // A trace written before memory tracking existed (or a
+                    // run without --trace-mem) simply lacks the section:
+                    // the gate reports "absent" and passes, rather than
+                    // failing CI on a format-version difference.
+                    if !self.old_has_memory || !self.new_has_memory {
+                        continue;
+                    }
+                    match self.mem.iter().find(|m| m.name == *name) {
+                        None => violations.push(Violation {
+                            spec: t.spec(),
+                            message: format!("memory metric '{name}' not present in either trace"),
+                        }),
+                        Some(m) => {
+                            let pct = m.pct_change();
+                            if pct > *max_pct {
+                                violations.push(Violation {
+                                    spec: t.spec(),
+                                    message: format!(
+                                        "memory metric '{name}' grew {pct:.1}% ({} -> {} bytes), limit {max_pct}%",
+                                        m.old_bytes, m.new_bytes
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                Threshold::Footprint { name, max_pct } => {
+                    if !self.old_has_footprints || !self.new_has_footprints {
+                        continue;
+                    }
+                    match self.footprints.iter().find(|f| f.structure == *name) {
+                        None => violations.push(Violation {
+                            spec: t.spec(),
+                            message: format!("footprint '{name}' not present in either trace"),
+                        }),
+                        Some(f) => {
+                            let pct = f.pct_change();
+                            if pct > *max_pct {
+                                violations.push(Violation {
+                                    spec: t.spec(),
+                                    message: format!(
+                                        "footprint '{name}' grew {pct:.1}% ({} -> {} bytes), limit {max_pct}%",
+                                        f.old_bytes, f.new_bytes
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
             }
         }
         violations
@@ -389,6 +587,26 @@ pub enum Threshold {
         /// Maximum new/old total wall-time ratio.
         max_ratio: f64,
     },
+    /// `mem:NAME:PCT[%]` — fail when the memory metric (`total`,
+    /// `peak`, or a phase's alloc bytes) grows more than PCT percent
+    /// over baseline. Skipped (not violated) when either trace has no
+    /// memory section at all.
+    Mem {
+        /// Metric name (`"total"`, `"peak"`, or a phase name).
+        name: String,
+        /// Maximum growth in percent.
+        max_pct: f64,
+    },
+    /// `footprint:NAME:PCT[%]` — fail when a structure's largest
+    /// footprint snapshot grows more than PCT percent over baseline.
+    /// Skipped (not violated) when either trace has no footprint
+    /// snapshots at all.
+    Footprint {
+        /// Structure name (e.g. `"pair_score_cache"`).
+        name: String,
+        /// Maximum growth in percent.
+        max_pct: f64,
+    },
 }
 
 impl Threshold {
@@ -401,7 +619,8 @@ impl Threshold {
         let bad = || {
             format!(
                 "invalid --fail-on spec '{spec}' (expected counter:NAME:PCT, \
-                 phase:NAME:RATIO, hist:NAME:L1MAX, p99:NAME:PCT or total:RATIO)"
+                 phase:NAME:RATIO, hist:NAME:L1MAX, p99:NAME:PCT, mem:NAME:PCT, \
+                 footprint:NAME:PCT or total:RATIO)"
             )
         };
         let mut parts = spec.splitn(3, ':');
@@ -436,6 +655,14 @@ impl Threshold {
                 name,
                 max_pct: number,
             }),
+            "mem" => Ok(Threshold::Mem {
+                name,
+                max_pct: number,
+            }),
+            "footprint" => Ok(Threshold::Footprint {
+                name,
+                max_pct: number,
+            }),
             _ => Err(bad()),
         }
     }
@@ -450,6 +677,8 @@ impl Threshold {
             Threshold::Hist { name, max_l1 } => format!("hist:{name}:{max_l1}"),
             Threshold::P99 { name, max_pct } => format!("p99:{name}:{max_pct}%"),
             Threshold::Total { max_ratio } => format!("total:{max_ratio}"),
+            Threshold::Mem { name, max_pct } => format!("mem:{name}:{max_pct}%"),
+            Threshold::Footprint { name, max_pct } => format!("footprint:{name}:{max_pct}%"),
         }
     }
 }
@@ -457,8 +686,9 @@ impl Threshold {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::footprint::FootprintSnapshot;
     use crate::hist::NamedHistogram;
-    use crate::report::{CounterValue, PhaseStat};
+    use crate::report::{CounterValue, MemoryStats, PhaseMem, PhaseStat};
 
     fn trace(pairs: u64, selection_us: u64, scores: &[u64]) -> RunTrace {
         let mut hist = Histogram::new();
@@ -485,6 +715,9 @@ mod tests {
                 unit: "bp".into(),
                 hist,
             }],
+            memory: None,
+            footprints: vec![],
+            events: vec![],
         }
     }
 
@@ -585,5 +818,80 @@ mod tests {
         let text = compare(&old, &new).render();
         assert!(text.contains("* prematch_pairs_scored"));
         assert!(text.contains("(+50.0%)"));
+    }
+
+    fn with_memory(mut t: RunTrace, total: u64, peak: u64, prematch: u64) -> RunTrace {
+        t.memory = Some(MemoryStats {
+            bytes_allocated: total,
+            allocs: 10,
+            frees: 8,
+            live_bytes_at_finish: 0,
+            peak_live_bytes: peak,
+            phases: vec![PhaseMem {
+                name: "prematch".into(),
+                alloc_bytes: prematch,
+                allocs: 5,
+                peak_live_bytes: peak,
+            }],
+        });
+        t
+    }
+
+    #[test]
+    fn mem_gates_skip_when_either_side_lacks_memory() {
+        let plain = trace(1, 1, &[1]);
+        let tracked = with_memory(trace(1, 1, &[1]), 1 << 30, 1 << 29, 1 << 20);
+        let gates = [
+            Threshold::parse("mem:total:10%").unwrap(),
+            Threshold::parse("mem:peak:10%").unwrap(),
+            Threshold::parse("footprint:pair_score_cache:10%").unwrap(),
+        ];
+        // old trace predates memory tracking: absent, not a failure,
+        // even though the "growth" from a zero baseline is unbounded
+        let report = compare(&plain, &tracked);
+        assert!(!report.old_has_memory && report.new_has_memory);
+        assert!(report.check(&gates).is_empty());
+        // and the other way round
+        assert!(compare(&tracked, &plain).check(&gates).is_empty());
+        let rendered = report.render();
+        assert!(rendered.contains("absent in old trace"), "{rendered}");
+    }
+
+    #[test]
+    fn mem_regression_trips_and_unknown_metric_is_violation() {
+        let old = with_memory(trace(1, 1, &[1]), 1000, 500, 100);
+        let new = with_memory(trace(1, 1, &[1]), 1500, 1200, 100);
+        let report = compare(&old, &new);
+        let v = report.check(&[
+            Threshold::parse("mem:total:25%").unwrap(),   // +50% trips
+            Threshold::parse("mem:peak:200%").unwrap(),   // +140% passes
+            Threshold::parse("mem:prematch:0%").unwrap(), // unchanged passes
+            Threshold::parse("mem:no_such_phase:50%").unwrap(), // both have memory: violation
+        ]);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("'total' grew 50.0%"), "{v:?}");
+        assert!(v[1].message.contains("not present"), "{v:?}");
+    }
+
+    #[test]
+    fn footprint_regression_trips_on_largest_snapshot() {
+        let mut old = trace(1, 1, &[1]);
+        let mut new = old.clone();
+        for (t, bytes) in [(&mut old, 1000u64), (&mut new, 4000u64)] {
+            t.footprints.push(FootprintSnapshot {
+                structure: "pair_score_cache".into(),
+                phase: "prematch".into(),
+                iteration: Some(0),
+                bytes,
+                elements: 10,
+            });
+        }
+        let report = compare(&old, &new);
+        let v = report.check(&[Threshold::parse("footprint:pair_score_cache:100%").unwrap()]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("grew 300.0%"), "{v:?}");
+        assert!(report
+            .check(&[Threshold::parse("footprint:pair_score_cache:400%").unwrap()])
+            .is_empty());
     }
 }

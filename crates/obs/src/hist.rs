@@ -40,11 +40,18 @@ pub enum LiveHist {
     /// Vertex count of every non-empty matched subgraph (the inputs of
     /// Algorithm 2).
     SubgraphSize,
+    /// Length (in snapshots) of every preserve chain in the evolution
+    /// graph — how many consecutive censuses a group persists through.
+    ChainLength,
 }
 
 impl LiveHist {
     /// Every live histogram slot, in report order.
-    pub const ALL: [LiveHist; 2] = [LiveHist::PairScore, LiveHist::SubgraphSize];
+    pub const ALL: [LiveHist; 3] = [
+        LiveHist::PairScore,
+        LiveHist::SubgraphSize,
+        LiveHist::ChainLength,
+    ];
 
     /// Stable snake_case name used in the JSON trace.
     #[must_use]
@@ -52,6 +59,7 @@ impl LiveHist {
         match self {
             LiveHist::PairScore => "pair_agg_sim_bp",
             LiveHist::SubgraphSize => "subgraph_size",
+            LiveHist::ChainLength => "preserve_chain_len",
         }
     }
 
@@ -61,6 +69,7 @@ impl LiveHist {
         match self {
             LiveHist::PairScore => "bp",
             LiveHist::SubgraphSize => "vertices",
+            LiveHist::ChainLength => "snapshots",
         }
     }
 
@@ -138,6 +147,25 @@ impl Histogram {
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
         self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Record `n` identical samples of value `v` in one update — for
+    /// callers that already hold (value, multiplicity) counts, e.g. the
+    /// preserve-chain length table.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.buckets[bucket_of(v)] += n;
     }
 
     /// Fold another histogram into this one (bucket-wise add).

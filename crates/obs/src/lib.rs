@@ -44,19 +44,25 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod decision;
 pub mod diff;
+pub mod footprint;
 pub mod hist;
+pub mod progress;
 mod report;
 
+pub use alloc::{CountingAlloc, MemStats, PhaseMemStat};
 pub use decision::{
     DecisionConfig, DecisionLog, DecisionRecord, GroupDecision, LosingCandidate, RejectedCandidate,
     RejectionReason, RemainderDecision,
 };
+pub use footprint::{Footprint, FootprintSnapshot, MemoryFootprint};
 pub use hist::{score_bp, Histogram, LiveHist, NamedHistogram, HIST_BUCKETS};
+pub use progress::{fmt_bytes, Progress};
 pub use report::{
-    ChunkTiming, CounterValue, IterationTrace, LabeledTrace, MultiTrace, PhaseStat, RunTrace,
-    SpanRecord, PIPELINE_PHASES,
+    ChunkTiming, CounterValue, IterationTrace, LabeledTrace, MemoryStats, MultiTrace, PhaseMem,
+    PhaseStat, RunTrace, SpanRecord, TraceEvent, PIPELINE_PHASES,
 };
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -103,11 +109,33 @@ pub enum Counter {
     /// Candidate pairs emitted by the blocking layer, before any
     /// age-plausibility filtering.
     BlockingPairsGenerated,
+    /// Memory-budget fallbacks: `SimTable`s skipped in favour of direct
+    /// similarity computation.
+    MemFallbackSimTable,
+    /// Memory-budget fallbacks: pair-score caches skipped in favour of
+    /// per-iteration recomputation.
+    MemFallbackPairCache,
+    /// Memory-budget fallbacks: decision-log caps tightened below their
+    /// configured values.
+    MemFallbackDecisionCaps,
+    /// Evolution: preserved individuals (`preserve_R`) across all
+    /// snapshot pairs.
+    EvolutionPreserveR,
+    /// Evolution: newly appearing individuals (`add_R`).
+    EvolutionAddR,
+    /// Evolution: disappearing individuals (`remove_R`).
+    EvolutionRemoveR,
+    /// Evolution: preserved households (`preserve_G`).
+    EvolutionPreserveG,
+    /// Evolution: newly appearing households (`add_G`).
+    EvolutionAddG,
+    /// Evolution: disappearing households (`remove_G`).
+    EvolutionRemoveG,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 23] = [
         Counter::PrematchPairsScored,
         Counter::PrematchPairsMatched,
         Counter::EarlyExitPrunes,
@@ -122,6 +150,15 @@ impl Counter {
         Counter::PairCacheHits,
         Counter::PairCacheFiltered,
         Counter::BlockingPairsGenerated,
+        Counter::MemFallbackSimTable,
+        Counter::MemFallbackPairCache,
+        Counter::MemFallbackDecisionCaps,
+        Counter::EvolutionPreserveR,
+        Counter::EvolutionAddR,
+        Counter::EvolutionRemoveR,
+        Counter::EvolutionPreserveG,
+        Counter::EvolutionAddG,
+        Counter::EvolutionRemoveG,
     ];
 
     /// Stable snake_case name used in the JSON trace.
@@ -142,6 +179,15 @@ impl Counter {
             Counter::PairCacheHits => "pair_cache_hits",
             Counter::PairCacheFiltered => "pair_cache_filtered",
             Counter::BlockingPairsGenerated => "blocking_pairs_generated",
+            Counter::MemFallbackSimTable => "mem_fallback_sim_table",
+            Counter::MemFallbackPairCache => "mem_fallback_pair_cache",
+            Counter::MemFallbackDecisionCaps => "mem_fallback_decision_caps",
+            Counter::EvolutionPreserveR => "evolution_preserve_r",
+            Counter::EvolutionAddR => "evolution_add_r",
+            Counter::EvolutionRemoveR => "evolution_remove_r",
+            Counter::EvolutionPreserveG => "evolution_preserve_g",
+            Counter::EvolutionAddG => "evolution_add_g",
+            Counter::EvolutionRemoveG => "evolution_remove_g",
         }
     }
 
@@ -184,12 +230,16 @@ fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// [`Collector::finish`].
 pub struct Collector {
     enabled: bool,
+    memory: bool,
     epoch: Instant,
     state: Mutex<SpanState>,
     counters: [AtomicU64; Counter::ALL.len()],
     chunks: Mutex<Vec<ChunkTiming>>,
     hists: Mutex<Vec<Histogram>>,
     decisions: Option<Mutex<DecisionLog>>,
+    footprints: Mutex<Vec<FootprintSnapshot>>,
+    events: Mutex<Vec<TraceEvent>>,
+    progress: Option<Mutex<Progress>>,
 }
 
 impl Collector {
@@ -210,13 +260,49 @@ impl Collector {
     pub fn new(enabled: bool) -> Self {
         Self {
             enabled,
+            memory: false,
             epoch: Instant::now(),
             state: Mutex::new(SpanState::default()),
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             chunks: Mutex::new(Vec::new()),
             hists: Mutex::new(vec![Histogram::new(); LiveHist::ALL.len()]),
             decisions: None,
+            footprints: Mutex::new(Vec::new()),
+            events: Mutex::new(Vec::new()),
+            progress: None,
         }
+    }
+
+    /// Turn on allocation tracking for this run: resets the
+    /// process-global counting-allocator state (see [`alloc`]) and, at
+    /// [`Collector::finish`], attaches a per-phase memory table to the
+    /// trace. Has no effect on a disabled collector, and records only
+    /// zeros unless a [`CountingAlloc`] is the binary's global
+    /// allocator. One memory-tracked run at a time per process.
+    #[must_use]
+    pub fn with_memory(mut self) -> Self {
+        if self.enabled {
+            alloc::start_tracking();
+            self.memory = true;
+        }
+        self
+    }
+
+    /// Whether allocation tracking was requested for this run.
+    #[must_use]
+    pub fn memory_enabled(&self) -> bool {
+        self.memory
+    }
+
+    /// Attach a live progress reporter, driven by span pushes, counter
+    /// updates and chunk timings. Has no effect on a disabled
+    /// collector.
+    #[must_use]
+    pub fn with_progress(mut self, progress: Progress) -> Self {
+        if self.enabled {
+            self.progress = Some(Mutex::new(progress));
+        }
+        self
     }
 
     /// Turn on bounded decision-provenance recording (see
@@ -302,13 +388,38 @@ impl Collector {
         if !self.enabled {
             return SpanGuard { collector: None };
         }
-        let mut st = lock_or_recover(&self.state);
-        st.stack.push(Frame {
-            name,
-            iteration,
-            delta,
-            start: Instant::now(),
-        });
+        let slot = alloc::phase_slot(name);
+        let recognised = slot != alloc::OTHER_SLOT;
+        let (inherited_iteration, inherited_delta) = {
+            let mut st = lock_or_recover(&self.state);
+            st.stack.push(Frame {
+                name,
+                iteration,
+                delta,
+                start: Instant::now(),
+            });
+            let mut it = iteration;
+            let mut dl = delta;
+            for f in st.stack.iter().rev() {
+                if it.is_none() {
+                    it = f.iteration;
+                }
+                if dl.is_none() {
+                    dl = f.delta;
+                }
+            }
+            (it, dl)
+        };
+        // attribute subsequent allocations to the innermost recognised
+        // phase; unrecognised child spans keep their parent's slot
+        if recognised {
+            if self.memory {
+                alloc::set_phase(slot);
+            }
+            if let Some(p) = &self.progress {
+                lock_or_recover(p).phase_started(name, inherited_iteration, inherited_delta);
+            }
+        }
         SpanGuard {
             collector: Some(self),
         }
@@ -351,12 +462,44 @@ impl Collector {
             start_us: as_us(frame.start.duration_since(self.epoch)),
             duration_us,
         });
+        if self.memory {
+            // restore attribution to the nearest recognised ancestor
+            let slot = st
+                .stack
+                .iter()
+                .rev()
+                .map(|f| alloc::phase_slot(f.name))
+                .find(|&s| s != alloc::OTHER_SLOT)
+                .unwrap_or(alloc::OTHER_SLOT);
+            alloc::set_phase(slot);
+        }
     }
 
     /// Add `n` to a counter. Thread-safe; a no-op when disabled.
     pub fn add(&self, counter: Counter, n: u64) {
         if self.enabled && n > 0 {
-            self.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+            let done = self.counters[counter.index()].fetch_add(n, Ordering::Relaxed) + n;
+            if self.progress.is_some() {
+                self.progress_tick(counter, done);
+            }
+        }
+    }
+
+    /// Feed the progress reporter on counters that measure scoring
+    /// work. The blocking-pair counter is the best available
+    /// denominator for pre-matching; the other loops report without
+    /// one.
+    fn progress_tick(&self, counter: Counter, done: u64) {
+        let (what, total) = match counter {
+            Counter::PrematchPairsScored => {
+                ("pairs", self.counter(Counter::BlockingPairsGenerated))
+            }
+            Counter::SubgraphPairsScored => ("household pairs", 0),
+            Counter::RemainderPairsScored => ("remainder pairs", 0),
+            _ => return,
+        };
+        if let Some(p) = &self.progress {
+            lock_or_recover(p).tick(what, done, total);
         }
     }
 
@@ -379,13 +522,77 @@ impl Collector {
         if !self.enabled {
             return;
         }
+        let duration_us = as_us(duration);
         lock_or_recover(&self.chunks).push(ChunkTiming {
             phase: phase.to_owned(),
             iteration,
             chunk,
             items,
-            duration_us: as_us(duration),
+            duration_us,
         });
+        if let Some(p) = &self.progress {
+            lock_or_recover(p).chunk(items, duration_us);
+        }
+    }
+
+    /// Record a footprint snapshot of one structure, tagged with the
+    /// active phase and δ iteration. Call at phase boundaries — the
+    /// estimate walks the structure. A no-op when disabled.
+    pub fn snapshot_footprint(&self, structure: &'static str, fp: Footprint) {
+        if !self.enabled {
+            return;
+        }
+        let (phase, iteration) = self.current_phase();
+        lock_or_recover(&self.footprints).push(FootprintSnapshot {
+            structure: structure.to_owned(),
+            phase,
+            iteration,
+            bytes: fp.bytes,
+            elements: fp.elements,
+        });
+    }
+
+    /// Record a footprint snapshot of the decision log itself, as a
+    /// `"decision_log"` structure row. A no-op when disabled or when
+    /// decision recording is off.
+    pub fn snapshot_decision_footprint(&self) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(log) = &self.decisions {
+            let fp = lock_or_recover(log).footprint();
+            self.snapshot_footprint("decision_log", fp);
+        }
+    }
+
+    /// Record a point event (e.g. a memory-budget fallback), tagged
+    /// with the active phase and δ iteration. A no-op when disabled.
+    pub fn event(&self, name: &'static str, detail: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        let (phase, iteration) = self.current_phase();
+        lock_or_recover(&self.events).push(TraceEvent {
+            name: name.to_owned(),
+            phase,
+            iteration,
+            detail: detail.into(),
+        });
+    }
+
+    /// The innermost recognised phase on the span stack and the
+    /// inherited δ-iteration index (`""`/`None` outside spans).
+    fn current_phase(&self) -> (String, Option<usize>) {
+        let st = lock_or_recover(&self.state);
+        let phase = st
+            .stack
+            .iter()
+            .rev()
+            .find(|f| alloc::phase_slot(f.name) != alloc::OTHER_SLOT)
+            .map(|f| f.name.to_owned())
+            .unwrap_or_default();
+        let iteration = st.stack.iter().rev().find_map(|f| f.iteration);
+        (phase, iteration)
     }
 
     /// Record one sample into a live histogram. Thread-safe; a no-op
@@ -439,7 +646,42 @@ impl Collector {
         } else {
             Vec::new()
         };
-        RunTrace::assemble(self.enabled, total_us, spans, counters, chunks, live_hists)
+        let memory = if self.memory {
+            let stats = alloc::stop_tracking();
+            Some(MemoryStats {
+                bytes_allocated: stats.bytes_allocated,
+                allocs: stats.allocs,
+                frees: stats.frees,
+                live_bytes_at_finish: stats.live_bytes,
+                peak_live_bytes: stats.peak_live_bytes,
+                phases: stats
+                    .phases
+                    .iter()
+                    .filter(|p| p.allocs > 0)
+                    .map(|p| PhaseMem {
+                        name: p.name.to_owned(),
+                        alloc_bytes: p.alloc_bytes,
+                        allocs: p.allocs,
+                        peak_live_bytes: p.peak_live_bytes,
+                    })
+                    .collect(),
+            })
+        } else {
+            None
+        };
+        let footprints = lock_or_recover(&self.footprints).clone();
+        let events = lock_or_recover(&self.events).clone();
+        RunTrace::assemble(
+            self.enabled,
+            total_us,
+            spans,
+            counters,
+            chunks,
+            live_hists,
+            memory,
+            footprints,
+            events,
+        )
     }
 }
 

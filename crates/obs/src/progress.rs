@@ -1,0 +1,249 @@
+//! Throttled live progress reporting for long pipeline runs.
+//!
+//! A [`Progress`] reporter is attached to a collector with
+//! [`crate::Collector::with_progress`] and driven entirely by the
+//! instrumentation calls the pipeline already makes: span pushes mark
+//! phase changes, counter updates mark work done, and parallel chunk
+//! timings feed the throughput estimate behind the ETA. Output goes to
+//! stderr (or any writer, for tests), one `\r`-free line per emission
+//! so logs capture cleanly, throttled to a minimum interval so hot
+//! loops cannot flood the terminal.
+//!
+//! A line looks like:
+//!
+//! ```text
+//! [progress] prematch #0 δ=0.70  pairs 12000/30000 (40.0%)  live 12.5MB  eta 1.2s
+//! ```
+//!
+//! `live` appears when the counting allocator is installed and
+//! tracking; `eta` comes from recorded chunk throughput when available
+//! and falls back to the phase's elapsed rate.
+
+use crate::alloc;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Render a byte count with a binary-ish human unit (powers of 1024).
+#[must_use]
+pub fn fmt_bytes(bytes: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KIB * KIB * KIB {
+        format!("{:.2}GB", b / (KIB * KIB * KIB))
+    } else if b >= KIB * KIB {
+        format!("{:.1}MB", b / (KIB * KIB))
+    } else if b >= KIB {
+        format!("{:.1}KB", b / KIB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// A throttled progress reporter. Construct with [`Progress::stderr`]
+/// (or [`Progress::with_writer`] in tests) and attach via
+/// [`crate::Collector::with_progress`].
+pub struct Progress {
+    out: Box<dyn Write + Send>,
+    min_interval: Duration,
+    last_emit: Option<Instant>,
+    phase: String,
+    iteration: Option<usize>,
+    delta: Option<f64>,
+    phase_start: Instant,
+    chunk_items: u64,
+    chunk_us: u64,
+}
+
+impl std::fmt::Debug for Progress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Progress")
+            .field("phase", &self.phase)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Progress {
+    /// A reporter writing to stderr, throttled to 4 lines/second.
+    #[must_use]
+    pub fn stderr() -> Self {
+        Self::with_writer(Box::new(std::io::stderr()), Duration::from_millis(250))
+    }
+
+    /// A reporter with an explicit sink and throttle interval (tests
+    /// pass a capturing writer and `Duration::ZERO`).
+    #[must_use]
+    pub fn with_writer(out: Box<dyn Write + Send>, min_interval: Duration) -> Self {
+        Self {
+            out,
+            min_interval,
+            last_emit: None,
+            phase: String::new(),
+            iteration: None,
+            delta: None,
+            phase_start: Instant::now(),
+            chunk_items: 0,
+            chunk_us: 0,
+        }
+    }
+
+    fn header(&self) -> String {
+        let mut h = format!("[progress] {}", self.phase);
+        if let Some(i) = self.iteration {
+            h.push_str(&format!(" #{i}"));
+        }
+        if let Some(d) = self.delta {
+            h.push_str(&format!(" δ={d:.2}"));
+        }
+        h
+    }
+
+    /// A phase span opened: emit its header line (never throttled — at
+    /// most a handful per δ iteration) and reset the throughput window.
+    pub(crate) fn phase_started(
+        &mut self,
+        name: &str,
+        iteration: Option<usize>,
+        delta: Option<f64>,
+    ) {
+        self.phase = name.to_owned();
+        self.iteration = iteration;
+        self.delta = delta;
+        self.phase_start = Instant::now();
+        self.chunk_items = 0;
+        self.chunk_us = 0;
+        let line = self.header();
+        let _ = writeln!(self.out, "{line}");
+        self.last_emit = Some(Instant::now());
+    }
+
+    /// A parallel worker finished a chunk: feed the throughput estimate.
+    pub(crate) fn chunk(&mut self, items: usize, duration_us: u64) {
+        self.chunk_items += items as u64;
+        self.chunk_us += duration_us;
+    }
+
+    /// Work progressed: emit a throttled status line. `total` of 0
+    /// means the denominator is unknown.
+    pub(crate) fn tick(&mut self, what: &str, done: u64, total: u64) {
+        let now = Instant::now();
+        if let Some(last) = self.last_emit {
+            if now.duration_since(last) < self.min_interval {
+                return;
+            }
+        }
+        self.last_emit = Some(now);
+
+        let mut line = self.header();
+        if total > 0 {
+            let pct = done as f64 / total as f64 * 100.0;
+            line.push_str(&format!("  {what} {done}/{total} ({pct:.1}%)"));
+        } else {
+            line.push_str(&format!("  {what} {done}"));
+        }
+        if alloc::tracking() {
+            line.push_str(&format!("  live {}", fmt_bytes(alloc::live_bytes())));
+        }
+        if let Some(eta) = self.eta_us(done, total, now) {
+            line.push_str(&format!("  eta {:.1}s", eta as f64 / 1e6));
+        }
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    /// Remaining microseconds, from chunk throughput when recorded,
+    /// else from the phase's elapsed rate.
+    fn eta_us(&self, done: u64, total: u64, now: Instant) -> Option<u64> {
+        if total == 0 || done == 0 || done >= total {
+            return None;
+        }
+        let remaining = total - done;
+        if self.chunk_items > 0 && self.chunk_us > 0 {
+            return Some(remaining * self.chunk_us / self.chunk_items);
+        }
+        let elapsed =
+            u64::try_from(now.duration_since(self.phase_start).as_micros()).unwrap_or(u64::MAX);
+        Some(remaining.saturating_mul(elapsed) / done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Capture {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn fmt_bytes_scales_units() {
+        assert_eq!(fmt_bytes(0), "0B");
+        assert_eq!(fmt_bytes(999), "999B");
+        assert_eq!(fmt_bytes(2048), "2.0KB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0MB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024 * 1024), "5.00GB");
+    }
+
+    #[test]
+    fn phase_lines_and_ticks_render() {
+        let cap = Capture::default();
+        let mut p = Progress::with_writer(Box::new(cap.clone()), Duration::ZERO);
+        p.phase_started("prematch", Some(0), Some(0.7));
+        p.chunk(100, 1000);
+        p.tick("pairs", 40, 100);
+        let text = cap.text();
+        assert!(text.contains("[progress] prematch #0 δ=0.70"), "{text}");
+        assert!(text.contains("pairs 40/100 (40.0%)"), "{text}");
+        assert!(text.contains("eta"), "{text}");
+    }
+
+    #[test]
+    fn throttling_suppresses_rapid_ticks() {
+        let cap = Capture::default();
+        let mut p = Progress::with_writer(Box::new(cap.clone()), Duration::from_secs(3600));
+        p.phase_started("subgraph", None, None);
+        for i in 0..100 {
+            p.tick("pairs", i, 100);
+        }
+        // only the phase header got through; every tick was inside the
+        // throttle window it opened
+        assert_eq!(cap.text().lines().count(), 1, "{}", cap.text());
+    }
+
+    #[test]
+    fn unknown_total_omits_percentage_and_eta() {
+        let cap = Capture::default();
+        let mut p = Progress::with_writer(Box::new(cap.clone()), Duration::ZERO);
+        p.phase_started("remainder", None, None);
+        p.tick("pairs", 17, 0);
+        let text = cap.text();
+        assert!(text.contains("pairs 17\n"), "{text}");
+        assert!(!text.contains("eta"), "{text}");
+    }
+
+    #[test]
+    fn eta_prefers_chunk_throughput() {
+        let mut p = Progress::with_writer(Box::new(Vec::new()), Duration::ZERO);
+        p.phase_started("prematch", None, None);
+        p.chunk(10, 1_000_000); // 10 items per second
+        let eta = p.eta_us(50, 100, Instant::now()).unwrap();
+        assert_eq!(eta, 5_000_000); // 50 remaining at 10/s
+        assert!(p.eta_us(0, 100, Instant::now()).is_none());
+        assert!(p.eta_us(100, 100, Instant::now()).is_none());
+        assert!(p.eta_us(5, 0, Instant::now()).is_none());
+    }
+}

@@ -1,6 +1,8 @@
 //! The serialisable trace report assembled from a [`crate::Collector`].
 
+use crate::footprint::FootprintSnapshot;
 use crate::hist::{Histogram, NamedHistogram};
+use crate::progress::fmt_bytes;
 use crate::{Counter, ITERATION_SPAN};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -74,6 +76,53 @@ pub struct ChunkTiming {
     pub duration_us: u64,
 }
 
+/// Per-phase memory attribution from the counting allocator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseMem {
+    /// Phase name (an [`crate::alloc::PHASE_SLOTS`] entry).
+    pub name: String,
+    /// Bytes allocated while the phase was active.
+    pub alloc_bytes: u64,
+    /// Allocations while the phase was active.
+    pub allocs: u64,
+    /// Peak of global live bytes observed while the phase was active.
+    pub peak_live_bytes: u64,
+}
+
+/// The run's allocation counters, present when the collector ran with
+/// [`crate::Collector::with_memory`] under an installed
+/// [`crate::CountingAlloc`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Total bytes allocated over the run.
+    pub bytes_allocated: u64,
+    /// Number of allocations.
+    pub allocs: u64,
+    /// Number of frees.
+    pub frees: u64,
+    /// Live bytes when the trace was finished (clamped to zero).
+    pub live_bytes_at_finish: u64,
+    /// Peak of live bytes over the run.
+    pub peak_live_bytes: u64,
+    /// Per-phase attribution; phases that saw no allocation are
+    /// omitted.
+    pub phases: Vec<PhaseMem>,
+}
+
+/// A point event recorded during the run (e.g. a memory-budget
+/// fallback), tagged with the phase and δ iteration it occurred in.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Stable event name (e.g. `"mem_fallback_pair_cache"`).
+    pub name: String,
+    /// Phase active when the event fired (`""` outside spans).
+    pub phase: String,
+    /// δ-iteration of that phase, when inside one.
+    pub iteration: Option<usize>,
+    /// Free-form detail (e.g. the estimate that tripped the budget).
+    pub detail: String,
+}
+
 /// The full trace of one pipeline run: total wall time, aggregated
 /// phases, per-δ-iteration breakdown, counters, per-thread chunk
 /// timings and the raw spans.
@@ -101,8 +150,23 @@ pub struct RunTrace {
     /// Distribution telemetry: live-sampled histograms (pair `agg_sim`
     /// scores, subgraph sizes) plus `phase_us_*`/`chunk_us` latency
     /// histograms derived from the spans and chunk timings. Empty
-    /// histograms are omitted.
+    /// histograms are omitted. Defaults to empty when reading a trace
+    /// written before histograms existed.
+    #[serde(default)]
     pub histograms: Vec<NamedHistogram>,
+    /// Allocation counters and the per-phase memory table, when the
+    /// run tracked memory. Absent (`None`) otherwise, and when reading
+    /// a trace written before memory tracking existed.
+    #[serde(default)]
+    pub memory: Option<MemoryStats>,
+    /// Footprint snapshots of the pipeline's large structures, taken at
+    /// phase boundaries. Defaults to empty on older traces.
+    #[serde(default)]
+    pub footprints: Vec<FootprintSnapshot>,
+    /// Point events (memory-budget fallbacks and the like). Defaults to
+    /// empty on older traces.
+    #[serde(default)]
+    pub events: Vec<TraceEvent>,
 }
 
 /// The phase names of a full `link` pipeline run, in execution order.
@@ -111,6 +175,7 @@ pub const PIPELINE_PHASES: [&str; 5] = ["enrich", "prematch", "subgraph", "selec
 impl RunTrace {
     /// Assemble a trace from the collector's raw state.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         enabled: bool,
         total_us: u64,
@@ -118,6 +183,9 @@ impl RunTrace {
         counters: Vec<CounterValue>,
         chunks: Vec<ChunkTiming>,
         live_hists: Vec<NamedHistogram>,
+        memory: Option<MemoryStats>,
+        footprints: Vec<FootprintSnapshot>,
+        events: Vec<TraceEvent>,
     ) -> Self {
         // phases: top-level spans plus direct children of `iteration`
         let is_phase = |s: &SpanRecord| {
@@ -208,6 +276,9 @@ impl RunTrace {
             chunks,
             spans,
             histograms,
+            memory,
+            footprints,
+            events,
         }
     }
 
@@ -233,6 +304,17 @@ impl RunTrace {
             .iter()
             .find(|h| h.name == name)
             .map(|h| &h.hist)
+    }
+
+    /// Largest snapshotted footprint bytes of one structure, if it was
+    /// ever snapshotted.
+    #[must_use]
+    pub fn max_footprint_bytes(&self, structure: &str) -> Option<u64> {
+        self.footprints
+            .iter()
+            .filter(|f| f.structure == structure)
+            .map(|f| f.bytes)
+            .max()
     }
 
     /// Fraction of profile lookups served from the cross-iteration
@@ -308,6 +390,47 @@ impl RunTrace {
             h.hist
                 .validate()
                 .map_err(|e| format!("histogram {:?}: {e}", h.name))?;
+        }
+        if let Some(mem) = &self.memory {
+            if mem.peak_live_bytes < mem.live_bytes_at_finish {
+                return Err(format!(
+                    "memory peak {} is below live-at-finish {}",
+                    mem.peak_live_bytes, mem.live_bytes_at_finish
+                ));
+            }
+            let phase_sum: u64 = mem.phases.iter().map(|p| p.alloc_bytes).sum();
+            if phase_sum > mem.bytes_allocated {
+                return Err(format!(
+                    "per-phase alloc bytes sum to {phase_sum}, exceeding total {}",
+                    mem.bytes_allocated
+                ));
+            }
+            let phase_allocs: u64 = mem.phases.iter().map(|p| p.allocs).sum();
+            if phase_allocs > mem.allocs {
+                return Err(format!(
+                    "per-phase alloc counts sum to {phase_allocs}, exceeding total {}",
+                    mem.allocs
+                ));
+            }
+            for p in &mem.phases {
+                if p.peak_live_bytes > mem.peak_live_bytes {
+                    return Err(format!(
+                        "phase {:?} peak live {} exceeds global peak {}",
+                        p.name, p.peak_live_bytes, mem.peak_live_bytes
+                    ));
+                }
+            }
+        }
+        for f in &self.footprints {
+            if f.structure.is_empty() {
+                return Err("footprint snapshot with an empty structure name".to_owned());
+            }
+            if f.elements > 0 && f.bytes == 0 {
+                return Err(format!(
+                    "footprint {:?} reports {} element(s) in zero bytes",
+                    f.structure, f.elements
+                ));
+            }
         }
         Ok(())
     }
@@ -400,6 +523,72 @@ impl RunTrace {
                 "early_exit_rate",
                 self.early_exit_rate() * 100.0
             );
+        }
+        if let Some(mem) = &self.memory {
+            let _ = writeln!(out, "\nmemory:");
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>10} {:>10} {:>10}",
+                "phase", "alloc", "allocs", "peak live"
+            );
+            for p in &mem.phases {
+                let _ = writeln!(
+                    out,
+                    "  {:<18} {:>10} {:>10} {:>10}",
+                    p.name,
+                    fmt_bytes(p.alloc_bytes),
+                    p.allocs,
+                    fmt_bytes(p.peak_live_bytes)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>10} {:>10} {:>10}  (live at finish {}, {} frees)",
+                "total",
+                fmt_bytes(mem.bytes_allocated),
+                mem.allocs,
+                fmt_bytes(mem.peak_live_bytes),
+                fmt_bytes(mem.live_bytes_at_finish),
+                mem.frees
+            );
+        }
+        if !self.footprints.is_empty() {
+            let _ = writeln!(out, "\nfootprints (largest snapshot per structure):");
+            let mut seen: Vec<&str> = Vec::new();
+            for f in &self.footprints {
+                if seen.contains(&f.structure.as_str()) {
+                    continue;
+                }
+                seen.push(&f.structure);
+                let bytes = self.max_footprint_bytes(&f.structure).unwrap_or(0);
+                let elements = self
+                    .footprints
+                    .iter()
+                    .filter(|s| s.structure == f.structure)
+                    .map(|s| s.elements)
+                    .max()
+                    .unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>10}  {:>12} elements",
+                    f.structure,
+                    fmt_bytes(bytes),
+                    elements
+                );
+            }
+        }
+        if !self.events.is_empty() {
+            let _ = writeln!(out, "\nevents:");
+            for e in &self.events {
+                let at = if e.phase.is_empty() {
+                    String::new()
+                } else if let Some(i) = e.iteration {
+                    format!(" [{} #{}]", e.phase, i)
+                } else {
+                    format!(" [{}]", e.phase)
+                };
+                let _ = writeln!(out, "  {}{at}  {}", e.name, e.detail);
+            }
         }
         if !self.histograms.is_empty() {
             let _ = writeln!(out, "\nhistograms:");
@@ -529,7 +718,17 @@ mod tests {
             span("iteration", None, 0, Some(1), Some(0.65), 50),
             span("remainder", None, 0, None, None, 40),
         ];
-        RunTrace::assemble(true, 1000, spans, Vec::new(), Vec::new(), Vec::new())
+        RunTrace::assemble(
+            true,
+            1000,
+            spans,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            None,
+            Vec::new(),
+            Vec::new(),
+        )
     }
 
     #[test]
@@ -548,7 +747,17 @@ mod tests {
     #[test]
     fn missing_phase_fails_pipeline_validation() {
         let spans = vec![span("enrich", None, 0, None, None, 10)];
-        let t = RunTrace::assemble(true, 100, spans, Vec::new(), Vec::new(), Vec::new());
+        let t = RunTrace::assemble(
+            true,
+            100,
+            spans,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            None,
+            Vec::new(),
+            Vec::new(),
+        );
         let err = t.validate_pipeline().unwrap_err();
         assert!(err.contains("missing pipeline phase"), "{err}");
     }
@@ -559,7 +768,17 @@ mod tests {
             span("enrich", None, 0, None, None, 80),
             span("remainder", None, 0, None, None, 80),
         ];
-        let t = RunTrace::assemble(true, 100, spans, Vec::new(), Vec::new(), Vec::new());
+        let t = RunTrace::assemble(
+            true,
+            100,
+            spans,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            None,
+            Vec::new(),
+            Vec::new(),
+        );
         let err = t.validate_basic().unwrap_err();
         assert!(err.contains("exceeding total wall time"), "{err}");
     }
@@ -570,7 +789,17 @@ mod tests {
             span("iteration", None, 0, Some(0), Some(0.5), 10),
             span("iteration", None, 0, Some(1), Some(0.7), 10),
         ];
-        let t = RunTrace::assemble(true, 100, spans, Vec::new(), Vec::new(), Vec::new());
+        let t = RunTrace::assemble(
+            true,
+            100,
+            spans,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            None,
+            Vec::new(),
+            Vec::new(),
+        );
         assert!(t.validate_basic().is_err());
     }
 
@@ -590,6 +819,9 @@ mod tests {
             10,
             vec![span("enrich", None, 0, None, None, 80)],
             Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            None,
             Vec::new(),
             Vec::new(),
         );

@@ -7,7 +7,9 @@
 //! shapes, matching what this workspace derives on:
 //!
 //! - named structs (with `#[serde(skip)]` fields: omitted on write,
-//!   `Default::default()` on read)
+//!   `Default::default()` on read; `#[serde(default)]` fields: written
+//!   normally, `Default::default()` when the key is missing or null —
+//!   this is what lets newer trace readers accept older trace files)
 //! - tuple structs (one field = transparent newtype, like real serde)
 //! - unit structs
 //! - enums with unit, tuple, and struct variants (externally tagged:
@@ -41,6 +43,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 enum VariantKind {
@@ -98,21 +101,21 @@ impl Cursor {
         self.pos >= self.toks.len()
     }
 
-    /// Skip `#[...]` attributes; `true` if any was `#[serde(skip)]`.
-    fn skip_attrs(&mut self) -> bool {
-        let mut skip = false;
+    /// Skip `#[...]` attributes, collecting `#[serde(...)]` flags.
+    fn skip_attrs(&mut self) -> AttrFlags {
+        let mut flags = AttrFlags::default();
         while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             self.next(); // '#'
             match self.next() {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                    if attr_is_serde_skip(&g.stream()) {
-                        skip = true;
-                    }
+                    let found = serde_attr_flags(&g.stream());
+                    flags.skip |= found.skip;
+                    flags.default |= found.default;
                 }
                 other => panic!("expected [...] after '#', got {other:?}"),
             }
         }
-        skip
+        flags
     }
 
     /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
@@ -161,18 +164,29 @@ impl Cursor {
     }
 }
 
-fn attr_is_serde_skip(body: &TokenStream) -> bool {
+#[derive(Default, Clone, Copy)]
+struct AttrFlags {
+    skip: bool,
+    default: bool,
+}
+
+fn serde_attr_flags(body: &TokenStream) -> AttrFlags {
     let toks: Vec<TokenTree> = body.clone().into_iter().collect();
-    match toks.as_slice() {
-        [TokenTree::Ident(name), TokenTree::Group(args)]
-            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
-        {
-            args.stream()
-                .into_iter()
-                .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "skip"))
+    let mut flags = AttrFlags::default();
+    if let [TokenTree::Ident(name), TokenTree::Group(args)] = toks.as_slice() {
+        if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis {
+            for t in args.stream() {
+                if let TokenTree::Ident(i) = t {
+                    match i.to_string().as_str() {
+                        "skip" => flags.skip = true,
+                        "default" => flags.default = true,
+                        _ => {}
+                    }
+                }
+            }
         }
-        _ => false,
     }
+    flags
 }
 
 fn parse_item(input: TokenStream) -> Item {
@@ -210,12 +224,16 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut c = Cursor::new(body);
     let mut fields = Vec::new();
     while !c.at_end() {
-        let skip = c.skip_attrs();
+        let flags = c.skip_attrs();
         c.skip_vis();
         let name = c.expect_ident();
         c.expect_punct(':');
         c.skip_to_field_end();
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip: flags.skip,
+            default: flags.default,
+        });
     }
     fields
 }
@@ -224,10 +242,10 @@ fn parse_tuple_fields(body: TokenStream, type_name: &str) -> usize {
     let mut c = Cursor::new(body);
     let mut count = 0;
     while !c.at_end() {
-        let skip = c.skip_attrs();
+        let flags = c.skip_attrs();
         assert!(
-            !skip,
-            "#[serde(skip)] on tuple fields is not supported ({type_name})"
+            !flags.skip && !flags.default,
+            "#[serde(skip)]/#[serde(default)] on tuple fields is not supported ({type_name})"
         );
         c.skip_vis();
         if c.at_end() {
@@ -249,8 +267,8 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 let fields = parse_named_fields(g.stream());
                 assert!(
-                    fields.iter().all(|f| !f.skip),
-                    "#[serde(skip)] inside enum variants is not supported ({name})"
+                    fields.iter().all(|f| !f.skip && !f.default),
+                    "#[serde(skip)]/#[serde(default)] inside enum variants is not supported ({name})"
                 );
                 c.next();
                 VariantKind::Named(fields.into_iter().map(|f| f.name).collect())
@@ -362,6 +380,13 @@ fn gen_deserialize(item: &Item) -> String {
                 let fname = &f.name;
                 if f.skip {
                     inits.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{fname}: match ::serde::map_get_or_null(m, \"{fname}\") {{\n\
+                         ::serde::Content::Null => ::std::default::Default::default(),\n\
+                         present => {D}(present)\
+                         .map_err(|e| ::std::format!(\"{name}.{fname}: {{e}}\"))?,\n}},\n"
+                    ));
                 } else {
                     inits.push_str(&format!(
                         "{fname}: {D}(::serde::map_get_or_null(m, \"{fname}\"))\
