@@ -17,6 +17,13 @@
 //! machine). Phase times come from the pipeline's own trace collector,
 //! so the breakdown matches `link --trace-out` exactly.
 //!
+//! Every scale also pits the sharded engine (`shards: 0`, auto-resolved
+//! against the workload) against the same driver pinned to one shard,
+//! with per-shard work/memory summaries from the trace. The opt-in `XL`
+//! scale (≥500k records across the pair, `--scales XL`) exists for that
+//! headline alone and skips the recompute mode and the observability
+//! ladder, whose quadratic pair count makes them hours-long there.
+//!
 //! Per scale the harness also measures observability overhead — the
 //! incremental pipeline with the collector disabled, enabled, enabled
 //! with decision logging, and enabled with allocation tracking — plus a
@@ -46,20 +53,33 @@ static ALLOC: obs::CountingAlloc = obs::CountingAlloc::system();
 struct Scale {
     label: &'static str,
     initial_households: usize,
+    /// Whether to run the full measurement ladder (recompute mode, obs
+    /// overhead rungs). XL is sized for the sharded-vs-single headline
+    /// only — its quadratic pair count makes the full ladder hours-long.
+    full_ladder: bool,
 }
 
-const SCALES: [Scale; 3] = [
+const SCALES: [Scale; 4] = [
     Scale {
         label: "S",
         initial_households: 120,
+        full_ladder: true,
     },
     Scale {
         label: "M",
         initial_households: 800,
+        full_ladder: true,
     },
     Scale {
         label: "L",
         initial_households: 3300,
+        full_ladder: true,
+    },
+    // ≥500k records across the snapshot pair; opt in with --scales XL
+    Scale {
+        label: "XL",
+        initial_households: 42_000,
+        full_ladder: false,
     },
 ];
 
@@ -255,6 +275,28 @@ fn histograms_json(trace: &RunTrace) -> Value {
     )
 }
 
+/// Per-shard work and memory summaries recorded by the sharded engine's
+/// prematch phase (empty for single-shard runs).
+fn shard_stats_json(trace: &RunTrace) -> Value {
+    Value::Seq(
+        trace
+            .shards
+            .iter()
+            .map(|s| {
+                json!({
+                    "shard": (s.shard),
+                    "keys": (s.keys),
+                    "pairs": (s.pairs),
+                    "matched": (s.matched),
+                    "sim_table_bytes": (s.sim_table_bytes),
+                    "sim_table_cells": (s.sim_table_cells),
+                    "duration_us": (s.duration_us)
+                })
+            })
+            .collect(),
+    )
+}
+
 fn mode_json(m: &Measurement) -> Value {
     json!({
         "total_us": (m.total_us),
@@ -327,37 +369,68 @@ fn main() {
             ..incremental_config.clone()
         };
 
+        // the shards=0 (auto) engine against the same driver pinned to a
+        // single shard — the headline sharded-vs-single comparison
+        let sharded_config = LinkageConfig {
+            shards: 0,
+            ..incremental_config.clone()
+        };
+
         eprintln!(
             "scale {}: {} -> {} records, best of {iters}",
             scale.label,
             old.records().len(),
             new.records().len()
         );
-        let recompute = best_of(iters, old, new, &recompute_config);
         let incremental = best_of(iters, old, new, &incremental_config);
+        let sharded = best_of(iters, old, new, &sharded_config);
         assert_eq!(
-            recompute.record_links, incremental.record_links,
-            "modes must produce identical link counts"
+            sharded.record_links, incremental.record_links,
+            "sharded and single-shard runs must produce identical link counts"
         );
-        let speedup = recompute.total_us as f64 / incremental.total_us.max(1) as f64;
+        let shard_speedup = incremental.total_us as f64 / sharded.total_us.max(1) as f64;
         eprintln!(
-            "scale {}: recompute {:.1} ms, incremental {:.1} ms, speedup {speedup:.2}x",
+            "scale {}: single-shard {:.1} ms, sharded {:.1} ms, shard speedup {shard_speedup:.2}x",
             scale.label,
-            recompute.total_us as f64 / 1000.0,
             incremental.total_us as f64 / 1000.0,
+            sharded.total_us as f64 / 1000.0,
         );
-        let (memory, mem_trace) = memory_summary(old, new, &incremental_config);
+        // the memory-tracked run uses the sharded engine so the trace
+        // carries the per-shard table summaries alongside the footprints
+        let (memory, mem_trace) = memory_summary(old, new, &sharded_config);
         let mut row = json!({
             "scale": (scale.label),
             "records_old": (old.records().len()),
             "records_new": (new.records().len()),
-            "recompute": (mode_json(&recompute)),
             "incremental": (mode_json(&incremental)),
-            "speedup": (speedup),
-            "obs_overhead": (obs_overhead_json(iters, old, new, &incremental_config)),
+            "sharded": (mode_json(&sharded)),
+            "shard_speedup": (shard_speedup),
+            "shards": (shard_stats_json(&sharded.trace)),
             "memory": (memory),
             "histograms": (histograms_json(&incremental.trace))
         });
+        if scale.full_ladder {
+            let recompute = best_of(iters, old, new, &recompute_config);
+            assert_eq!(
+                recompute.record_links, incremental.record_links,
+                "modes must produce identical link counts"
+            );
+            let speedup = recompute.total_us as f64 / incremental.total_us.max(1) as f64;
+            eprintln!(
+                "scale {}: recompute {:.1} ms, incremental {:.1} ms, speedup {speedup:.2}x",
+                scale.label,
+                recompute.total_us as f64 / 1000.0,
+                incremental.total_us as f64 / 1000.0,
+            );
+            if let Value::Map(entries) = &mut row {
+                entries.push((Value::Str("recompute".into()), mode_json(&recompute)));
+                entries.push((Value::Str("speedup".into()), Value::F64(speedup)));
+                entries.push((
+                    Value::Str("obs_overhead".into()),
+                    obs_overhead_json(iters, old, new, &incremental_config),
+                ));
+            }
+        }
         if let Some((_, before_us)) = before_totals.iter().find(|(l, _)| l == scale.label) {
             let vs_before = *before_us as f64 / incremental.total_us.max(1) as f64;
             eprintln!(

@@ -6,11 +6,11 @@
 //! census-linkage generate --out DIR [--scale small|medium|paper] [--seed N]
 //! census-linkage stats FILE.csv --year YEAR
 //! census-linkage link OLD.csv NEW.csv --old-year Y --new-year Y --out DIR
-//!                [--threads N] [--parallel-cutoff N] [--delta-low D]
+//!                [--threads N] [--shards N] [--parallel-cutoff N] [--delta-low D]
 //!                [--mem-budget BYTES] [--trace-out FILE.json] [--trace-mem]
 //!                [--decisions-out DIR] [--progress] [--verbose]
 //! census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
-//!                [--threads N] [--parallel-cutoff N] [--delta-low D]
+//!                [--threads N] [--shards N] [--parallel-cutoff N] [--delta-low D]
 //!                [--mem-budget BYTES] [--trace-out FILE.json] [--verbose]
 //! census-linkage trace-check FILE.json
 //! census-linkage trace-diff OLD.json NEW.json [--fail-on SPEC]...
@@ -52,6 +52,10 @@ fn io_err(context: &str, e: impl std::fmt::Display) -> CliError {
 pub struct LinkOptions {
     /// Worker threads for the parallel scoring stages (`--threads`).
     pub threads: Option<usize>,
+    /// Shard count for the blocking-key-partitioned engine (`--shards`);
+    /// `0` picks a scale-aware count automatically. Sharding never
+    /// changes the linkage output — only locality and memory shape.
+    pub shards: Option<usize>,
     /// Minimum work items before scoring fans out (`--parallel-cutoff`);
     /// `0` forces the parallel path even on tiny inputs.
     pub parallel_cutoff: Option<usize>,
@@ -89,6 +93,9 @@ impl LinkOptions {
                 return Err("--threads must be at least 1".into());
             }
             config.threads = threads;
+        }
+        if let Some(shards) = self.shards {
+            config.shards = shards;
         }
         if let Some(cutoff) = self.parallel_cutoff {
             config.parallel_cutoff = cutoff;
@@ -749,11 +756,11 @@ USAGE:
   census-linkage generate --out DIR [--scale small|medium|paper] [--seed N]
   census-linkage stats FILE.csv --year YEAR
   census-linkage link OLD.csv NEW.csv --old-year Y --new-year Y --out DIR
-                 [--threads N] [--parallel-cutoff N] [--delta-low D]
+                 [--threads N] [--shards N] [--parallel-cutoff N] [--delta-low D]
                  [--mem-budget BYTES] [--trace-out FILE.json] [--trace-mem]
                  [--decisions-out DIR] [--progress] [--verbose]
   census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
-                 [--threads N] [--parallel-cutoff N] [--delta-low D]
+                 [--threads N] [--shards N] [--parallel-cutoff N] [--delta-low D]
                  [--mem-budget BYTES] [--trace-out FILE.json] [--verbose]
   census-linkage evaluate FOUND.csv TRUTH.csv --kind records|groups
   census-linkage trace-check FILE.json
@@ -825,6 +832,12 @@ fn take_link_options(args: &mut Vec<String>) -> Result<LinkOptions, CliError> {
                 .map_err(|_| format!("bad thread count {s:?}"))
         })
         .transpose()?;
+    let shards = take_value(args, "--shards")?
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| format!("bad shard count {s:?} (0 = auto)"))
+        })
+        .transpose()?;
     let parallel_cutoff = take_value(args, "--parallel-cutoff")?
         .map(|s| {
             s.parse::<usize>()
@@ -844,6 +857,7 @@ fn take_link_options(args: &mut Vec<String>) -> Result<LinkOptions, CliError> {
     let verbose = take_flag(args, "--verbose");
     Ok(LinkOptions {
         threads,
+        shards,
         parallel_cutoff,
         delta_low,
         trace_out,
@@ -1167,6 +1181,7 @@ mod tests {
         .is_err());
         LinkOptions {
             threads: Some(2),
+            shards: Some(0), // auto
             parallel_cutoff: Some(128),
             delta_low: Some(0.55),
             ..LinkOptions::default()
@@ -1174,8 +1189,22 @@ mod tests {
         .apply(&mut config)
         .unwrap();
         assert_eq!(config.threads, 2);
+        assert_eq!(config.shards, 0);
         assert_eq!(config.parallel_cutoff, 128);
         assert!((config.delta_low - 0.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shards_flag_is_parsed() {
+        let mut args: Vec<String> = ["--shards", "4"].iter().map(|s| (*s).to_owned()).collect();
+        let opts = take_link_options(&mut args).unwrap();
+        assert_eq!(opts.shards, Some(4));
+        assert!(args.is_empty(), "all flags consumed");
+        let mut bad: Vec<String> = ["--shards", "many"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert!(take_link_options(&mut bad).is_err());
     }
 
     #[test]
@@ -1493,6 +1522,60 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("bad byte count"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_link_matches_unsharded_and_traces_shards() {
+        let dir = tmp_dir("sharded");
+        cmd_generate(&dir, "small", Some(37)).unwrap();
+        let old = dir.join("census_1851.csv");
+        let new = dir.join("census_1861.csv");
+        let link = |out: &Path, extra: &[&str]| {
+            let mut args = vec![
+                "link",
+                old.to_str().unwrap(),
+                new.to_str().unwrap(),
+                "--old-year",
+                "1851",
+                "--new-year",
+                "1861",
+                "--out",
+                out.to_str().unwrap(),
+            ];
+            args.extend_from_slice(extra);
+            cli(&args).unwrap()
+        };
+        let single = dir.join("single");
+        link(&single, &["--shards", "1"]);
+        let sharded = dir.join("shard4");
+        let trace_path = dir.join("shard4_trace.json");
+        link(
+            &sharded,
+            &["--shards", "4", "--trace-out", trace_path.to_str().unwrap()],
+        );
+        for file in ["record_mapping.csv", "group_mapping.csv"] {
+            assert_eq!(
+                std::fs::read_to_string(single.join(file)).unwrap(),
+                std::fs::read_to_string(sharded.join(file)).unwrap(),
+                "{file} changed under --shards 4"
+            );
+        }
+        let trace: RunTrace =
+            serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        assert!(
+            !trace.shards.is_empty(),
+            "sharded run recorded no shard stats"
+        );
+        let report = cmd_trace_check(&trace_path).unwrap();
+        assert!(report.contains("trace OK"), "{report}");
+
+        // a bad shard count is rejected up front
+        let mut bad: Vec<String> = ["--shards", "many"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert!(take_link_options(&mut bad).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -69,6 +69,59 @@ fn band_bits(band: i64) -> u64 {
     u64::from(band.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16 as u16)
 }
 
+/// The per-record ingredients of the packed blocking keys, computed once
+/// per record so that pair *ownership* (see [`owner_key`]) can be decided
+/// from the same source of truth as key emission — any drift between the
+/// two would silently drop or duplicate candidate pairs under sharding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct KeyFields {
+    /// `soundex(surname)` as a big-endian `u32`, when the surname yields one.
+    sx: Option<u32>,
+    /// First significant letter of the first name.
+    fl: Option<char>,
+    /// `soundex(first name)` as a big-endian `u32`.
+    fx: Option<u32>,
+    /// Sex code byte (`m`/`f`/`?`).
+    sex: u8,
+    /// Recorded age.
+    age: Option<u32>,
+}
+
+impl KeyFields {
+    pub(crate) fn of(r: &PersonRecord) -> Self {
+        Self {
+            sx: soundex_code(&r.surname).map(u32::from_be_bytes),
+            fl: first_letter(&r.first_name),
+            fx: soundex_code(&r.first_name).map(u32::from_be_bytes),
+            sex: r.sex.map_or(b'?', |s| s.code().as_bytes()[0]),
+            age: r.age,
+        }
+    }
+
+    /// Pass 1 key: surname soundex × first letter of the first name.
+    fn surname_first_key(self) -> Option<u64> {
+        match (self.sx, self.fl) {
+            (Some(sx), Some(fl)) => {
+                Some(TAG_SURNAME_FIRST | u64::from(sx) << 21 | u64::from(fl as u32))
+            }
+            _ => None,
+        }
+    }
+
+    /// Pass 3 key: surname soundex × sex.
+    fn surname_sex_key(self) -> Option<u64> {
+        self.sx
+            .map(|sx| TAG_SURNAME_SEX | u64::from(sx) << 8 | u64::from(self.sex))
+    }
+
+    /// Pass 2 key base: first-name soundex × sex, before the age-band
+    /// bits are attached.
+    fn firstname_age_base(self) -> Option<u64> {
+        self.fx
+            .map(|fx| TAG_FIRSTNAME_AGE | u64::from(fx) << 25 | u64::from(self.sex) << 17)
+    }
+}
+
 /// Keys of pass 1 and pass 2 for a record, appended to `out`. `shift` is
 /// added to the age before banding (the census gap for old-side records,
 /// 0 for new-side). Field packing: soundex codes are 4 ASCII bytes
@@ -76,20 +129,23 @@ fn band_bits(band: i64) -> u64 {
 /// `char` (≤ 21 bits) — each pass places them in disjoint bit ranges, so
 /// packed keys are bijective with the formatted keys they replace.
 fn keys(r: &PersonRecord, shift: i64, both_bands: bool, out: &mut Vec<u64>) {
-    let sx = soundex_code(&r.surname).map(u32::from_be_bytes);
-    let sex = r.sex.map_or(b'?', |s| s.code().as_bytes()[0]);
-    if let (Some(sx), Some(fl)) = (sx, first_letter(&r.first_name)) {
-        out.push(TAG_SURNAME_FIRST | u64::from(sx) << 21 | u64::from(fl as u32));
+    append_keys(KeyFields::of(r), shift, both_bands, out);
+}
+
+/// [`keys`] from precomputed [`KeyFields`] — the sharded pair generator
+/// computes fields once per record and emits per-shard from them.
+pub(crate) fn append_keys(kf: KeyFields, shift: i64, both_bands: bool, out: &mut Vec<u64>) {
+    if let Some(k) = kf.surname_first_key() {
+        out.push(k);
     }
     // pass 3: surname soundex × sex — catches first-name typos at the
     // word start (which break both the first-letter and the fn-soundex
     // keys) and records with a missing first name
-    if let Some(sx) = sx {
-        out.push(TAG_SURNAME_SEX | u64::from(sx) << 8 | u64::from(sex));
+    if let Some(k) = kf.surname_sex_key() {
+        out.push(k);
     }
-    if let Some(fx) = soundex_code(&r.first_name).map(u32::from_be_bytes) {
-        let base = TAG_FIRSTNAME_AGE | u64::from(fx) << 25 | u64::from(sex) << 17;
-        if let Some(age) = r.age {
+    if let Some(base) = kf.firstname_age_base() {
+        if let Some(age) = kf.age {
             let band = (i64::from(age) + shift).div_euclid(AGE_BAND);
             out.push(base | HAS_AGE | band_bits(band));
             if both_bands {
@@ -102,6 +158,49 @@ fn keys(r: &PersonRecord, shift: i64, both_bands: bool, out: &mut Vec<u64>) {
             out.push(base);
         }
     }
+}
+
+/// The blocking key that *owns* a candidate pair under sharded pair
+/// generation: the highest-priority key the two records collide on
+/// (surname×first-letter, then surname×sex, then first-name×age-band,
+/// mirroring the emission order of [`append_keys`]). Every generated
+/// pair collides on at least one key, so the owner is total over
+/// candidate pairs, and it is a pure function of the two records — every
+/// shard computes the same owner with no coordination. A shard keeps a
+/// generated pair exactly when the owner is the bucket key it was
+/// generated from, which makes the per-shard pair sets pairwise disjoint
+/// and their union exactly the deduplicated unsharded output. Returns
+/// `None` when the records share no key (such a pair is never generated).
+pub(crate) fn owner_key(old: KeyFields, new: KeyFields, year_gap: i64) -> Option<u64> {
+    if let (Some(a), Some(b)) = (old.surname_first_key(), new.surname_first_key()) {
+        if a == b {
+            return Some(a);
+        }
+    }
+    if let (Some(a), Some(b)) = (old.surname_sex_key(), new.surname_sex_key()) {
+        if a == b {
+            return Some(a);
+        }
+    }
+    if let (Some(a), Some(b)) = (old.firstname_age_base(), new.firstname_age_base()) {
+        if a == b {
+            match (old.age, new.age) {
+                (Some(oa), Some(na)) => {
+                    // the old side indexes bands {b-1, b, b+1} of the
+                    // shifted age; the pair collides when the new side's
+                    // band-bit pattern matches any of them
+                    let ob = (i64::from(oa) + year_gap).div_euclid(AGE_BAND);
+                    let nb = band_bits(i64::from(na).div_euclid(AGE_BAND));
+                    if [ob, ob + 1, ob - 1].into_iter().any(|w| band_bits(w) == nb) {
+                        return Some(b | HAS_AGE | nb);
+                    }
+                }
+                (None, None) => return Some(b),
+                _ => {}
+            }
+        }
+    }
+    None
 }
 
 /// Capacity to pre-allocate for a `Full` cross product. `checked_mul`
@@ -513,6 +612,63 @@ mod tests {
                 assert!(!fused.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn owner_key_agrees_with_emitted_key_collisions() {
+        // exhaustive cross-check on a synthetic snapshot pair: a pair is
+        // a blocking candidate iff `owner_key` is Some, and the owner is
+        // always a key both sides actually emitted
+        use census_synth::{generate_series, SimConfig};
+        use std::collections::HashSet;
+        let series = generate_series(&SimConfig::small());
+        let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+        let o: Vec<&PersonRecord> = old.records().iter().collect();
+        let n: Vec<&PersonRecord> = new.records().iter().collect();
+        let gap = i64::from(new.year - old.year);
+        let candidates: HashSet<(u32, u32)> =
+            candidate_pairs(&o, &n, gap, BlockingStrategy::Standard)
+                .into_iter()
+                .collect();
+        let old_kf: Vec<KeyFields> = o.iter().map(|r| KeyFields::of(r)).collect();
+        let new_kf: Vec<KeyFields> = n.iter().map(|r| KeyFields::of(r)).collect();
+        let mut ko = Vec::new();
+        let mut kn = Vec::new();
+        for (i, &okf) in old_kf.iter().enumerate() {
+            ko.clear();
+            append_keys(okf, gap, true, &mut ko);
+            for (j, &nkf) in new_kf.iter().enumerate() {
+                kn.clear();
+                append_keys(nkf, 0, false, &mut kn);
+                let owner = owner_key(okf, nkf, gap);
+                let is_candidate = candidates.contains(&(i as u32, j as u32));
+                assert_eq!(
+                    owner.is_some(),
+                    is_candidate,
+                    "owner/candidate disagree at ({i},{j}): owner={owner:?}"
+                );
+                if let Some(k) = owner {
+                    assert!(
+                        ko.contains(&k) && kn.contains(&k),
+                        "owner {k:#x} of ({i},{j}) not emitted by both sides"
+                    );
+                }
+            }
+        }
+        assert!(!candidates.is_empty());
+    }
+
+    #[test]
+    fn owner_key_respects_age_presence() {
+        // a missing age must never collide with a banded age via pass 2
+        let with_age = KeyFields::of(&rec(0, "john", "", Sex::Male, 3));
+        let mut r = rec(1, "john", "", Sex::Male, 0);
+        r.age = None;
+        let no_age = KeyFields::of(&r);
+        assert_eq!(owner_key(no_age, with_age, 0), None);
+        assert_eq!(owner_key(with_age, no_age, 0), None);
+        // two missing ages do share the bare pass-2 base
+        assert!(owner_key(no_age, no_age, 0).is_some());
     }
 
     #[test]

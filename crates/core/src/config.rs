@@ -48,6 +48,10 @@ pub struct Parallelism {
     /// Minimum number of work items before threads are spawned. With
     /// fewer items the loop runs sequentially regardless of `threads`.
     pub cutoff: usize,
+    /// Blocking-key shards for pair generation and scoring (≥ 1; 1 keeps
+    /// the unsharded engine). Results are identical for any value — see
+    /// `crate::shard`.
+    pub shards: usize,
 }
 
 impl Parallelism {
@@ -63,6 +67,7 @@ impl Default for Parallelism {
         Self {
             threads: default_threads(),
             cutoff: DEFAULT_PARALLEL_CUTOFF,
+            shards: 1,
         }
     }
 }
@@ -123,6 +128,15 @@ pub struct LinkageConfig {
     /// budget. `None` (the default) leaves every cache at its built-in
     /// cap.
     pub memory_budget: Option<u64>,
+    /// Blocking-key shards for pair generation and scoring (CLI
+    /// `--shards`): the candidate space is partitioned by blocking key
+    /// into this many independently-scored shards, each with its own
+    /// similarity tables. `0` picks a scale-aware count automatically
+    /// (see [`LinkageConfig::resolved_shards`]); `1` (the default) keeps
+    /// the unsharded engine. Linkage output is bit-identical for every
+    /// value. Only `BlockingStrategy::Standard` has blocking keys to
+    /// shard by; `Full` ignores this knob.
+    pub shards: usize,
 }
 
 impl LinkageConfig {
@@ -174,13 +188,30 @@ impl LinkageConfig {
         assert!(self.threads >= 1, "need at least one worker thread");
     }
 
-    /// The worker-thread settings for pair scoring, as one bundle.
+    /// The worker-thread settings for pair scoring, as one bundle. The
+    /// shard count is carried through raw (`0` = auto) — the linkage
+    /// driver resolves it once per run with
+    /// [`LinkageConfig::resolved_shards`].
     #[must_use]
     pub fn parallelism(&self) -> Parallelism {
         Parallelism {
             threads: self.threads.max(1),
             cutoff: self.parallel_cutoff,
+            shards: self.shards.max(1),
         }
+    }
+
+    /// Resolve [`LinkageConfig::shards`] against the run's input size:
+    /// `0` becomes a scale-aware automatic count — enough shards that
+    /// each one's value universe stays small (so per-shard similarity
+    /// tables fit their locality cap), never fewer than the thread count,
+    /// capped at 64.
+    #[must_use]
+    pub fn resolved_shards(&self, total_records: usize) -> usize {
+        if self.shards != 0 {
+            return self.shards;
+        }
+        self.threads.max((total_records / 4096).min(64)).max(1)
     }
 }
 
@@ -201,6 +232,7 @@ impl Default for LinkageConfig {
             parallel_cutoff: DEFAULT_PARALLEL_CUTOFF,
             incremental: true,
             memory_budget: None,
+            shards: 1,
         }
     }
 }
@@ -262,14 +294,37 @@ mod tests {
         let par = Parallelism {
             threads: 4,
             cutoff: 100,
+            shards: 1,
         };
         assert!(par.is_serial(99));
         assert!(!par.is_serial(100));
         assert!(Parallelism {
             threads: 1,
-            cutoff: 0
+            cutoff: 0,
+            shards: 1
         }
         .is_serial(1_000_000));
+    }
+
+    #[test]
+    fn shards_resolve_scale_aware() {
+        let c = LinkageConfig {
+            threads: 2,
+            shards: 0,
+            ..LinkageConfig::default()
+        };
+        // tiny inputs: at least the thread count
+        assert_eq!(c.resolved_shards(100), 2);
+        // large inputs: one shard per ~4k records, capped at 64
+        assert_eq!(c.resolved_shards(40_960), 10);
+        assert_eq!(c.resolved_shards(10_000_000), 64);
+        // explicit counts pass through untouched
+        let c = LinkageConfig {
+            shards: 7,
+            ..LinkageConfig::default()
+        };
+        assert_eq!(c.resolved_shards(10_000_000), 7);
+        assert_eq!(LinkageConfig::default().parallelism().shards, 1);
     }
 
     #[test]

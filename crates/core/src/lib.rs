@@ -47,6 +47,7 @@ mod prematch;
 mod profiles;
 mod remainder;
 mod selection;
+mod shard;
 mod simfunc;
 
 pub use blocking::{

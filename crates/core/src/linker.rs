@@ -5,7 +5,7 @@
 //! index never change between runs. [`Linker`] computes them once and
 //! lets each [`Linker::run`] reuse them.
 
-use crate::config::LinkageConfig;
+use crate::config::{LinkageConfig, Parallelism};
 use crate::mem::MemGovernor;
 use crate::pairscore::PairScoreCache;
 use crate::prematch::{build_prematch, prematch_with_profiles, PreMatch};
@@ -312,6 +312,7 @@ impl<'a> Linker<'a> {
         pm: &crate::PreMatch,
         labels: &LabelViews,
         config: &LinkageConfig,
+        par: Parallelism,
         delta: f64,
         iteration: usize,
         obs: &Collector,
@@ -336,10 +337,12 @@ impl<'a> Linker<'a> {
             Some(ScoredSubgroup::new(go, gn, sub, pm, config.weights, delta))
         };
         obs.add(Counter::SubgraphPairsScored, cand_list.len() as u64);
-        let threads = config.threads.max(1);
+        let threads = par.threads.max(1);
+        let shards = par.shards.max(1);
         // household candidates carry more work per item than record
         // pairs, so fan out at half the configured pair cutoff
-        let scored = if threads == 1 || cand_list.len() < config.parallel_cutoff / 2 {
+        let chunked = shards > 1 || threads > 1;
+        let scored = if !chunked || cand_list.len() < config.parallel_cutoff / 2 {
             let mut scratch = SubgraphScratch::default();
             let out: Vec<ScoredSubgroup> = cand_list
                 .iter()
@@ -350,38 +353,31 @@ impl<'a> Linker<'a> {
             }
             out
         } else {
-            let chunk = cand_list.len().div_ceil(threads);
-            let mut out = Vec::with_capacity(cand_list.len());
-            crossbeam::scope(|scope| {
-                let handles: Vec<_> = cand_list
-                    .chunks(chunk)
-                    .enumerate()
-                    .map(|(ci, slice)| {
-                        let score_one = &score_one;
-                        scope.spawn(move |_| {
-                            let start = Instant::now();
-                            let mut scratch = SubgraphScratch::default();
-                            let scored = slice
-                                .iter()
-                                .filter_map(|c| score_one(c, &mut scratch))
-                                .collect::<Vec<_>>();
-                            obs.thread_chunk(
-                                "subgraph",
-                                Some(iteration),
-                                ci,
-                                slice.len(),
-                                start.elapsed(),
-                            );
-                            scored
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    out.extend(h.join().expect("candidate scorer panicked"));
-                }
-            })
-            .expect("crossbeam scope");
-            out
+            // a sharded run splits into one chunk per shard (each with
+            // its own scratch); an unsharded parallel run keeps the
+            // classic one-chunk-per-thread split. Either way the chunks
+            // are concatenated in list order, so the output is exactly
+            // the serial order regardless of completion order.
+            let n_chunks = if shards > 1 { shards } else { threads };
+            let chunk = cand_list.len().div_ceil(n_chunks).max(1);
+            let chunks: Vec<&[GroupCandidate]> = cand_list.chunks(chunk).collect();
+            let results = crate::shard::run_sharded(chunks.len(), threads, |ci| {
+                let start = Instant::now();
+                let mut scratch = SubgraphScratch::default();
+                let scored = chunks[ci]
+                    .iter()
+                    .filter_map(|c| score_one(c, &mut scratch))
+                    .collect::<Vec<_>>();
+                obs.thread_chunk(
+                    "subgraph",
+                    Some(iteration),
+                    ci,
+                    chunks[ci].len(),
+                    start.elapsed(),
+                );
+                scored
+            });
+            results.into_iter().flatten().collect()
         };
         obs.add(Counter::GroupCandidates, scored.len() as u64);
         if obs.is_enabled() {
@@ -420,6 +416,12 @@ impl<'a> Linker<'a> {
         config.validate();
         let year_gap = i64::from(self.new.year - self.old.year);
         let mem = MemGovernor::new(config.memory_budget);
+        // resolve `shards: 0` (auto) against the workload size once, so
+        // every phase of this run agrees on the shard count
+        let par = Parallelism {
+            shards: config.resolved_shards(self.old.records().len() + self.new.records().len()),
+            ..config.parallelism()
+        };
         // the governor may veto the cross-iteration pair cache, dropping
         // the run to the recompute-every-iteration path (bit-identical)
         let mut incremental = config.incremental;
@@ -464,7 +466,7 @@ impl<'a> Linker<'a> {
                         year_gap,
                         &build_sim,
                         config.blocking,
-                        config.parallelism(),
+                        par,
                         config.prematch_max_age_gap,
                         &mem,
                         obs,
@@ -494,7 +496,7 @@ impl<'a> Linker<'a> {
                         year_gap,
                         &sim,
                         config.blocking,
-                        config.parallelism(),
+                        par,
                         config.prematch_max_age_gap,
                         &mem,
                         obs,
@@ -553,7 +555,7 @@ impl<'a> Linker<'a> {
                     (!self.old_graph_of.is_empty()).then_some(self.old_graph_of.len()),
                     (!self.new_graph_of.is_empty()).then_some(self.new_graph_of.len()),
                 );
-                self.score_candidates(&cand_list, &pm, &labels, config, delta, iter_idx, obs)
+                self.score_candidates(&cand_list, &pm, &labels, config, par, delta, iter_idx, obs)
             };
 
             let _selection = obs.span("selection");
@@ -621,6 +623,7 @@ impl<'a> Linker<'a> {
                 &remaining_new,
                 &config.remainder,
                 config.blocking,
+                par,
                 &mut records,
                 &mut groups,
                 &mut cache,

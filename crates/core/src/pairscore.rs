@@ -137,23 +137,40 @@ impl PairScoreCache {
         mem: &MemGovernor,
         obs: &Collector,
     ) -> Option<Self> {
-        let pairs =
-            candidate_pairs_filtered(old, new, year_gap, strategy, par.threads, max_age_gap);
-        if !mem.allow_pair_cache(pairs.len()) {
+        // the sharded engine generates pairs partitioned by owning
+        // blocking key; both branches expose the same deduplicated pair
+        // count to the budget gate before any scoring starts
+        let use_shards = par.shards > 1 && strategy == BlockingStrategy::Standard;
+        let (pairs, sharded) = if use_shards {
+            let sharded =
+                crate::shard::sharded_candidate_pairs(old, new, year_gap, par, max_age_gap);
+            (Vec::new(), Some(sharded))
+        } else {
+            (
+                candidate_pairs_filtered(old, new, year_gap, strategy, par.threads, max_age_gap),
+                None,
+            )
+        };
+        let n_pairs = sharded.as_ref().map_or(pairs.len(), |s| s.total);
+        if !mem.allow_pair_cache(n_pairs) {
             obs.add(Counter::MemFallbackPairCache, 1);
             obs.event(
                 "mem_fallback_pair_cache",
                 format!(
-                    "pair-score cache over {} blocked pairs (~{} bytes) exceeds the budget \
+                    "pair-score cache over {n_pairs} blocked pairs (~{} bytes) exceeds the budget \
                      share; re-scoring every iteration",
-                    pairs.len(),
-                    pairs.len() as u64 * MemGovernor::PAIR_ENTRY_BYTES
+                    n_pairs as u64 * MemGovernor::PAIR_ENTRY_BYTES
                 ),
             );
             return None;
         }
-        obs.add(Counter::BlockingPairsGenerated, pairs.len() as u64);
-        let matches = score_pairs(&pairs, old_profiles, new_profiles, sim, par, mem, obs);
+        obs.add(Counter::BlockingPairsGenerated, n_pairs as u64);
+        let matches = match &sharded {
+            Some(s) => {
+                crate::shard::sharded_scores(s, old_profiles, new_profiles, sim, par, mem, obs)
+            }
+            None => score_pairs(&pairs, old_profiles, new_profiles, sim, par, mem, obs),
+        };
         let mut entries: Vec<(RecordId, RecordId, f64)> = matches
             .into_iter()
             .map(|(i, j, s)| (old[i as usize].id, new[j as usize].id, s))

@@ -294,10 +294,106 @@ pub(crate) fn score_pairs(
     out
 }
 
+/// The result of scoring one shard's candidate pairs, with the telemetry
+/// the driver folds into counters and per-shard stats after the merge.
+pub(crate) struct ShardScore {
+    /// `(old_idx, new_idx, agg_sim)` of pairs at or above the threshold,
+    /// in global indices, in the shard's (sorted) pair order.
+    pub matched: Vec<(u32, u32, f64)>,
+    /// Early-exit prune tally.
+    pub prunes: u64,
+    /// Similarity tables rejected by the memory budget (excluding ones
+    /// the default locality cap would have rejected anyway).
+    pub budget_rejected: u64,
+    /// Heap bytes of this shard's similarity tables.
+    pub table_bytes: u64,
+    /// Total cells of this shard's similarity tables.
+    pub table_cells: u64,
+}
+
+/// Score one shard's candidate pairs with shard-local similarity tables.
+///
+/// This is the sharded engine's core win: the shard's value universe is
+/// restricted to the records its blocking keys cover (one soundex family
+/// of names, one band of ages), so per-attribute tables that blow the
+/// [`SimTable::MAX_CELLS`] locality cap globally fit comfortably per
+/// shard and memoisation survives at scales where the unsharded serial
+/// path degrades to direct scoring. Scores are bit-identical to direct
+/// scoring because `CompiledValue::similarity` is deterministic.
+pub(crate) fn score_shard(
+    pairs: &[(u32, u32)],
+    old_profiles: &[&CompiledProfile],
+    new_profiles: &[&CompiledProfile],
+    sim: &SimFunc,
+    max_cells: usize,
+) -> ShardScore {
+    // the shard touches a small subset of each side; intern values over
+    // exactly that subset so table sizes track the shard, not the run
+    let mut uniq_old: Vec<u32> = pairs.iter().map(|&(i, _)| i).collect();
+    uniq_old.sort_unstable();
+    uniq_old.dedup();
+    let mut uniq_new: Vec<u32> = pairs.iter().map(|&(_, j)| j).collect();
+    uniq_new.sort_unstable();
+    uniq_new.dedup();
+    let local_old: Vec<&CompiledProfile> =
+        uniq_old.iter().map(|&i| old_profiles[i as usize]).collect();
+    let local_new: Vec<&CompiledProfile> =
+        uniq_new.iter().map(|&j| new_profiles[j as usize]).collect();
+    let ids = ValueIds::build(&local_old, &local_new);
+    let max_cells = max_cells.min(SimTable::MAX_CELLS);
+    let mut budget_rejected = 0u64;
+    let mut tables: Vec<Option<SimTable>> = ids
+        .uniques
+        .iter()
+        .map(|&u| {
+            let t = SimTable::new(u, max_cells);
+            if t.is_none()
+                && u.checked_mul(u)
+                    .is_some_and(|cells| cells <= SimTable::MAX_CELLS)
+            {
+                budget_rejected += 1;
+            }
+            t
+        })
+        .collect();
+    let (table_bytes, table_cells) = tables.iter().flatten().fold((0u64, 0u64), |(b, c), t| {
+        (b + t.bytes(), c + (t.n * t.n) as u64)
+    });
+    let mut prunes = 0u64;
+    let mut matched = Vec::new();
+    for &(i, j) in pairs {
+        let li = uniq_old.binary_search(&i).expect("pair index in uniq_old");
+        let lj = uniq_new.binary_search(&j).expect("pair index in uniq_new");
+        let base_o = li * ids.n_specs;
+        let base_n = lj * ids.n_specs;
+        let hit = sim.matches_compiled_memoized(
+            old_profiles[i as usize],
+            new_profiles[j as usize],
+            &mut prunes,
+            &mut |k, va, vb| match &mut tables[k] {
+                Some(t) => t.get_or_insert_with(ids.old[base_o + k], ids.new[base_n + k], || {
+                    va.similarity(vb)
+                }),
+                None => va.similarity(vb),
+            },
+        );
+        if let Some(s) = hit {
+            matched.push((i, j, s));
+        }
+    }
+    ShardScore {
+        matched,
+        prunes,
+        budget_rejected,
+        table_bytes,
+        table_cells,
+    }
+}
+
 /// Record every matched pair's `agg_sim` into the pair-score histogram
 /// (in basis points), batched through one local histogram so the hot
 /// path takes the collector lock once.
-fn sample_match_scores(matched: &[(u32, u32, f64)], obs: &Collector) {
+pub(crate) fn sample_match_scores(matched: &[(u32, u32, f64)], obs: &Collector) {
     if obs.is_enabled() {
         let mut hist = obs::Histogram::new();
         for &(_, _, s) in matched {
@@ -370,6 +466,16 @@ pub fn prematch_with_profiles(
 ) -> PreMatch {
     debug_assert_eq!(old.len(), old_profiles.len());
     debug_assert_eq!(new.len(), new_profiles.len());
+    if par.shards > 1 && strategy == BlockingStrategy::Standard {
+        // sharded engine: pairs are generated per owning blocking key and
+        // scored with shard-local similarity tables; the merged result is
+        // bit-identical to the unsharded path (see `crate::shard`)
+        let sharded = crate::shard::sharded_candidate_pairs(old, new, year_gap, par, max_age_gap);
+        obs.add(Counter::BlockingPairsGenerated, sharded.total as u64);
+        let matches =
+            crate::shard::sharded_scores(&sharded, old_profiles, new_profiles, sim, par, mem, obs);
+        return build_prematch(old, new, &matches);
+    }
     // the age-plausibility filter is fused into pair emission, so
     // implausible pairs never enter the dedup sort or the scored set
     let pairs = candidate_pairs_filtered(old, new, year_gap, strategy, par.threads, max_age_gap);

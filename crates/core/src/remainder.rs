@@ -6,7 +6,7 @@
 //! by those new record links extend the group mapping.
 
 use crate::blocking::{candidate_pairs, BlockingStrategy};
-use crate::config::RemainderConfig;
+use crate::config::{Parallelism, RemainderConfig};
 use crate::pairscore::PairScoreCache;
 use crate::profiles::ProfileCache;
 use crate::simfunc::SimFunc;
@@ -47,6 +47,7 @@ pub fn match_remaining(
         remaining_new,
         config,
         blocking,
+        Parallelism::default(),
         records,
         groups,
         &mut cache,
@@ -72,6 +73,7 @@ pub fn match_remaining_cached(
     remaining_new: &[&PersonRecord],
     config: &RemainderConfig,
     blocking: BlockingStrategy,
+    par: Parallelism,
     records: &mut RecordMapping,
     groups: &mut GroupMapping,
     cache: &mut ProfileCache,
@@ -97,7 +99,23 @@ pub fn match_remaining_cached(
         scored
     } else {
         let (old_profiles, new_profiles) = cache.profiles(sim, remaining_old, remaining_new);
-        let pairs = candidate_pairs(remaining_old, remaining_new, year_gap, blocking);
+        // a sharded fresh pass flattens back to the exact unsharded pair
+        // list: per-shard sets are disjoint, so sorting the union
+        // reproduces `candidate_pairs`' sorted, deduplicated output
+        let pairs = if par.shards > 1 && blocking == BlockingStrategy::Standard {
+            let sharded = crate::shard::sharded_candidate_pairs(
+                remaining_old,
+                remaining_new,
+                year_gap,
+                par,
+                None,
+            );
+            let mut flat: Vec<(u32, u32)> = sharded.per_shard.into_iter().flatten().collect();
+            flat.sort_unstable();
+            flat
+        } else {
+            candidate_pairs(remaining_old, remaining_new, year_gap, blocking)
+        };
         obs.add(Counter::BlockingPairsGenerated, pairs.len() as u64);
         obs.add(Counter::RemainderPairsScored, pairs.len() as u64);
         let mut prunes = 0u64;

@@ -1,0 +1,120 @@
+//! Shared generate→link→compare scaffolding for the differential
+//! suites (`incremental_vs_recompute`, `mem_budget`,
+//! `sharded_vs_single`).
+//!
+//! Each suite pits two driver configurations against each other on the
+//! same synthetic corpus and demands **bit-identical** output. The
+//! comparison and canonicalization helpers live here so every suite
+//! states its claim the same way: same record links, same group links,
+//! same provenance δs and g_sims, same per-iteration stats, same
+//! remainder count.
+
+#![allow(dead_code)] // each test binary uses a subset of the helpers
+
+use census_synth::{generate_series, CensusSeries, SimConfig};
+use linkage_core::{LinkageConfig, LinkageResult};
+use std::collections::BTreeSet;
+
+/// The record- and group-link sets of a run, as raw-id pairs.
+pub type LinkSets = (BTreeSet<(u64, u64)>, BTreeSet<(u64, u64)>);
+
+/// Extract the order-insensitive link sets of a result.
+pub fn link_sets(r: &LinkageResult) -> LinkSets {
+    (
+        r.records.iter().map(|(o, n)| (o.raw(), n.raw())).collect(),
+        r.groups.iter().map(|(o, n)| (o.raw(), n.raw())).collect(),
+    )
+}
+
+/// The small synthetic corpus (120 initial households, 3 snapshots).
+pub fn small_series() -> CensusSeries {
+    generate_series(&SimConfig::small())
+}
+
+/// A 2-snapshot medium corpus — the configuration the bench speedups
+/// are claimed at.
+pub fn medium_pair_series() -> CensusSeries {
+    generate_series(&SimConfig {
+        snapshots: 2,
+        ..SimConfig::medium()
+    })
+}
+
+/// Canonical byte serialization of a [`LinkageResult`]: every mapping
+/// is emitted in sorted order, provenance with its exact floats, so two
+/// byte-equal strings mean bit-identical results regardless of hash-map
+/// iteration order.
+pub fn canonical(r: &LinkageResult) -> String {
+    let mut out = String::new();
+    let mut records: Vec<_> = r.records.iter().map(|(o, n)| (o.raw(), n.raw())).collect();
+    records.sort_unstable();
+    out.push_str("records\n");
+    for (o, n) in records {
+        out.push_str(&format!("{o}:{n}\n"));
+    }
+    let mut groups: Vec<_> = r.groups.iter().map(|(o, n)| (o.raw(), n.raw())).collect();
+    groups.sort_unstable();
+    out.push_str("groups\n");
+    for (o, n) in groups {
+        out.push_str(&format!("{o}:{n}\n"));
+    }
+    let mut prov: Vec<_> = r
+        .provenance
+        .iter()
+        .map(|(&(o, n), phase)| ((o.raw(), n.raw()), format!("{phase:?}")))
+        .collect();
+    prov.sort();
+    out.push_str("provenance\n");
+    for ((o, n), phase) in prov {
+        out.push_str(&format!("{o}:{n} {phase}\n"));
+    }
+    out.push_str("iterations\n");
+    for it in &r.iterations {
+        out.push_str(&format!("{it:?}\n"));
+    }
+    out.push_str(&format!("remainder {}\n", r.remainder_links));
+    out
+}
+
+/// Assert that two runs produced bit-identical linkage output: link
+/// sets, provenance (exact δ and g_sim per link), per-iteration stats
+/// and the remainder count.
+pub fn assert_same_result(a: &LinkageResult, b: &LinkageResult, label: &str) {
+    assert_eq!(
+        link_sets(a),
+        link_sets(b),
+        "{label}: record/group links diverge"
+    );
+    // provenance carries the exact δ and g_sim each link was accepted
+    // at; LinkPhase derives PartialEq, so this is an exact f64 compare
+    assert_eq!(a.provenance, b.provenance, "{label}: provenance diverges");
+    assert_eq!(
+        a.iterations, b.iterations,
+        "{label}: per-iteration stats diverge"
+    );
+    assert_eq!(
+        a.remainder_links, b.remainder_links,
+        "{label}: remainder link count diverges"
+    );
+    assert_eq!(
+        canonical(a),
+        canonical(b),
+        "{label}: canonical form diverges"
+    );
+}
+
+/// Run `link` twice — once as given, once with the override applied —
+/// and demand bit-identical results. The workhorse of the differential
+/// suites.
+pub fn assert_links_identical(
+    old: &census_model::CensusDataset,
+    new: &census_model::CensusDataset,
+    config: &LinkageConfig,
+    variant: &LinkageConfig,
+    label: &str,
+) {
+    let a = linkage_core::link(old, new, config);
+    let b = linkage_core::link(old, new, variant);
+    assert_same_result(&a, &b, label);
+    assert!(!a.records.is_empty(), "{label}: degenerate run");
+}

@@ -95,6 +95,7 @@ fn prematch_with_cached_profiles_is_identical() {
                 linkage_core::Parallelism {
                     threads: 1 + round, // also cross the thread counts
                     cutoff: 0,
+                    shards: 1,
                 },
                 Some(3),
                 &linkage_core::MemGovernor::unlimited(),
@@ -147,6 +148,7 @@ fn remainder_cached_equals_uncached() {
         &new_recs,
         &config,
         BlockingStrategy::Full,
+        linkage_core::Parallelism::default(),
         &mut records,
         &mut groups,
         &mut cache,

@@ -4,56 +4,23 @@
 //! g_sims, same per-iteration stats — across similarity functions,
 //! schedule floors and scales. `agg_sim` is δ-independent (Eq. 3), so
 //! any divergence is a bug in the pair-score cache, not a tolerance
-//! matter; every comparison below is exact.
+//! matter; every comparison is exact.
 
-use census_synth::{generate_series, SimConfig};
-use linkage_core::{link, LinkageConfig, SimFunc};
-use std::collections::BTreeSet;
+mod common;
 
-fn assert_identical(
-    config: &LinkageConfig,
-    old: &census_model::CensusDataset,
-    new: &census_model::CensusDataset,
-    label: &str,
-) {
-    let incremental = link(old, new, config);
-    let recompute = link(
-        old,
-        new,
-        &LinkageConfig {
-            incremental: false,
-            ..config.clone()
-        },
-    );
+use common::{assert_links_identical, medium_pair_series, small_series};
+use linkage_core::{LinkageConfig, SimFunc};
 
-    let rec_inc: BTreeSet<_> = incremental.records.iter().collect();
-    let rec_rec: BTreeSet<_> = recompute.records.iter().collect();
-    assert_eq!(rec_inc, rec_rec, "{label}: record links diverge");
-
-    let grp_inc: BTreeSet<_> = incremental.groups.iter().collect();
-    let grp_rec: BTreeSet<_> = recompute.groups.iter().collect();
-    assert_eq!(grp_inc, grp_rec, "{label}: group links diverge");
-
-    // provenance carries the exact δ and g_sim each link was accepted
-    // at; LinkPhase derives PartialEq, so this is an exact f64 compare
-    assert_eq!(
-        incremental.provenance, recompute.provenance,
-        "{label}: provenance diverges"
-    );
-    assert_eq!(
-        incremental.iterations, recompute.iterations,
-        "{label}: per-iteration stats diverge"
-    );
-    assert_eq!(
-        incremental.remainder_links, recompute.remainder_links,
-        "{label}: remainder link count diverges"
-    );
-    assert!(!incremental.records.is_empty(), "{label}: degenerate run");
+fn recompute(config: &LinkageConfig) -> LinkageConfig {
+    LinkageConfig {
+        incremental: false,
+        ..config.clone()
+    }
 }
 
 #[test]
 fn small_scale_over_simfuncs_and_floors() {
-    let series = generate_series(&SimConfig::small());
+    let series = small_series();
     let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
     for (name, sim_func) in [("ω1", SimFunc::omega1(0.5)), ("ω2", SimFunc::omega2(0.5))] {
         for delta_low in [0.5, 0.6] {
@@ -62,7 +29,13 @@ fn small_scale_over_simfuncs_and_floors() {
                 delta_low,
                 ..LinkageConfig::default()
             };
-            assert_identical(&config, old, new, &format!("{name} δ_low={delta_low}"));
+            assert_links_identical(
+                old,
+                new,
+                &config,
+                &recompute(&config),
+                &format!("{name} δ_low={delta_low}"),
+            );
         }
     }
 }
@@ -71,20 +44,18 @@ fn small_scale_over_simfuncs_and_floors() {
 fn non_iterative_schedule_is_identical_too() {
     // a single-pass schedule exercises the build-then-filter-at-the-same-δ
     // corner (the cache floor equals the only δ)
-    let series = generate_series(&SimConfig::small());
+    let series = small_series();
     let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
-    assert_identical(&LinkageConfig::non_iterative(), old, new, "non-iterative");
+    let config = LinkageConfig::non_iterative();
+    assert_links_identical(old, new, &config, &recompute(&config), "non-iterative");
 }
 
 #[test]
 fn medium_scale_series_is_identical() {
     // a 2-snapshot medium series with standard blocking — the
     // configuration the bench speedup is claimed at
-    let config = SimConfig {
-        snapshots: 2,
-        ..SimConfig::medium()
-    };
-    let series = generate_series(&config);
+    let series = medium_pair_series();
     let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
-    assert_identical(&LinkageConfig::default(), old, new, "medium 2-snapshot");
+    let config = LinkageConfig::default();
+    assert_links_identical(old, new, &config, &recompute(&config), "medium 2-snapshot");
 }

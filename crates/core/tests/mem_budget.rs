@@ -5,23 +5,15 @@
 //! pinned by its counter: a run that was supposed to degrade must say
 //! so in the trace.
 
-use census_synth::{generate_series, SimConfig};
-use linkage_core::{LinkageConfig, LinkageResult, Linker};
+mod common;
+
+use common::{link_sets, small_series};
+use linkage_core::{LinkageConfig, Linker};
 use obs::Collector;
-use std::collections::BTreeSet;
-
-type LinkSets = (BTreeSet<(u64, u64)>, BTreeSet<(u64, u64)>);
-
-fn link_sets(r: &LinkageResult) -> LinkSets {
-    (
-        r.records.iter().map(|(o, n)| (o.raw(), n.raw())).collect(),
-        r.groups.iter().map(|(o, n)| (o.raw(), n.raw())).collect(),
-    )
-}
 
 #[test]
 fn output_is_bit_identical_under_any_budget() {
-    let series = generate_series(&SimConfig::small());
+    let series = small_series();
     let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
     let linker = Linker::new(old, new);
     // serial scoring reaches the sim-table path; the schedule reaches
@@ -51,7 +43,7 @@ fn output_is_bit_identical_under_any_budget() {
 
 #[test]
 fn zero_budget_records_each_fallback() {
-    let series = generate_series(&SimConfig::small());
+    let series = small_series();
     let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
     let linker = Linker::new(old, new);
     // threads = 1 with an unreachable cutoff forces the serial scorer,
@@ -83,7 +75,7 @@ fn zero_budget_records_each_fallback() {
 
 #[test]
 fn unlimited_run_records_no_fallbacks() {
-    let series = generate_series(&SimConfig::small());
+    let series = small_series();
     let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
     let obs = Collector::enabled();
     let _ = Linker::new(old, new).run_traced(&LinkageConfig::default(), &obs);
@@ -95,7 +87,7 @@ fn unlimited_run_records_no_fallbacks() {
 
 #[test]
 fn tracing_and_memory_accounting_do_not_change_results() {
-    let series = generate_series(&SimConfig::small());
+    let series = small_series();
     let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
     let config = LinkageConfig {
         memory_budget: Some(1 << 20),

@@ -718,6 +718,7 @@ mod tests {
             memory: None,
             footprints: vec![],
             events: vec![],
+            shards: vec![],
         }
     }
 

@@ -62,7 +62,7 @@ pub use hist::{score_bp, Histogram, LiveHist, NamedHistogram, HIST_BUCKETS};
 pub use progress::{fmt_bytes, Progress};
 pub use report::{
     ChunkTiming, CounterValue, IterationTrace, LabeledTrace, MemoryStats, MultiTrace, PhaseMem,
-    PhaseStat, RunTrace, SpanRecord, TraceEvent, PIPELINE_PHASES,
+    PhaseStat, RunTrace, ShardStat, SpanRecord, TraceEvent, PIPELINE_PHASES,
 };
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -239,6 +239,7 @@ pub struct Collector {
     decisions: Option<Mutex<DecisionLog>>,
     footprints: Mutex<Vec<FootprintSnapshot>>,
     events: Mutex<Vec<TraceEvent>>,
+    shard_stats: Mutex<Vec<ShardStat>>,
     progress: Option<Mutex<Progress>>,
 }
 
@@ -269,6 +270,7 @@ impl Collector {
             decisions: None,
             footprints: Mutex::new(Vec::new()),
             events: Mutex::new(Vec::new()),
+            shard_stats: Mutex::new(Vec::new()),
             progress: None,
         }
     }
@@ -565,6 +567,18 @@ impl Collector {
         }
     }
 
+    /// Record one shard's scoring telemetry. Thread-safe — workers on
+    /// the sharded scoring pool report in completion order, and
+    /// [`Collector::finish`] sorts rows by shard id so the assembled
+    /// trace is identical for any completion order. A no-op when
+    /// disabled.
+    pub fn shard_stat(&self, stat: ShardStat) {
+        if !self.enabled {
+            return;
+        }
+        lock_or_recover(&self.shard_stats).push(stat);
+    }
+
     /// Record a point event (e.g. a memory-budget fallback), tagged
     /// with the active phase and δ iteration. A no-op when disabled.
     pub fn event(&self, name: &'static str, detail: impl Into<String>) {
@@ -671,6 +685,13 @@ impl Collector {
         };
         let footprints = lock_or_recover(&self.footprints).clone();
         let events = lock_or_recover(&self.events).clone();
+        let shard_stats = {
+            let mut s = lock_or_recover(&self.shard_stats).clone();
+            // workers report in completion order; the trace is sorted by
+            // shard id so identical runs yield identical traces
+            s.sort_by_key(|st| st.shard);
+            s
+        };
         RunTrace::assemble(
             self.enabled,
             total_us,
@@ -681,6 +702,7 @@ impl Collector {
             memory,
             footprints,
             events,
+            shard_stats,
         )
     }
 }

@@ -123,6 +123,29 @@ pub struct TraceEvent {
     pub detail: String,
 }
 
+/// Per-shard telemetry of one sharded scoring pass: how much work the
+/// shard owned and what its shard-local similarity tables cost. Rows are
+/// recorded from worker threads in completion order and sorted by shard
+/// id at [`crate::Collector::finish`], so traces are identical for any
+/// completion order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStat {
+    /// Shard index within the plan.
+    pub shard: usize,
+    /// Blocking keys assigned to the shard.
+    pub keys: u64,
+    /// Candidate pairs the shard owned.
+    pub pairs: u64,
+    /// Pairs at or above the pre-matching threshold.
+    pub matched: u64,
+    /// Heap bytes of the shard's similarity tables.
+    pub sim_table_bytes: u64,
+    /// Total cells of the shard's similarity tables.
+    pub sim_table_cells: u64,
+    /// Wall time spent scoring the shard, in microseconds.
+    pub duration_us: u64,
+}
+
 /// The full trace of one pipeline run: total wall time, aggregated
 /// phases, per-δ-iteration breakdown, counters, per-thread chunk
 /// timings and the raw spans.
@@ -167,6 +190,10 @@ pub struct RunTrace {
     /// empty on older traces.
     #[serde(default)]
     pub events: Vec<TraceEvent>,
+    /// Per-shard scoring telemetry, sorted by shard id; empty for
+    /// unsharded runs and on older traces.
+    #[serde(default)]
+    pub shards: Vec<ShardStat>,
 }
 
 /// The phase names of a full `link` pipeline run, in execution order.
@@ -186,6 +213,7 @@ impl RunTrace {
         memory: Option<MemoryStats>,
         footprints: Vec<FootprintSnapshot>,
         events: Vec<TraceEvent>,
+        shards: Vec<ShardStat>,
     ) -> Self {
         // phases: top-level spans plus direct children of `iteration`
         let is_phase = |s: &SpanRecord| {
@@ -279,6 +307,7 @@ impl RunTrace {
             memory,
             footprints,
             events,
+            shards,
         }
     }
 
@@ -432,12 +461,33 @@ impl RunTrace {
                 ));
             }
         }
+        for w in self.shards.windows(2) {
+            if w[1].shard <= w[0].shard {
+                return Err(format!(
+                    "shard stats must be sorted by unique shard id: {} then {}",
+                    w[0].shard, w[1].shard
+                ));
+            }
+        }
+        for s in &self.shards {
+            if s.matched > s.pairs {
+                return Err(format!(
+                    "shard {} matched {} of only {} pairs",
+                    s.shard, s.matched, s.pairs
+                ));
+            }
+        }
         Ok(())
     }
 
     /// [`RunTrace::validate_basic`] plus the invariants of a full `link`
-    /// run: every pipeline phase present and at least one δ iteration
-    /// with contiguous 0-based indices.
+    /// run: every pipeline phase present, at least one δ iteration with
+    /// contiguous 0-based indices, and sibling spans pairwise disjoint in
+    /// time — the pipeline runs its phases and δ iterations sequentially
+    /// on the driver thread, so two spans at the same nesting level
+    /// overlapping in wall time (e.g. two iteration spans, or `enrich`
+    /// bleeding into an iteration) can only come from a corrupted or
+    /// hand-doctored trace.
     ///
     /// # Errors
     ///
@@ -458,6 +508,52 @@ impl RunTrace {
                     "iteration indices must be contiguous from 0: position {k} has index {}",
                     it.index
                 ));
+            }
+        }
+        self.validate_disjoint_siblings()
+    }
+
+    /// Reject sibling spans that overlap in wall time. All top-level
+    /// spans form one sibling group (δ iterations and top-level phases
+    /// are disjoint slices of the run regardless of their iteration
+    /// tags); nested spans are siblings when they share parent name,
+    /// depth and δ iteration. Intervals are half-open, so spans that
+    /// merely touch — and zero-duration spans — never overlap.
+    fn validate_disjoint_siblings(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        type GroupKey<'a> = (Option<&'a str>, usize, Option<usize>);
+        let mut groups: HashMap<GroupKey<'_>, Vec<&SpanRecord>> = HashMap::new();
+        for s in &self.spans {
+            let key = if s.depth == 0 && s.parent.is_none() {
+                (None, 0, None)
+            } else {
+                (s.parent.as_deref(), s.depth, s.iteration)
+            };
+            groups.entry(key).or_default().push(s);
+        }
+        for siblings in groups.values_mut() {
+            siblings.retain(|s| s.duration_us > 0);
+            siblings.sort_by_key(|s| (s.start_us, s.duration_us));
+            // sweep with the furthest end seen so far, so an overlap is
+            // caught even when a short span sits between the two culprits
+            let mut reach: Option<&SpanRecord> = None;
+            for &s in siblings.iter() {
+                if let Some(r) = reach {
+                    if s.start_us < r.start_us + r.duration_us {
+                        return Err(format!(
+                            "sibling spans overlap in time: {:?} [{}µs..{}µs) and {:?} [{}µs..{}µs)",
+                            r.path,
+                            r.start_us,
+                            r.start_us + r.duration_us,
+                            s.path,
+                            s.start_us,
+                            s.start_us + s.duration_us
+                        ));
+                    }
+                }
+                if reach.is_none_or(|r| s.start_us + s.duration_us > r.start_us + r.duration_us) {
+                    reach = Some(s);
+                }
             }
         }
         Ok(())
@@ -577,6 +673,26 @@ impl RunTrace {
                 );
             }
         }
+        if !self.shards.is_empty() {
+            let _ = writeln!(out, "\nshards:");
+            let _ = writeln!(
+                out,
+                "  {:<6} {:>8} {:>12} {:>10} {:>10} {:>10}",
+                "shard", "keys", "pairs", "matched", "tables", "time"
+            );
+            for s in &self.shards {
+                let _ = writeln!(
+                    out,
+                    "  {:<6} {:>8} {:>12} {:>10} {:>10} {:>10}",
+                    s.shard,
+                    s.keys,
+                    s.pairs,
+                    s.matched,
+                    fmt_bytes(s.sim_table_bytes),
+                    fmt_us(s.duration_us)
+                );
+            }
+        }
         if !self.events.is_empty() {
             let _ = writeln!(out, "\nevents:");
             for e in &self.events {
@@ -685,12 +801,14 @@ fn fmt_us(us: u64) -> String {
 mod tests {
     use super::*;
 
-    fn span(
+    #[allow(clippy::too_many_arguments)]
+    fn span_at(
         name: &str,
         parent: Option<&str>,
         depth: usize,
         iteration: Option<usize>,
         delta: Option<f64>,
+        start_us: u64,
         duration_us: u64,
     ) -> SpanRecord {
         SpanRecord {
@@ -700,32 +818,73 @@ mod tests {
             depth,
             iteration,
             delta,
-            start_us: 0,
+            start_us,
             duration_us,
         }
     }
 
+    fn span(
+        name: &str,
+        parent: Option<&str>,
+        depth: usize,
+        iteration: Option<usize>,
+        delta: Option<f64>,
+        duration_us: u64,
+    ) -> SpanRecord {
+        span_at(name, parent, depth, iteration, delta, 0, duration_us)
+    }
+
+    fn pipeline_spans() -> Vec<SpanRecord> {
+        // starts mirror a real sequential run: enrich, two iterations
+        // (each with sequential phase children), then the remainder
+        vec![
+            span_at("enrich", None, 0, None, None, 0, 10),
+            span_at("prematch", Some("iteration"), 1, Some(0), Some(0.7), 10, 20),
+            span_at("subgraph", Some("iteration"), 1, Some(0), Some(0.7), 30, 30),
+            span_at("selection", Some("iteration"), 1, Some(0), Some(0.7), 60, 5),
+            span_at("iteration", None, 0, Some(0), Some(0.7), 10, 60),
+            span_at(
+                "prematch",
+                Some("iteration"),
+                1,
+                Some(1),
+                Some(0.65),
+                70,
+                15,
+            ),
+            span_at(
+                "subgraph",
+                Some("iteration"),
+                1,
+                Some(1),
+                Some(0.65),
+                85,
+                25,
+            ),
+            span_at(
+                "selection",
+                Some("iteration"),
+                1,
+                Some(1),
+                Some(0.65),
+                110,
+                4,
+            ),
+            span_at("iteration", None, 0, Some(1), Some(0.65), 70, 50),
+            span_at("remainder", None, 0, None, None, 120, 40),
+        ]
+    }
+
     fn pipeline_trace() -> RunTrace {
-        let spans = vec![
-            span("enrich", None, 0, None, None, 10),
-            span("prematch", Some("iteration"), 1, Some(0), Some(0.7), 20),
-            span("subgraph", Some("iteration"), 1, Some(0), Some(0.7), 30),
-            span("selection", Some("iteration"), 1, Some(0), Some(0.7), 5),
-            span("iteration", None, 0, Some(0), Some(0.7), 60),
-            span("prematch", Some("iteration"), 1, Some(1), Some(0.65), 15),
-            span("subgraph", Some("iteration"), 1, Some(1), Some(0.65), 25),
-            span("selection", Some("iteration"), 1, Some(1), Some(0.65), 4),
-            span("iteration", None, 0, Some(1), Some(0.65), 50),
-            span("remainder", None, 0, None, None, 40),
-        ];
         RunTrace::assemble(
             true,
             1000,
-            spans,
+            pipeline_spans(),
             Vec::new(),
             Vec::new(),
             Vec::new(),
             None,
+            Vec::new(),
             Vec::new(),
             Vec::new(),
         )
@@ -757,6 +916,7 @@ mod tests {
             None,
             Vec::new(),
             Vec::new(),
+            Vec::new(),
         );
         let err = t.validate_pipeline().unwrap_err();
         assert!(err.contains("missing pipeline phase"), "{err}");
@@ -778,6 +938,7 @@ mod tests {
             None,
             Vec::new(),
             Vec::new(),
+            Vec::new(),
         );
         let err = t.validate_basic().unwrap_err();
         assert!(err.contains("exceeding total wall time"), "{err}");
@@ -786,8 +947,8 @@ mod tests {
     #[test]
     fn non_decreasing_deltas_fail_validation() {
         let spans = vec![
-            span("iteration", None, 0, Some(0), Some(0.5), 10),
-            span("iteration", None, 0, Some(1), Some(0.7), 10),
+            span_at("iteration", None, 0, Some(0), Some(0.5), 0, 10),
+            span_at("iteration", None, 0, Some(1), Some(0.7), 10, 10),
         ];
         let t = RunTrace::assemble(
             true,
@@ -797,6 +958,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             None,
+            Vec::new(),
             Vec::new(),
             Vec::new(),
         );
@@ -822,6 +984,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             None,
+            Vec::new(),
             Vec::new(),
             Vec::new(),
         );
@@ -874,6 +1037,125 @@ mod tests {
         };
         assert!(multi.run("1851→1861").is_some());
         assert!(multi.run("1861→1871").is_none());
+    }
+
+    #[test]
+    fn overlapping_iteration_spans_fail_pipeline_validation() {
+        // hand-built bad trace: iteration #1 starts before iteration #0
+        // ends — phase sums and δ ordering are fine, so only the sibling
+        // disjointness check can catch it
+        let mut spans = pipeline_spans();
+        let it1 = spans
+            .iter_mut()
+            .find(|s| s.name == ITERATION_SPAN && s.iteration == Some(1))
+            .unwrap();
+        it1.start_us = 40; // iteration #0 runs [10µs..70µs)
+        let t = RunTrace::assemble(
+            true,
+            1000,
+            spans,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            None,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
+        t.validate_basic().unwrap();
+        let err = t.validate_pipeline().unwrap_err();
+        assert!(err.contains("sibling spans overlap"), "{err}");
+        assert!(err.contains("iteration"), "{err}");
+    }
+
+    #[test]
+    fn top_level_phase_overlapping_an_iteration_fails_validation() {
+        let mut spans = pipeline_spans();
+        // enrich [0..10µs) stretched into iteration #0, which starts at 10µs
+        spans[0].duration_us = 15;
+        let t = RunTrace::assemble(
+            true,
+            1000,
+            spans,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            None,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
+        let err = t.validate_pipeline().unwrap_err();
+        assert!(err.contains("sibling spans overlap"), "{err}");
+    }
+
+    #[test]
+    fn touching_and_zero_duration_siblings_are_not_overlaps() {
+        // pipeline_spans is exactly back-to-back (half-open intervals
+        // touching); add a zero-duration marker inside an occupied slot
+        let mut spans = pipeline_spans();
+        spans.push(span_at("marker", None, 0, None, None, 30, 0));
+        let t = RunTrace::assemble(
+            true,
+            1000,
+            spans,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            None,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
+        t.validate_pipeline().unwrap();
+    }
+
+    fn shard_stat(shard: usize, pairs: u64, matched: u64) -> ShardStat {
+        ShardStat {
+            shard,
+            keys: 4,
+            pairs,
+            matched,
+            sim_table_bytes: 1024,
+            sim_table_cells: 64,
+            duration_us: 7,
+        }
+    }
+
+    #[test]
+    fn shard_stats_validate_and_render() {
+        let mut t = pipeline_trace();
+        t.shards = vec![shard_stat(0, 100, 40), shard_stat(1, 50, 10)];
+        t.validate_pipeline().unwrap();
+        let table = t.phase_table();
+        assert!(table.contains("shards:"), "{table}");
+        assert!(table.contains("matched"), "{table}");
+
+        // unsorted / duplicate shard ids are rejected
+        let mut bad = t.clone();
+        bad.shards = vec![shard_stat(1, 50, 10), shard_stat(0, 100, 40)];
+        assert!(bad.validate_basic().unwrap_err().contains("sorted"));
+        bad.shards = vec![shard_stat(0, 100, 40), shard_stat(0, 50, 10)];
+        assert!(bad.validate_basic().is_err());
+
+        // matched exceeding pairs is rejected
+        let mut bad = t.clone();
+        bad.shards = vec![shard_stat(0, 10, 11)];
+        let err = bad.validate_basic().unwrap_err();
+        assert!(err.contains("matched"), "{err}");
+    }
+
+    #[test]
+    fn traces_without_shards_deserialize_with_empty_stats() {
+        let mut t = pipeline_trace();
+        t.shards = vec![shard_stat(0, 100, 40)];
+        let mut json = serde_json::parse(&serde_json::to_string(&t).unwrap()).unwrap();
+        let serde_json::Value::Map(entries) = &mut json else {
+            panic!("trace must serialize to an object");
+        };
+        entries.retain(|(k, _)| !matches!(k, serde_json::Value::Str(s) if s == "shards"));
+        let back: RunTrace = serde_json::from_str(&serde_json::to_string(&json).unwrap()).unwrap();
+        assert!(back.shards.is_empty());
     }
 
     #[test]
