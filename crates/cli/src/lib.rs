@@ -7,11 +7,13 @@
 //! census-linkage stats FILE.csv --year YEAR
 //! census-linkage link OLD.csv NEW.csv --old-year Y --new-year Y --out DIR
 //!                [--threads N] [--shards N] [--parallel-cutoff N] [--delta-low D]
-//!                [--mem-budget BYTES] [--trace-out FILE.json] [--trace-mem]
+//!                [--scoring scalar|batch] [--mem-budget BYTES]
+//!                [--trace-out FILE.json] [--trace-mem]
 //!                [--decisions-out DIR] [--progress] [--verbose]
 //! census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
 //!                [--threads N] [--shards N] [--parallel-cutoff N] [--delta-low D]
-//!                [--mem-budget BYTES] [--trace-out FILE.json] [--verbose]
+//!                [--scoring scalar|batch] [--mem-budget BYTES]
+//!                [--trace-out FILE.json] [--verbose]
 //! census-linkage trace-check FILE.json
 //! census-linkage trace-diff OLD.json NEW.json [--fail-on SPEC]...
 //! census-linkage explain link --decisions DIR --group OLD:NEW
@@ -30,7 +32,7 @@ use census_model::csv::{
 use census_model::{CensusDataset, GroupMapping, RecordMapping};
 use census_synth::{generate_series, SimConfig};
 use evolution::{detect_patterns, largest_component, preserve_chain_counts, EvolutionGraph};
-use linkage_core::{link_traced, LinkageConfig, MemGovernor};
+use linkage_core::{link_traced, LinkageConfig, MemGovernor, ScoringKernel};
 use obs::diff::{compare, Threshold};
 use obs::{
     Collector, Counter, DecisionConfig, DecisionRecord, MultiTrace, Progress, RunTrace, TraceSink,
@@ -59,6 +61,11 @@ pub struct LinkOptions {
     /// Minimum work items before scoring fans out (`--parallel-cutoff`);
     /// `0` forces the parallel path even on tiny inputs.
     pub parallel_cutoff: Option<usize>,
+    /// Pair-scoring kernel for pre-matching (`--scoring scalar|batch`).
+    /// Both kernels produce byte-identical linkage output; `batch` (the
+    /// default) dedups pairs to unique value-id work items and streams
+    /// them through contiguous multiset arenas.
+    pub scoring: Option<ScoringKernel>,
     /// Override of the iterative schedule's lower bound (`--delta-low`).
     pub delta_low: Option<f64>,
     /// Write the pipeline trace as JSON to this file (`--trace-out`).
@@ -99,6 +106,9 @@ impl LinkOptions {
         }
         if let Some(cutoff) = self.parallel_cutoff {
             config.parallel_cutoff = cutoff;
+        }
+        if let Some(scoring) = self.scoring {
+            config.scoring = scoring;
         }
         if let Some(delta_low) = self.delta_low {
             if !(0.0..=1.0).contains(&delta_low) {
@@ -757,11 +767,13 @@ USAGE:
   census-linkage stats FILE.csv --year YEAR
   census-linkage link OLD.csv NEW.csv --old-year Y --new-year Y --out DIR
                  [--threads N] [--shards N] [--parallel-cutoff N] [--delta-low D]
-                 [--mem-budget BYTES] [--trace-out FILE.json] [--trace-mem]
+                 [--scoring scalar|batch] [--mem-budget BYTES]
+                 [--trace-out FILE.json] [--trace-mem]
                  [--decisions-out DIR] [--progress] [--verbose]
   census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
                  [--threads N] [--shards N] [--parallel-cutoff N] [--delta-low D]
-                 [--mem-budget BYTES] [--trace-out FILE.json] [--verbose]
+                 [--scoring scalar|batch] [--mem-budget BYTES]
+                 [--trace-out FILE.json] [--verbose]
   census-linkage evaluate FOUND.csv TRUTH.csv --kind records|groups
   census-linkage trace-check FILE.json
   census-linkage trace-diff OLD.json NEW.json [--fail-on SPEC]...
@@ -847,6 +859,13 @@ fn take_link_options(args: &mut Vec<String>) -> Result<LinkOptions, CliError> {
     let delta_low = take_value(args, "--delta-low")?
         .map(|s| s.parse::<f64>().map_err(|_| format!("bad delta-low {s:?}")))
         .transpose()?;
+    let scoring = take_value(args, "--scoring")?
+        .map(|s| match s.as_str() {
+            "scalar" => Ok(ScoringKernel::Scalar),
+            "batch" => Ok(ScoringKernel::Batch),
+            _ => Err(format!("bad scoring kernel {s:?} (scalar or batch)")),
+        })
+        .transpose()?;
     let trace_out = take_value(args, "--trace-out")?.map(PathBuf::from);
     let decisions_out = take_value(args, "--decisions-out")?.map(PathBuf::from);
     let mem_budget = take_value(args, "--mem-budget")?
@@ -859,6 +878,7 @@ fn take_link_options(args: &mut Vec<String>) -> Result<LinkOptions, CliError> {
         threads,
         shards,
         parallel_cutoff,
+        scoring,
         delta_low,
         trace_out,
         decisions_out,
@@ -1205,6 +1225,34 @@ mod tests {
             .map(|s| (*s).to_owned())
             .collect();
         assert!(take_link_options(&mut bad).is_err());
+    }
+
+    #[test]
+    fn scoring_flag_is_parsed() {
+        let mut args: Vec<String> = ["--scoring", "scalar"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let opts = take_link_options(&mut args).unwrap();
+        assert_eq!(opts.scoring, Some(ScoringKernel::Scalar));
+        assert!(args.is_empty(), "all flags consumed");
+        let mut batch: Vec<String> = ["--scoring", "batch"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert_eq!(
+            take_link_options(&mut batch).unwrap().scoring,
+            Some(ScoringKernel::Batch)
+        );
+        let mut bad: Vec<String> = ["--scoring", "vectorised"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert!(take_link_options(&mut bad).is_err());
+        // unset leaves the config default (batch) in place
+        let mut config = LinkageConfig::default();
+        LinkOptions::default().apply(&mut config).unwrap();
+        assert_eq!(config.scoring, ScoringKernel::Batch);
     }
 
     #[test]
@@ -1569,6 +1617,24 @@ mod tests {
         );
         let report = cmd_trace_check(&trace_path).unwrap();
         assert!(report.contains("trace OK"), "{report}");
+
+        // the scalar kernel must reproduce the batch default byte for
+        // byte, and the batch trace must carry the dedup counters
+        let scalar = dir.join("scalar");
+        link(&scalar, &["--shards", "1", "--scoring", "scalar"]);
+        for file in ["record_mapping.csv", "group_mapping.csv"] {
+            assert_eq!(
+                std::fs::read_to_string(single.join(file)).unwrap(),
+                std::fs::read_to_string(scalar.join(file)).unwrap(),
+                "{file} changed under --scoring scalar"
+            );
+        }
+        let probes = trace
+            .counters
+            .iter()
+            .find(|c| c.name == "pair_score_batch_probes")
+            .map_or(0, |c| c.value);
+        assert!(probes > 0, "batch run recorded no batch probes");
 
         // a bad shard count is rejected up front
         let mut bad: Vec<String> = ["--shards", "many"]

@@ -78,7 +78,11 @@ impl MemGovernor {
     /// Maximum cells per lazily-filled similarity table, given that
     /// `n_tables` tables (one per attribute spec) share the 25% share.
     /// Unlimited without a budget — callers combine this with their own
-    /// locality cap.
+    /// locality cap. The batch kernel's value arenas are *not* gated
+    /// here: they are linear in the distinct compiled values (bytes the
+    /// profiles already hold in a sparser form), so they ride the
+    /// general headroom and are surfaced via the `value_arenas`
+    /// footprint row instead of a share of their own.
     #[must_use]
     pub fn sim_table_max_cells(&self, n_tables: usize) -> usize {
         match self.remaining() {

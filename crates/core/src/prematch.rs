@@ -9,37 +9,50 @@
 
 use crate::blocking::{candidate_pairs_filtered, BlockingStrategy};
 use crate::cluster::UnionFind;
-use crate::config::Parallelism;
+use crate::config::{Parallelism, ScoringKernel};
 use crate::mem::MemGovernor;
 use crate::simfunc::{CompiledProfile, SimFunc};
 use census_model::{PersonRecord, RecordId};
 use obs::{Collector, Counter, Footprint};
 use std::collections::HashMap;
 use std::time::Instant;
+use textsim::{CompiledValue, MultisetArena};
 
 /// Dense per-attribute value ids over both record sides: profiles with
 /// equal raw values (hence equal compiled representations) share an id,
 /// so `(old id, new id)` keys a memo of `CompiledValue::similarity`.
 /// Laid out `ids[record * n_specs + spec]`.
-struct ValueIds {
+struct ValueIds<'p> {
     n_specs: usize,
     /// Id-space size per spec (unique values across both sides).
     uniques: Vec<usize>,
     old: Vec<u32>,
     new: Vec<u32>,
+    /// One representative compiled value per interned id per spec, in id
+    /// order — the batch kernel's arena build input. Valid because a
+    /// spec's values all compile under one measure, so equal raw values
+    /// yield equal representations.
+    reps: Vec<Vec<&'p CompiledValue>>,
 }
 
-impl ValueIds {
-    fn build(old_profiles: &[&CompiledProfile], new_profiles: &[&CompiledProfile]) -> Self {
-        fn assign<'a>(
-            profiles: &[&'a CompiledProfile],
-            intern: &mut [HashMap<&'a str, u32>],
+impl<'p> ValueIds<'p> {
+    fn build(old_profiles: &[&'p CompiledProfile], new_profiles: &[&'p CompiledProfile]) -> Self {
+        fn assign<'p>(
+            profiles: &[&'p CompiledProfile],
+            intern: &mut [HashMap<&'p str, u32>],
+            reps: &mut [Vec<&'p CompiledValue>],
         ) -> Vec<u32> {
             let mut ids = Vec::with_capacity(profiles.len() * intern.len());
             for p in profiles {
                 for (k, v) in p.values().iter().enumerate() {
                     let next = intern[k].len() as u32;
-                    ids.push(*intern[k].entry(v.raw()).or_insert(next));
+                    let id = *intern[k].entry(v.raw()).or_insert(next);
+                    // ids are assigned densely, so `id == next` exactly
+                    // when this raw value was first seen
+                    if id == next {
+                        reps[k].push(v);
+                    }
+                    ids.push(id);
                 }
             }
             ids
@@ -49,15 +62,31 @@ impl ValueIds {
             .or(new_profiles.first())
             .map_or(0, |p| p.values().len());
         let mut intern: Vec<HashMap<&str, u32>> = (0..n_specs).map(|_| HashMap::new()).collect();
-        let old = assign(old_profiles, &mut intern);
-        let new = assign(new_profiles, &mut intern);
+        let mut reps: Vec<Vec<&CompiledValue>> = (0..n_specs).map(|_| Vec::new()).collect();
+        let old = assign(old_profiles, &mut intern, &mut reps);
+        let new = assign(new_profiles, &mut intern, &mut reps);
         Self {
             n_specs,
             uniques: intern.iter().map(HashMap::len).collect(),
             old,
             new,
+            reps,
         }
     }
+
+    /// One [`MultisetArena`] per spec over the representatives, for the
+    /// batch kernel's streaming merge loop.
+    fn arenas(&self) -> Vec<MultisetArena<'p>> {
+        self.reps.iter().map(|r| MultisetArena::build(r)).collect()
+    }
+}
+
+/// Heap footprint of the batch kernel's arenas: packed bytes and laid-out
+/// values, reported as the `value_arenas` memory row.
+fn arena_footprint(arenas: &[MultisetArena]) -> Footprint {
+    arenas.iter().fold(Footprint::ZERO, |acc, a| {
+        acc.plus(Footprint::new(a.heap_bytes(), a.len() as u64))
+    })
 }
 
 /// Lazily-filled dense memo of one attribute's similarities over its
@@ -112,6 +141,226 @@ impl SimTable {
         self.sims[idx] = v;
         v
     }
+}
+
+/// Pairs per batch-kernel tile. Bounds the tile scratch (the spec-sim
+/// stash, the selection vector, dedup keys) to some tens of MiB
+/// regardless of candidate count, while keeping tiles large enough that
+/// the per-tile dedup sees most of the value repetition — census-scale
+/// corpora repeat the same value pairs far beyond 2^16 pairs.
+const BATCH_TILE_PAIRS: usize = 1 << 20;
+
+/// Telemetry of one batch-scoring pass.
+#[derive(Default)]
+struct BatchStats {
+    /// Work items requested: still-alive pairs summed over the attribute
+    /// columns — the same probe set the scalar kernel's early-exit loop
+    /// makes.
+    probes: u64,
+    /// Unique `(old value-id, new value-id)` items actually computed —
+    /// `1 − unique/probes` is the kernel's dedup win.
+    unique: u64,
+    /// Early-exit prune tally of the column compaction.
+    prunes: u64,
+}
+
+/// How batch tiles map pair indices onto rows of the id matrix.
+enum RowLookup<'a> {
+    /// Pair indices index the id matrix directly (global scoring).
+    Direct,
+    /// Shard-local ids: pair indices are global record indices; rows are
+    /// their positions in the shard's sorted unique index lists.
+    Sharded {
+        uniq_old: &'a [u32],
+        uniq_new: &'a [u32],
+    },
+}
+
+/// The attribute-at-a-time batch scoring kernel (`--scoring batch`).
+///
+/// Pairs are processed in tiles. Per tile, attribute columns are
+/// materialised one at a time in the scalar kernel's descending-weight
+/// order: a planning pass dedups the column of interned value-id pairs
+/// to unique work items — through the spec's [`SimTable`] when one
+/// exists (the filled bit is the cross-tile dedup, and filling it
+/// scatters the result back into the same slot the scalar kernel reads),
+/// otherwise by a tile-local sort. Each unique item is scored once
+/// through the spec's [`MultisetArena`], streaming the packed gram
+/// buffer linearly instead of chasing `CompiledValue` pointers. After
+/// every column the tile's selection vector is compacted at the *same*
+/// early-exit bound the scalar kernel checks
+/// (`SimFunc::bound_fails_after`), so later — lighter-weight — columns
+/// shrink to the survivors and the kernel's probe set is exactly the
+/// scalar loop's. Survivors fold in original spec order
+/// (`SimFunc::fold_survivor`); decisions, scores and prune counts are
+/// bit-identical — only the order the per-attribute similarities are
+/// materialised in changes.
+#[allow(clippy::too_many_arguments)] // the scoring inputs plus the batch plumbing
+fn batch_score_into(
+    pairs: &[(u32, u32)],
+    sim: &SimFunc,
+    ids: &ValueIds,
+    rows: &RowLookup,
+    arenas: &[MultisetArena],
+    tables: &mut [Option<SimTable>],
+    stats: &mut BatchStats,
+) -> Vec<(u32, u32, f64)> {
+    let n_specs = ids.n_specs;
+    let order = sim.spec_order();
+    let mut out = Vec::new();
+    // reused tile scratch: id-matrix base offsets per pair, the selection
+    // vector with its running partial sums, one similarity lane aligned
+    // with it, the per-pair spec-sim stash the survivor fold reads, and
+    // the packed-key buffers of the tile-local dedup
+    let mut bases: Vec<(usize, usize)> = Vec::new();
+    let mut alive: Vec<u32> = Vec::new();
+    let mut partials: Vec<f64> = Vec::new();
+    let mut lane: Vec<f64> = Vec::new();
+    let mut sims: Vec<f64> = Vec::new();
+    let mut keys: Vec<u64> = Vec::new();
+    let mut uniq: Vec<u64> = Vec::new();
+    let mut uniq_sims: Vec<f64> = Vec::new();
+    for tile in pairs.chunks(BATCH_TILE_PAIRS) {
+        bases.clear();
+        match rows {
+            RowLookup::Direct => bases.extend(
+                tile.iter()
+                    .map(|&(i, j)| (i as usize * n_specs, j as usize * n_specs)),
+            ),
+            RowLookup::Sharded { uniq_old, uniq_new } => {
+                bases.extend(tile.iter().map(|&(i, j)| {
+                    let li = uniq_old.binary_search(&i).expect("pair index in uniq_old");
+                    let lj = uniq_new.binary_search(&j).expect("pair index in uniq_new");
+                    (li * n_specs, lj * n_specs)
+                }))
+            }
+        }
+        alive.clear();
+        alive.extend(0..tile.len() as u32);
+        partials.clear();
+        partials.resize(tile.len(), 0.0);
+        // stale slots are never read: the fold only visits survivors,
+        // and every survivor had all its spec slots written
+        sims.resize(tile.len() * n_specs, 0.0);
+        for (k, &spec) in order.iter().enumerate() {
+            if alive.is_empty() {
+                break;
+            }
+            stats.probes += alive.len() as u64;
+            lane.clear();
+            match &mut tables[spec] {
+                Some(t) => {
+                    for &p in &alive {
+                        let (bo, bn) = bases[p as usize];
+                        let (a, b) = (ids.old[bo + spec], ids.new[bn + spec]);
+                        let mut computed = false;
+                        let v = t.get_or_insert_with(a, b, || {
+                            computed = true;
+                            arenas[spec].similarity(a, b)
+                        });
+                        if computed {
+                            stats.unique += 1;
+                        }
+                        lane.push(v);
+                    }
+                }
+                None => {
+                    // no table (locality cap or budget): dedup within the
+                    // tile by sorting the column's packed id pairs, so
+                    // each distinct item is scored exactly once
+                    const SLOT_BITS: u32 = BATCH_TILE_PAIRS.trailing_zeros();
+                    let max_id = ids.uniques[spec].saturating_sub(1) as u64;
+                    let id_bits = 64 - max_id.leading_zeros();
+                    if 2 * id_bits + SLOT_BITS <= 64 {
+                        // run-scan scatter: the ids and the lane slot all
+                        // fit one u64 (slots are tile-local, < the tile
+                        // size), so sorting groups equal (a, b) runs
+                        // adjacently and each run's single arena merge
+                        // scatters straight back to its slots — no second
+                        // lookup
+                        let mask = (1u64 << id_bits) - 1;
+                        let slot_mask = (1u64 << SLOT_BITS) - 1;
+                        keys.clear();
+                        keys.extend(alive.iter().enumerate().map(|(idx, &p)| {
+                            let (bo, bn) = bases[p as usize];
+                            (u64::from(ids.old[bo + spec]) << (id_bits + SLOT_BITS))
+                                | (u64::from(ids.new[bn + spec]) << SLOT_BITS)
+                                | idx as u64
+                        }));
+                        keys.sort_unstable();
+                        lane.resize(alive.len(), 0.0);
+                        let mut run = u64::MAX;
+                        let mut v = 0.0;
+                        for &packed in &keys {
+                            let key = packed >> SLOT_BITS;
+                            if key != run {
+                                run = key;
+                                stats.unique += 1;
+                                v = arenas[spec]
+                                    .similarity((key >> id_bits) as u32, (key & mask) as u32);
+                            }
+                            lane[(packed & slot_mask) as usize] = v;
+                        }
+                    } else {
+                        // id spaces too wide to pack a slot alongside:
+                        // dedup into a sorted unique list and gather by
+                        // binary search
+                        keys.clear();
+                        keys.extend(alive.iter().map(|&p| {
+                            let (bo, bn) = bases[p as usize];
+                            (u64::from(ids.old[bo + spec]) << 32) | u64::from(ids.new[bn + spec])
+                        }));
+                        uniq.clear();
+                        uniq.extend_from_slice(&keys);
+                        uniq.sort_unstable();
+                        uniq.dedup();
+                        stats.unique += uniq.len() as u64;
+                        uniq_sims.clear();
+                        uniq_sims.extend(
+                            uniq.iter().map(|&key| {
+                                arenas[spec].similarity((key >> 32) as u32, key as u32)
+                            }),
+                        );
+                        lane.extend(keys.iter().map(|key| {
+                            uniq_sims[uniq.binary_search(key).expect("key in unique set")]
+                        }));
+                    }
+                }
+            }
+            // fold the column into the running bounds and compact the
+            // selection vector — the scalar loop's prune, column-at-a-time
+            let last = k + 1 == order.len();
+            let w = sim.weight_of(spec);
+            let mut kept = 0usize;
+            for idx in 0..alive.len() {
+                let p = alive[idx];
+                let v = lane[idx];
+                sims[p as usize * n_specs + spec] = v;
+                let partial = partials[idx] + w * v;
+                if sim.bound_fails_after(partial, k) {
+                    // a fail on the last column is the threshold decision
+                    // itself, not an early exit — the scalar kernel does
+                    // not count it either
+                    if !last {
+                        stats.prunes += 1;
+                    }
+                } else {
+                    alive[kept] = p;
+                    partials[kept] = partial;
+                    kept += 1;
+                }
+            }
+            alive.truncate(kept);
+            partials.truncate(kept);
+        }
+        for &p in &alive {
+            if let Some(s) = sim.fold_survivor(&sims[p as usize * n_specs..][..n_specs]) {
+                let (i, j) = tile[p as usize];
+                out.push((i, j, s));
+            }
+        }
+    }
+    out
 }
 
 /// Whether a candidate pair is age-plausible: the new age must lie within
@@ -186,8 +435,8 @@ pub(crate) fn score_pairs(
         // per-attribute similarities from dense lazily-filled tables over
         // interned value ids — bit-identical to direct scoring because
         // `CompiledValue::similarity` is deterministic in its inputs.
-        // (The parallel path scores directly: per-worker tables would
-        // multiply the memo's memory by the thread count.)
+        // (The parallel path runs without shared tables: per-worker
+        // tables would multiply the memo's memory by the thread count.)
         let ids = ValueIds::build(old_profiles, new_profiles);
         let max_cells = mem
             .sim_table_max_cells(ids.uniques.len())
@@ -222,29 +471,102 @@ pub(crate) fn score_pairs(
             });
             obs.snapshot_footprint("sim_tables", fp);
         }
-        let mut prunes = 0u64;
-        let mut out = Vec::new();
-        for &(i, j) in pairs {
-            let base_o = i as usize * ids.n_specs;
-            let base_n = j as usize * ids.n_specs;
-            let matched = sim.matches_compiled_memoized(
-                old_profiles[i as usize],
-                new_profiles[j as usize],
-                &mut prunes,
-                &mut |k, va, vb| match &mut tables[k] {
-                    Some(t) => {
-                        t.get_or_insert_with(ids.old[base_o + k], ids.new[base_n + k], || {
-                            va.similarity(vb)
-                        })
-                    }
-                    None => va.similarity(vb),
-                },
-            );
-            if let Some(s) = matched {
-                out.push((i, j, s));
+        let out = if par.scoring == ScoringKernel::Batch {
+            let arenas = ids.arenas();
+            if obs.is_enabled() {
+                obs.snapshot_footprint("value_arenas", arena_footprint(&arenas));
             }
+            let mut stats = BatchStats::default();
+            let out = batch_score_into(
+                pairs,
+                sim,
+                &ids,
+                &RowLookup::Direct,
+                &arenas,
+                &mut tables,
+                &mut stats,
+            );
+            obs.add(Counter::PairScoreBatchProbes, stats.probes);
+            obs.add(Counter::PairScoreBatchedUnique, stats.unique);
+            obs.add(Counter::EarlyExitPrunes, stats.prunes);
+            out
+        } else {
+            let mut prunes = 0u64;
+            let mut out = Vec::new();
+            for &(i, j) in pairs {
+                let base_o = i as usize * ids.n_specs;
+                let base_n = j as usize * ids.n_specs;
+                let matched = sim.matches_compiled_memoized(
+                    old_profiles[i as usize],
+                    new_profiles[j as usize],
+                    &mut prunes,
+                    &mut |k, va, vb| match &mut tables[k] {
+                        Some(t) => {
+                            t.get_or_insert_with(ids.old[base_o + k], ids.new[base_n + k], || {
+                                va.similarity(vb)
+                            })
+                        }
+                        None => va.similarity(vb),
+                    },
+                );
+                if let Some(s) = matched {
+                    out.push((i, j, s));
+                }
+            }
+            obs.add(Counter::EarlyExitPrunes, prunes);
+            out
+        };
+        obs.add(Counter::PrematchPairsMatched, out.len() as u64);
+        sample_match_scores(&out, obs);
+        return out;
+    }
+    if par.scoring == ScoringKernel::Batch {
+        // parallel batch: intern the value ids and build the arenas once,
+        // then share them read-only across the workers. Each worker
+        // dedups tile-locally with no tables — a shared table would
+        // serialise the workers on its lock, and per-worker tables would
+        // multiply the memo's memory by the thread count, mirroring the
+        // scalar parallel path's no-memo choice.
+        let ids = ValueIds::build(old_profiles, new_profiles);
+        let arenas = ids.arenas();
+        if obs.is_enabled() {
+            obs.snapshot_footprint("value_arenas", arena_footprint(&arenas));
         }
-        obs.add(Counter::EarlyExitPrunes, prunes);
+        let chunk = pairs.len().div_ceil(threads);
+        let mut out = Vec::with_capacity(pairs.len() / 4);
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .chunks(chunk)
+                .enumerate()
+                .map(|(ci, slice)| {
+                    let (ids, arenas) = (&ids, &arenas);
+                    scope.spawn(move |_| {
+                        let start = Instant::now();
+                        let mut stats = BatchStats::default();
+                        let mut tables: Vec<Option<SimTable>> =
+                            (0..ids.n_specs).map(|_| None).collect();
+                        let scored = batch_score_into(
+                            slice,
+                            sim,
+                            ids,
+                            &RowLookup::Direct,
+                            arenas,
+                            &mut tables,
+                            &mut stats,
+                        );
+                        obs.add(Counter::PairScoreBatchProbes, stats.probes);
+                        obs.add(Counter::PairScoreBatchedUnique, stats.unique);
+                        obs.add(Counter::EarlyExitPrunes, stats.prunes);
+                        obs.thread_chunk("prematch", None, ci, slice.len(), start.elapsed());
+                        scored
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("scoring worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
         obs.add(Counter::PrematchPairsMatched, out.len() as u64);
         sample_match_scores(&out, obs);
         return out;
@@ -309,6 +631,14 @@ pub(crate) struct ShardScore {
     pub table_bytes: u64,
     /// Total cells of this shard's similarity tables.
     pub table_cells: u64,
+    /// Heap bytes of this shard's multiset arenas (batch kernel only).
+    pub arena_bytes: u64,
+    /// Values laid out in this shard's arenas (batch kernel only).
+    pub arena_values: u64,
+    /// Batch-kernel work items requested (pairs × specs; batch only).
+    pub probes: u64,
+    /// Batch-kernel unique items computed (batch only).
+    pub unique: u64,
 }
 
 /// Score one shard's candidate pairs with shard-local similarity tables.
@@ -326,6 +656,7 @@ pub(crate) fn score_shard(
     new_profiles: &[&CompiledProfile],
     sim: &SimFunc,
     max_cells: usize,
+    scoring: ScoringKernel,
 ) -> ShardScore {
     // the shard touches a small subset of each side; intern values over
     // exactly that subset so table sizes track the shard, not the run
@@ -359,6 +690,37 @@ pub(crate) fn score_shard(
     let (table_bytes, table_cells) = tables.iter().flatten().fold((0u64, 0u64), |(b, c), t| {
         (b + t.bytes(), c + (t.n * t.n) as u64)
     });
+    if scoring == ScoringKernel::Batch {
+        // the shard already has its own value universe and tables; the
+        // batch kernel adds per-spec arenas over the shard's
+        // representatives and streams the unique work items through them
+        let arenas = ids.arenas();
+        let fp = arena_footprint(&arenas);
+        let mut stats = BatchStats::default();
+        let matched = batch_score_into(
+            pairs,
+            sim,
+            &ids,
+            &RowLookup::Sharded {
+                uniq_old: &uniq_old,
+                uniq_new: &uniq_new,
+            },
+            &arenas,
+            &mut tables,
+            &mut stats,
+        );
+        return ShardScore {
+            matched,
+            prunes: stats.prunes,
+            budget_rejected,
+            table_bytes,
+            table_cells,
+            arena_bytes: fp.bytes,
+            arena_values: fp.elements,
+            probes: stats.probes,
+            unique: stats.unique,
+        };
+    }
     let mut prunes = 0u64;
     let mut matched = Vec::new();
     for &(i, j) in pairs {
@@ -387,6 +749,10 @@ pub(crate) fn score_shard(
         budget_rejected,
         table_bytes,
         table_cells,
+        arena_bytes: 0,
+        arena_values: 0,
+        probes: 0,
+        unique: 0,
     }
 }
 

@@ -130,22 +130,38 @@ impl ProfileCache {
 
 impl MemoryFootprint for ProfileCache {
     fn footprint(&self) -> Footprint {
-        // slot vectors by capacity; memoised values approximated as map
-        // entries of (key string header + payload) — the compiled-value
-        // token heap is bounded by the raw value length, which the key
-        // string mirrors, so count the key's heap twice as a stand-in
+        // slot vectors by capacity; each filled profile's compiled values
+        // and each memo entry by their real owned heap (key string plus
+        // `CompiledValue::heap_bytes`, which counts the raw string and
+        // the measure-specific gram buffers)
         let slots = obs::footprint::vec_capacity_bytes(&self.old)
             + obs::footprint::vec_capacity_bytes(&self.new);
+        let profiles: u64 = self
+            .old
+            .iter()
+            .chain(self.new.iter())
+            .flatten()
+            .map(|p| {
+                std::mem::size_of_val(p.values()) as u64
+                    + p.values()
+                        .iter()
+                        .map(CompiledValue::heap_bytes)
+                        .sum::<u64>()
+            })
+            .sum();
         let mut memo = 0u64;
         let mut memo_entries = 0u64;
         for m in &self.value_memo {
             memo_entries += m.len() as u64;
             memo +=
                 obs::footprint::map_bytes(m.len(), std::mem::size_of::<(String, CompiledValue)>());
-            memo += m.keys().map(|k| 2 * k.capacity() as u64).sum::<u64>();
+            memo += m
+                .iter()
+                .map(|(k, v)| k.capacity() as u64 + v.heap_bytes())
+                .sum::<u64>();
         }
         let filled = (self.old.iter().flatten().count() + self.new.iter().flatten().count()) as u64;
-        Footprint::new(slots + memo, filled + memo_entries)
+        Footprint::new(slots + profiles + memo, filled + memo_entries)
     }
 }
 

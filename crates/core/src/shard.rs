@@ -247,6 +247,7 @@ pub(crate) fn sharded_scores(
             new_profiles,
             sim,
             max_cells,
+            par.scoring,
         );
         (score, obs_us(start.elapsed()))
     };
@@ -258,6 +259,9 @@ pub(crate) fn sharded_scores(
     let mut prunes = 0u64;
     let mut budget_rejected = 0u64;
     let mut fp = Footprint::ZERO;
+    let mut arena_fp = Footprint::ZERO;
+    let mut batch_probes = 0u64;
+    let mut batch_unique = 0u64;
     for (s, (score, duration_us)) in results.into_iter().enumerate() {
         obs.shard_stat(ShardStat {
             shard: s,
@@ -278,11 +282,18 @@ pub(crate) fn sharded_scores(
         prunes += score.prunes;
         budget_rejected += score.budget_rejected;
         fp = fp.plus(Footprint::new(score.table_bytes, score.table_cells));
+        arena_fp = arena_fp.plus(Footprint::new(score.arena_bytes, score.arena_values));
+        batch_probes += score.probes;
+        batch_unique += score.unique;
         merged.extend(score.matched);
     }
     merged.sort_unstable_by_key(|m| (m.0, m.1));
     obs.add(Counter::EarlyExitPrunes, prunes);
     obs.add(Counter::PrematchPairsMatched, merged.len() as u64);
+    if batch_probes > 0 {
+        obs.add(Counter::PairScoreBatchProbes, batch_probes);
+        obs.add(Counter::PairScoreBatchedUnique, batch_unique);
+    }
     if budget_rejected > 0 {
         obs.add(Counter::MemFallbackSimTable, budget_rejected);
         obs.event(
@@ -295,6 +306,9 @@ pub(crate) fn sharded_scores(
     }
     if obs.is_enabled() {
         obs.snapshot_footprint("sim_tables", fp);
+        if arena_fp.bytes > 0 {
+            obs.snapshot_footprint("value_arenas", arena_fp);
+        }
     }
     sample_match_scores(&merged, obs);
     merged

@@ -344,6 +344,52 @@ impl SimFunc {
         (s >= self.threshold).then_some(s)
     }
 
+    // --- stepwise mirror of `matches_compiled_memoized` -----------------
+    // The batch kernel scores attributes column-at-a-time in the same
+    // descending-weight order and compacts its pair set at the same bound
+    // checks. These accessors hand it the exact pieces of that loop —
+    // order, per-step bound, survivor fold — so the two kernels share the
+    // arithmetic instead of duplicating it (any drift would break their
+    // bit-identity, which `tests/batched_vs_scalar.rs` enforces).
+
+    /// Spec indices in descending weight order — the order the early-exit
+    /// loop scores attributes in.
+    #[must_use]
+    pub(crate) fn spec_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Weight of spec `i`.
+    #[must_use]
+    pub(crate) fn weight_of(&self, i: usize) -> f64 {
+        self.specs[i].weight
+    }
+
+    /// The early-exit bound check after the `k`-th scored attribute:
+    /// `partial` is the descending-order weighted sum so far, and the
+    /// check fails exactly when the remaining weight mass (every
+    /// outstanding attribute a perfect 1.0) can no longer lift it to the
+    /// threshold — the `matches_compiled_memoized` prune condition,
+    /// `PRUNE_EPS` margin included.
+    #[must_use]
+    pub(crate) fn bound_fails_after(&self, partial: f64, k: usize) -> bool {
+        partial + self.suffix[k + 1] < self.threshold - PRUNE_EPS
+    }
+
+    /// The survivor fold of `matches_compiled_memoized`: re-sum the
+    /// per-spec similarities in original spec order and apply the
+    /// threshold. `sims` is indexed by spec, one exact similarity each.
+    #[must_use]
+    pub(crate) fn fold_survivor(&self, sims: &[f64]) -> Option<f64> {
+        let s: f64 = self
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, sp)| sp.weight * sims[i])
+            .sum();
+        (s >= self.threshold).then_some(s)
+    }
+
     /// Aggregated similarity of two records (convenience; profile-based
     /// code paths are faster in bulk).
     #[must_use]

@@ -1,0 +1,92 @@
+//! Differential suite: the attribute-at-a-time batch scoring kernel
+//! (`ScoringKernel::Batch`, the default) must reproduce the scalar
+//! pair-at-a-time kernel **bit for bit** — same record and group links,
+//! same provenance δ/g_sim floats, same per-iteration stats — across
+//! similarity functions (ω1/ω2), δ_low schedules, shard settings and
+//! serial/parallel execution.
+//!
+//! The kernels share the descending-weight early-exit arithmetic — the
+//! batch kernel compacts its per-tile selection vector at the scalar
+//! loop's own bound check (`SimFunc::bound_fails_after`) and folds
+//! survivors through `SimFunc::fold_survivor` — and only changes *when
+//! and where* per-attribute similarities are materialised (deduped
+//! column work items streamed through `textsim::MultisetArena` instead
+//! of per-pair `CompiledValue` merges). Since the arena round-trip is
+//! bit-exact (proptests in `textsim::arena`), every downstream decision
+//! is forced to be identical — which this suite checks end to end.
+
+mod common;
+
+use common::{assert_links_identical, medium_pair_series, small_series};
+use linkage_core::{LinkageConfig, ScoringKernel, SimFunc};
+
+/// The batch-vs-scalar matrix on the small corpus: ω1/ω2 × δ_low
+/// {0.5, 0.6} × shards {1, auto} × serial/forced-parallel.
+#[test]
+fn batch_equals_scalar_across_the_matrix() {
+    let series = small_series();
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    for (omega, sim_func) in [(1, SimFunc::omega1(0.5)), (2, SimFunc::omega2(0.5))] {
+        for delta_low in [0.5, 0.6] {
+            for shards in [1usize, 0] {
+                for (mode, threads, cutoff) in [("serial", 1usize, usize::MAX), ("parallel", 4, 0)]
+                {
+                    let batch = LinkageConfig {
+                        sim_func: sim_func.clone(),
+                        delta_low,
+                        shards,
+                        threads,
+                        parallel_cutoff: cutoff,
+                        scoring: ScoringKernel::Batch,
+                        ..LinkageConfig::default()
+                    };
+                    let scalar = LinkageConfig {
+                        scoring: ScoringKernel::Scalar,
+                        ..batch.clone()
+                    };
+                    assert_links_identical(
+                        old,
+                        new,
+                        &batch,
+                        &scalar,
+                        &format!("ω{omega} δ_low={delta_low} shards={shards} {mode}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The medium corpus crosses the similarity-table locality boundaries
+/// the small one never reaches, exercising the batch kernel's
+/// tile-local dedup fallback alongside the scatter-back path.
+#[test]
+fn batch_equals_scalar_on_the_medium_corpus() {
+    let series = medium_pair_series();
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let batch = LinkageConfig::default();
+    assert_eq!(batch.scoring, ScoringKernel::Batch, "batch is the default");
+    let scalar = LinkageConfig {
+        scoring: ScoringKernel::Scalar,
+        ..batch.clone()
+    };
+    assert_links_identical(old, new, &batch, &scalar, "medium defaults");
+
+    // and under the recompute-from-scratch driver, which re-scores every
+    // δ iteration instead of filtering the cached floor scores
+    let batch_recompute = LinkageConfig {
+        incremental: false,
+        ..batch
+    };
+    let scalar_recompute = LinkageConfig {
+        incremental: false,
+        ..scalar
+    };
+    assert_links_identical(
+        old,
+        new,
+        &batch_recompute,
+        &scalar_recompute,
+        "medium recompute",
+    );
+}

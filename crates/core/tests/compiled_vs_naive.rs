@@ -95,7 +95,7 @@ fn prematch_with_cached_profiles_is_identical() {
                 linkage_core::Parallelism {
                     threads: 1 + round, // also cross the thread counts
                     cutoff: 0,
-                    shards: 1,
+                    ..linkage_core::Parallelism::default()
                 },
                 Some(3),
                 &linkage_core::MemGovernor::unlimited(),

@@ -109,6 +109,12 @@ pub enum Counter {
     /// Candidate pairs emitted by the blocking layer, before any
     /// age-plausibility filtering.
     BlockingPairsGenerated,
+    /// Batch-kernel work items requested: scored pairs × attribute
+    /// specs, before value-pair deduplication.
+    PairScoreBatchProbes,
+    /// Unique `(old value-id, new value-id)` items the batch kernel
+    /// actually computed — `1 − unique/probes` is the dedup win.
+    PairScoreBatchedUnique,
     /// Memory-budget fallbacks: `SimTable`s skipped in favour of direct
     /// similarity computation.
     MemFallbackSimTable,
@@ -135,7 +141,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 25] = [
         Counter::PrematchPairsScored,
         Counter::PrematchPairsMatched,
         Counter::EarlyExitPrunes,
@@ -150,6 +156,8 @@ impl Counter {
         Counter::PairCacheHits,
         Counter::PairCacheFiltered,
         Counter::BlockingPairsGenerated,
+        Counter::PairScoreBatchProbes,
+        Counter::PairScoreBatchedUnique,
         Counter::MemFallbackSimTable,
         Counter::MemFallbackPairCache,
         Counter::MemFallbackDecisionCaps,
@@ -179,6 +187,8 @@ impl Counter {
             Counter::PairCacheHits => "pair_cache_hits",
             Counter::PairCacheFiltered => "pair_cache_filtered",
             Counter::BlockingPairsGenerated => "blocking_pairs_generated",
+            Counter::PairScoreBatchProbes => "pair_score_batch_probes",
+            Counter::PairScoreBatchedUnique => "pair_score_batched_unique",
             Counter::MemFallbackSimTable => "mem_fallback_sim_table",
             Counter::MemFallbackPairCache => "mem_fallback_pair_cache",
             Counter::MemFallbackDecisionCaps => "mem_fallback_decision_caps",

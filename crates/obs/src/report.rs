@@ -371,6 +371,18 @@ impl RunTrace {
         }
     }
 
+    /// Fraction of batch-kernel probes served without recomputation:
+    /// `1 − unique/probes`, or 0 when the batch kernel did not run.
+    #[must_use]
+    pub fn batch_dedup_rate(&self) -> f64 {
+        let probes = self.counter("pair_score_batch_probes");
+        if probes == 0 {
+            0.0
+        } else {
+            1.0 - self.counter("pair_score_batched_unique") as f64 / probes as f64
+        }
+    }
+
     /// Structural validation every trace must satisfy: phase and
     /// iteration times are non-overlapping slices of the run, so their
     /// sums may not exceed the enclosing wall time, and iteration deltas
@@ -619,6 +631,14 @@ impl RunTrace {
                 "early_exit_rate",
                 self.early_exit_rate() * 100.0
             );
+            if self.counter("pair_score_batch_probes") > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>11.1}%",
+                    "batch_dedup_rate",
+                    self.batch_dedup_rate() * 100.0
+                );
+            }
         }
         if let Some(mem) = &self.memory {
             let _ = writeln!(out, "\nmemory:");

@@ -22,7 +22,7 @@ use crate::StringMeasure;
 
 /// Measure-specific precomputed representation of one attribute value.
 #[derive(Debug, Clone, PartialEq)]
-enum Repr {
+pub(crate) enum Repr {
     /// Sorted multiset of packed bigrams — the hot `QGram(2)` case.
     Bigrams(Vec<u64>),
     /// Sorted multiset of string q-grams (`QGram(q)` for `q ≠ 2`).
@@ -72,6 +72,28 @@ impl CompiledValue {
     #[must_use]
     pub fn raw(&self) -> &str {
         &self.raw
+    }
+
+    /// The precomputed representation, for arena packing.
+    pub(crate) fn repr(&self) -> &Repr {
+        &self.repr
+    }
+
+    /// Heap bytes owned by this value beyond `size_of::<CompiledValue>()`:
+    /// the raw string plus the measure-specific gram buffers. Used by
+    /// memory-footprint estimates, so it counts *capacity*, not length.
+    #[must_use]
+    pub fn heap_bytes(&self) -> u64 {
+        let repr = match &self.repr {
+            Repr::Bigrams(v) => (v.capacity() * std::mem::size_of::<u64>()) as u64,
+            Repr::Grams(v) => {
+                (v.capacity() * std::mem::size_of::<String>()) as u64
+                    + v.iter().map(|g| g.capacity() as u64).sum::<u64>()
+            }
+            Repr::ExactKey(k) => k.capacity() as u64,
+            Repr::Fallback => 0,
+        };
+        self.raw.capacity() as u64 + repr
     }
 
     /// The measure this value was compiled for.

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod compiled;
 mod jaro;
 mod levenshtein;
@@ -34,6 +35,7 @@ mod qgram;
 mod smith_waterman;
 mod tokens;
 
+pub use arena::MultisetArena;
 pub use compiled::CompiledValue;
 pub use jaro::{jaro, jaro_winkler, jaro_winkler_with_prefix};
 pub use levenshtein::{
