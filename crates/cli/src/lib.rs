@@ -8,7 +8,7 @@
 //! census-linkage link OLD.csv NEW.csv --old-year Y --new-year Y --out DIR
 //!                [--threads N] [--shards N] [--parallel-cutoff N] [--delta-low D]
 //!                [--scoring scalar|batch] [--mem-budget BYTES]
-//!                [--trace-out FILE.json] [--trace-mem]
+//!                [--trace-out FILE.json] [--timeline-out FILE.json] [--trace-mem]
 //!                [--decisions-out DIR] [--progress] [--verbose]
 //! census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
 //!                [--threads N] [--shards N] [--parallel-cutoff N] [--delta-low D]
@@ -16,6 +16,7 @@
 //!                [--trace-out FILE.json] [--verbose]
 //! census-linkage trace-check FILE.json
 //! census-linkage trace-diff OLD.json NEW.json [--fail-on SPEC]...
+//! census-linkage timeline TRACE.json [--min-utilization PCT]
 //! census-linkage explain link --decisions DIR --group OLD:NEW
 //! ```
 //!
@@ -36,6 +37,7 @@ use linkage_core::{link_traced, LinkageConfig, MemGovernor, ScoringKernel};
 use obs::diff::{compare, Threshold};
 use obs::{
     Collector, Counter, DecisionConfig, DecisionRecord, MultiTrace, Progress, RunTrace, TraceSink,
+    PIPELINE_PHASES,
 };
 use std::fmt::Write as _;
 use std::fs::File;
@@ -70,6 +72,11 @@ pub struct LinkOptions {
     pub delta_low: Option<f64>,
     /// Write the pipeline trace as JSON to this file (`--trace-out`).
     pub trace_out: Option<PathBuf>,
+    /// Record the per-worker execution timeline and export it as Chrome
+    /// trace-event JSON (loadable in Perfetto / `chrome://tracing`) to
+    /// this file (`--timeline-out`, `link` only). The timeline also
+    /// lands in the `--trace-out` JSON and the `--verbose` phase table.
+    pub timeline_out: Option<PathBuf>,
     /// Record decision provenance and write it as JSONL into this
     /// directory (`--decisions-out`, `link` only).
     pub decisions_out: Option<PathBuf>,
@@ -90,6 +97,12 @@ pub struct LinkOptions {
 impl LinkOptions {
     fn tracing_enabled(&self) -> bool {
         self.trace_out.is_some() || self.verbose
+    }
+
+    /// Timeline recording rides on `--timeline-out` and on `--progress`
+    /// (the live utilization line is fed by the timeline's busy gauge).
+    fn timeline_enabled(&self) -> bool {
+        self.timeline_out.is_some() || self.progress
     }
 
     /// Apply the overrides to a linkage configuration, validating them as
@@ -242,10 +255,17 @@ pub fn cmd_link(
     let new = load(new_file, new_year)?;
     let mut config = LinkageConfig::default();
     opts.apply(&mut config)?;
-    let mut obs =
-        Collector::new(opts.tracing_enabled() || opts.decisions_out.is_some() || opts.progress);
+    let mut obs = Collector::new(
+        opts.tracing_enabled()
+            || opts.decisions_out.is_some()
+            || opts.progress
+            || opts.timeline_out.is_some(),
+    );
     if opts.trace_mem {
         obs = obs.with_memory();
+    }
+    if opts.timeline_enabled() {
+        obs = obs.with_timeline();
     }
     if opts.progress {
         obs = obs.with_progress(Progress::stderr());
@@ -322,11 +342,93 @@ pub fn cmd_link(
             write_trace_json(path, &trace)?;
             let _ = writeln!(summary, "wrote {}", path.display());
         }
+        if let Some(path) = &opts.timeline_out {
+            let text = chrome_trace_json(&trace)?;
+            std::fs::write(path, text).map_err(|e| io_err("writing timeline file", e))?;
+            let _ = writeln!(summary, "wrote {}", path.display());
+        }
         if opts.verbose {
             let _ = writeln!(summary, "\n{}", trace.phase_table());
         }
     }
     Ok(summary)
+}
+
+/// Render a recorded timeline as Chrome trace-event JSON, loadable in
+/// Perfetto or `chrome://tracing`: one *process* per pipeline phase
+/// (plus process 0 for scheduler lanes — δ-iteration markers and
+/// queue-wait gaps), one *thread* per worker, `"X"` duration events in
+/// microseconds and `"i"` instants for the iteration boundaries.
+///
+/// # Errors
+///
+/// Fails when the trace carries no timeline section.
+fn chrome_trace_json(trace: &RunTrace) -> Result<String, CliError> {
+    use serde_json::{json, Value};
+    let tl = trace
+        .timeline
+        .as_ref()
+        .ok_or("trace has no timeline section (was the run made with --timeline-out?)")?;
+    let phase_pid = |kind: obs::EventKind| -> u64 {
+        kind.phase().map_or(0, |p| {
+            PIPELINE_PHASES
+                .iter()
+                .position(|&q| q == p)
+                .map_or(0, |i| i as u64 + 1)
+        })
+    };
+    let mut events: Vec<Value> = Vec::new();
+    // process names: 0 = scheduler, 1..=5 = the pipeline phases
+    events.push(json!({
+        "name": "process_name", "ph": "M", "pid": 0u64,
+        "args": {"name": "scheduler"}
+    }));
+    for (i, phase) in PIPELINE_PHASES.iter().enumerate() {
+        let pid = i as u64 + 1;
+        events.push(json!({
+            "name": "process_name", "ph": "M", "pid": pid,
+            "args": {"name": (*phase)}
+        }));
+    }
+    // thread names for every (process, worker) lane that has events
+    let mut lanes: Vec<(u64, u64)> = tl
+        .events
+        .iter()
+        .map(|e| (phase_pid(e.kind), u64::from(e.worker)))
+        .collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    for &(pid, tid) in &lanes {
+        let name = format!("worker {tid}");
+        events.push(json!({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name}
+        }));
+    }
+    for e in &tl.events {
+        let pid = phase_pid(e.kind);
+        let tid = u64::from(e.worker);
+        if e.kind.is_instant() {
+            events.push(json!({
+                "name": (e.kind.name()), "cat": "timeline", "ph": "i", "s": "g",
+                "ts": (e.start_us), "pid": pid, "tid": tid,
+                "args": {"detail": (e.detail), "iteration": (e.iteration)}
+            }));
+        } else {
+            events.push(json!({
+                "name": (e.kind.name()), "cat": "timeline", "ph": "X",
+                "ts": (e.start_us), "dur": (e.duration_us), "pid": pid, "tid": tid,
+                "args": {"detail": (e.detail), "iteration": (e.iteration)}
+            }));
+        }
+    }
+    let doc = json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ms"
+    });
+    serde_json::to_string_pretty(&doc)
+        .map(|t| t + "\n")
+        .map_err(|e| io_err("serializing timeline", e))
 }
 
 /// `evolve`: link a whole series of snapshot CSVs and print the evolution
@@ -356,6 +458,9 @@ pub fn cmd_evolve(
     }
     if opts.progress {
         return Err("--progress is only supported by link".into());
+    }
+    if opts.timeline_out.is_some() {
+        return Err("--timeline-out is only supported by link".into());
     }
     let mut snapshots = Vec::new();
     for (i, file) in files.iter().enumerate() {
@@ -591,6 +696,123 @@ pub fn cmd_trace_diff(
     Err(out)
 }
 
+/// Width of the `timeline` subcommand's ASCII Gantt lanes, in cells.
+const GANTT_WIDTH: usize = 64;
+
+/// `timeline`: read a trace JSON file written by `link --trace-out` for
+/// a run made with `--timeline-out` (or `--progress`), and render the
+/// execution timeline: an ASCII Gantt chart (one lane per worker, one
+/// glyph per event kind over the run's event window), the per-worker
+/// utilization table, the plan-quality ratio and the straggler report.
+///
+/// # Errors
+///
+/// Fails on I/O or parse errors, on traces without a timeline section,
+/// or — with the rendered report — when `--min-utilization PCT` is
+/// given and the mean worker utilization falls below it.
+pub fn cmd_timeline(file: &Path, min_utilization: Option<f64>) -> Result<String, CliError> {
+    let trace = load_run_trace(file)?;
+    let Some(tl) = &trace.timeline else {
+        return Err(format!(
+            "{} has no timeline section; re-run link with --timeline-out or --progress",
+            file.display()
+        ));
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "timeline: {} event(s) across {} worker(s), {} dropped",
+        tl.events.len(),
+        tl.workers,
+        tl.dropped
+    );
+    // the Gantt window spans the recorded events, not the whole run —
+    // enrich and other untimed stretches would otherwise crush the lanes
+    let t0 = tl.events.iter().map(|e| e.start_us).min().unwrap_or(0);
+    let t1 = tl
+        .events
+        .iter()
+        .map(obs::TimelineEvent::end_us)
+        .max()
+        .unwrap_or(t0);
+    let span = (t1 - t0).max(1);
+    let _ = writeln!(
+        out,
+        "window: {:.1}ms of recorded activity, active (union of busy intervals) {:.1}ms",
+        span as f64 / 1e3,
+        tl.active_us as f64 / 1e3
+    );
+    let cell = |us: u64| -> usize {
+        ((us.saturating_sub(t0)) as usize * GANTT_WIDTH / span as usize).min(GANTT_WIDTH - 1)
+    };
+    for w in &tl.utilization {
+        let mut lane = vec![' '; GANTT_WIDTH];
+        for e in tl.events.iter().filter(|e| e.worker == w.worker) {
+            let (a, b) = (cell(e.start_us), cell(e.end_us()));
+            for c in &mut lane[a..=b] {
+                *c = e.kind.glyph();
+            }
+        }
+        let lane: String = lane.into_iter().collect();
+        let _ = writeln!(
+            out,
+            "worker {:>3} |{lane}| busy {:5.1}%  ({} event(s), {:.1}ms)",
+            w.worker,
+            w.utilization * 100.0,
+            w.events,
+            w.busy_us as f64 / 1e3
+        );
+    }
+    let legend: Vec<String> = obs::EventKind::ALL
+        .iter()
+        .map(|k| format!("{} {}", k.glyph(), k.name()))
+        .collect();
+    let _ = writeln!(out, "legend: {}", legend.join("  "));
+    let mean_pct = tl.mean_utilization() * 100.0;
+    let _ = writeln!(
+        out,
+        "mean utilization {mean_pct:.1}%, critical path {:.1}ms",
+        tl.critical_path_us as f64 / 1e3
+    );
+    if let Some(pq) = &tl.plan_quality {
+        let _ = writeln!(
+            out,
+            "plan quality: predicted skew {:.2}, actual skew {:.2}, ratio {:.2}",
+            pq.predicted_skew, pq.actual_skew, pq.ratio
+        );
+    }
+    if !tl.stragglers.is_empty() {
+        let _ = writeln!(out, "straggler shards (longest first):");
+        for s in &tl.stragglers {
+            let table = if s.sim_table_cells == 0 {
+                "direct compute".to_owned()
+            } else {
+                format!("SimTable {} cells", s.sim_table_cells)
+            };
+            let _ = writeln!(
+                out,
+                "  shard {:>4}  {:8.1}ms on worker {}  {} pair(s), {} key(s), {table}",
+                s.shard,
+                s.duration_us as f64 / 1e3,
+                s.worker,
+                s.pairs,
+                s.keys
+            );
+        }
+    }
+    if let Some(min) = min_utilization {
+        if mean_pct < min {
+            let _ = writeln!(
+                out,
+                "FAIL mean worker utilization {mean_pct:.1}% below the --min-utilization {min}% floor"
+            );
+            return Err(out);
+        }
+        let _ = writeln!(out, "utilization floor {min}%: OK");
+    }
+    Ok(out)
+}
+
 /// Parse an `OLD:NEW` id pair; a leading non-digit prefix per side (as
 /// in `G1880:G42`) is ignored.
 fn parse_id_pair(spec: &str) -> Result<(u64, u64), CliError> {
@@ -768,7 +990,7 @@ USAGE:
   census-linkage link OLD.csv NEW.csv --old-year Y --new-year Y --out DIR
                  [--threads N] [--shards N] [--parallel-cutoff N] [--delta-low D]
                  [--scoring scalar|batch] [--mem-budget BYTES]
-                 [--trace-out FILE.json] [--trace-mem]
+                 [--trace-out FILE.json] [--timeline-out FILE.json] [--trace-mem]
                  [--decisions-out DIR] [--progress] [--verbose]
   census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
                  [--threads N] [--shards N] [--parallel-cutoff N] [--delta-low D]
@@ -780,6 +1002,8 @@ USAGE:
                  SPEC: counter:NAME:PCT | phase:NAME:RATIO
                      | hist:NAME:L1MAX | p99:NAME:PCT | total:RATIO
                      | mem:NAME:PCT | footprint:NAME:PCT
+                     | timeline:utilization:PCT
+  census-linkage timeline TRACE.json [--min-utilization PCT]
   census-linkage explain link --decisions DIR (--group OLD:NEW | --record OLD:NEW)
 ";
 
@@ -867,6 +1091,7 @@ fn take_link_options(args: &mut Vec<String>) -> Result<LinkOptions, CliError> {
         })
         .transpose()?;
     let trace_out = take_value(args, "--trace-out")?.map(PathBuf::from);
+    let timeline_out = take_value(args, "--timeline-out")?.map(PathBuf::from);
     let decisions_out = take_value(args, "--decisions-out")?.map(PathBuf::from);
     let mem_budget = take_value(args, "--mem-budget")?
         .map(|s| parse_bytes(&s))
@@ -881,6 +1106,7 @@ fn take_link_options(args: &mut Vec<String>) -> Result<LinkOptions, CliError> {
         scoring,
         delta_low,
         trace_out,
+        timeline_out,
         decisions_out,
         mem_budget,
         trace_mem,
@@ -971,6 +1197,19 @@ pub fn run_cli(mut args: Vec<String>) -> Result<String, CliError> {
             reject_unknown_flags(&args, "trace-diff")?;
             expect_positionals(&args, "trace-diff", 2, "OLD.json and NEW.json")?;
             cmd_trace_diff(&PathBuf::from(&args[0]), &PathBuf::from(&args[1]), &fail_on)
+        }
+        "timeline" => {
+            let min = take_value(&mut args, "--min-utilization")?
+                .map(|s| {
+                    s.parse::<f64>()
+                        .ok()
+                        .filter(|p| (0.0..=100.0).contains(p))
+                        .ok_or_else(|| format!("bad utilization percentage {s:?} (0-100)"))
+                })
+                .transpose()?;
+            reject_unknown_flags(&args, "timeline")?;
+            expect_positionals(&args, "timeline", 1, "one TRACE.json argument")?;
+            cmd_timeline(&PathBuf::from(&args[0]), min)
         }
         "explain" => {
             let decisions =
@@ -1777,6 +2016,10 @@ mod tests {
                 progress: true,
                 ..LinkOptions::default()
             },
+            LinkOptions {
+                timeline_out: Some(PathBuf::from("/tmp/tl.json")),
+                ..LinkOptions::default()
+            },
         ] {
             let err = cmd_evolve(
                 &[PathBuf::from("a.csv"), PathBuf::from("b.csv")],
@@ -1804,6 +2047,197 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("only supported by link"), "{err}");
+    }
+
+    #[test]
+    fn timeline_export_and_report_end_to_end() {
+        let dir = tmp_dir("timeline");
+        cmd_generate(&dir, "small", Some(41)).unwrap();
+        let old = dir.join("census_1851.csv");
+        let new = dir.join("census_1861.csv");
+        let link = |out: &Path, extra: &[&str]| {
+            let mut args = vec![
+                "link",
+                old.to_str().unwrap(),
+                new.to_str().unwrap(),
+                "--old-year",
+                "1851",
+                "--new-year",
+                "1861",
+                "--out",
+                out.to_str().unwrap(),
+            ];
+            args.extend_from_slice(extra);
+            cli(&args).unwrap()
+        };
+        // baseline without the timeline, then the instrumented run
+        let plain = dir.join("plain");
+        link(&plain, &["--shards", "4", "--threads", "2"]);
+        let timed = dir.join("timed");
+        let tl_path = dir.join("timeline.json");
+        let trace_path = dir.join("trace.json");
+        let summary = link(
+            &timed,
+            &[
+                "--shards",
+                "4",
+                "--threads",
+                "2",
+                "--parallel-cutoff",
+                "1",
+                "--timeline-out",
+                tl_path.to_str().unwrap(),
+                "--trace-out",
+                trace_path.to_str().unwrap(),
+                "--verbose",
+            ],
+        );
+        assert!(summary.contains("timeline.json"), "{summary}");
+        // recording the timeline never moves the mappings
+        for file in ["record_mapping.csv", "group_mapping.csv"] {
+            assert_eq!(
+                std::fs::read_to_string(plain.join(file)).unwrap(),
+                std::fs::read_to_string(timed.join(file)).unwrap(),
+                "{file} changed under --timeline-out"
+            );
+        }
+        // the trace embeds the timeline section, passes the validator,
+        // and the verbose phase table renders the analytics
+        assert!(summary.contains("timeline:"), "{summary}");
+        let report = cmd_trace_check(&trace_path).unwrap();
+        assert!(report.contains("trace OK"), "{report}");
+        let trace: RunTrace =
+            serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        let tl = trace.timeline.as_ref().expect("timeline embedded");
+        assert!(!tl.events.is_empty());
+
+        // the Chrome export is valid trace-event JSON: metadata naming
+        // the phase processes plus X duration events in microseconds
+        let chrome: serde_json::Value =
+            serde_json::parse(&std::fs::read_to_string(&tl_path).unwrap()).unwrap();
+        let serde_json::Value::Map(doc) = &chrome else {
+            panic!("chrome trace is not an object");
+        };
+        let events = doc
+            .iter()
+            .find(|(k, _)| matches!(k, serde_json::Value::Str(s) if s == "traceEvents"))
+            .map(|(_, v)| v)
+            .expect("traceEvents key");
+        let serde_json::Value::Seq(events) = events else {
+            panic!("traceEvents is not an array");
+        };
+        let text = serde_json::to_string(&chrome).unwrap();
+        assert!(
+            events.len() > PIPELINE_PHASES.len(),
+            "{} events",
+            events.len()
+        );
+        assert!(
+            text.contains("\"process_name\""),
+            "missing process metadata"
+        );
+        assert!(text.contains("\"prematch\""), "missing phase process");
+        assert!(text.contains("\"ph\":\"X\""), "missing duration events");
+
+        // the timeline subcommand renders the Gantt and utilization
+        // report, and gates on the floor
+        let rendered = cli(&["timeline", trace_path.to_str().unwrap()]).unwrap();
+        assert!(rendered.contains("worker   0 |"), "{rendered}");
+        assert!(rendered.contains("mean utilization"), "{rendered}");
+        assert!(rendered.contains("legend:"), "{rendered}");
+        let gated = cli(&[
+            "timeline",
+            trace_path.to_str().unwrap(),
+            "--min-utilization",
+            "10",
+        ])
+        .unwrap();
+        assert!(gated.contains("utilization floor 10%: OK"), "{gated}");
+
+        // a doctored trace with starved workers trips the floor
+        let mut doctored = trace.clone();
+        for u in &mut doctored.timeline.as_mut().unwrap().utilization {
+            u.utilization = 0.01;
+        }
+        let doctored_path = dir.join("starved.json");
+        write_trace_json(&doctored_path, &doctored).unwrap();
+        let err = cli(&[
+            "timeline",
+            doctored_path.to_str().unwrap(),
+            "--min-utilization",
+            "50",
+        ])
+        .unwrap_err();
+        assert!(err.contains("below the --min-utilization"), "{err}");
+
+        // bad invocations fail loudly
+        let err = cli(&[
+            "timeline",
+            trace_path.to_str().unwrap(),
+            "--min-utilization",
+            "200",
+        ])
+        .unwrap_err();
+        assert!(err.contains("bad utilization percentage"), "{err}");
+        let plain_trace = dir.join("plain_trace.json");
+        link(
+            &dir.join("plain2"),
+            &["--trace-out", plain_trace.to_str().unwrap()],
+        );
+        let err = cli(&["timeline", plain_trace.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("no timeline section"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traces_without_timeline_diff_as_absent() {
+        let dir = tmp_dir("tlcompat");
+        cmd_generate(&dir, "small", Some(43)).unwrap();
+        let trace_path = dir.join("trace.json");
+        cli(&[
+            "link",
+            dir.join("census_1851.csv").to_str().unwrap(),
+            dir.join("census_1861.csv").to_str().unwrap(),
+            "--old-year",
+            "1851",
+            "--new-year",
+            "1861",
+            "--out",
+            dir.join("linked").to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+            "--timeline-out",
+            dir.join("tl.json").to_str().unwrap(),
+        ])
+        .unwrap();
+
+        // strip the timeline key, simulating a trace from a build that
+        // predates the timeline profiler
+        let mut v: serde_json::Value =
+            serde_json::parse(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        match &mut v {
+            serde_json::Value::Map(entries) => {
+                entries.retain(|(k, _)| !matches!(k, serde_json::Value::Str(s) if s == "timeline"))
+            }
+            other => panic!("trace JSON is not an object: {other:?}"),
+        }
+        let old_path = dir.join("pre_timeline.json");
+        std::fs::write(&old_path, serde_json::to_string(&v).unwrap()).unwrap();
+
+        // it still parses and validates, and timeline gates against it
+        // are skipped as absent rather than failed
+        let report = cmd_trace_check(&old_path).unwrap();
+        assert!(report.contains("trace OK"), "{report}");
+        let report = cli(&[
+            "trace-diff",
+            old_path.to_str().unwrap(),
+            trace_path.to_str().unwrap(),
+            "--fail-on",
+            "timeline:utilization:5",
+        ])
+        .unwrap();
+        assert!(report.contains("absent in old trace"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -22,7 +22,7 @@ use hhgraph::{match_subgraph_with, EnrichedGraph, SubgraphScratch};
 /// indices, so the scoring hot loop skips the household→graph hash maps.
 type GroupCandidate = ((HouseholdId, HouseholdId), (u32, u32));
 use obs::{
-    Collector, Counter, DecisionRecord, Footprint, GroupDecision, Histogram, LiveHist,
+    Collector, Counter, DecisionRecord, EventKind, Footprint, GroupDecision, Histogram, LiveHist,
     LosingCandidate, MemoryFootprint, RejectedCandidate, RejectionReason, ITERATION_SPAN,
 };
 use std::collections::HashMap;
@@ -361,7 +361,8 @@ impl<'a> Linker<'a> {
             let n_chunks = if shards > 1 { shards } else { threads };
             let chunk = cand_list.len().div_ceil(n_chunks).max(1);
             let chunks: Vec<&[GroupCandidate]> = cand_list.chunks(chunk).collect();
-            let results = crate::shard::run_sharded(chunks.len(), threads, |ci| {
+            let results = crate::shard::run_sharded(chunks.len(), threads, obs, |ci, worker| {
+                let t0 = obs.timeline_start();
                 let start = Instant::now();
                 let mut scratch = SubgraphScratch::default();
                 let scored = chunks[ci]
@@ -372,9 +373,19 @@ impl<'a> Linker<'a> {
                     "subgraph",
                     Some(iteration),
                     ci,
+                    worker,
                     chunks[ci].len(),
                     start.elapsed(),
                 );
+                if let Some(t0) = t0 {
+                    obs.timeline_task(
+                        worker,
+                        EventKind::SubgraphChunk,
+                        ci as u64,
+                        Some(iteration),
+                        t0,
+                    );
+                }
                 scored
             });
             results.into_iter().flatten().collect()
@@ -451,6 +462,14 @@ impl<'a> Linker<'a> {
         let mut iter_idx = 0usize;
         loop {
             let _iter = obs.iter_span(ITERATION_SPAN, iter_idx, Some(delta));
+            // δ-iteration boundary marker on the driver's timeline lane;
+            // detail carries the threshold in basis points
+            obs.timeline_instant(
+                0,
+                EventKind::Iteration,
+                obs::score_bp(delta),
+                Some(iter_idx),
+            );
             let sim = config.sim_func.with_threshold(delta);
             let pm = {
                 let _prematch = obs.span("prematch");

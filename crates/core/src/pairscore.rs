@@ -143,7 +143,7 @@ impl PairScoreCache {
         let use_shards = par.shards > 1 && strategy == BlockingStrategy::Standard;
         let (pairs, sharded) = if use_shards {
             let sharded =
-                crate::shard::sharded_candidate_pairs(old, new, year_gap, par, max_age_gap);
+                crate::shard::sharded_candidate_pairs(old, new, year_gap, par, max_age_gap, obs);
             (Vec::new(), Some(sharded))
         } else {
             (

@@ -13,7 +13,7 @@ use crate::config::{Parallelism, ScoringKernel};
 use crate::mem::MemGovernor;
 use crate::simfunc::{CompiledProfile, SimFunc};
 use census_model::{PersonRecord, RecordId};
-use obs::{Collector, Counter, Footprint};
+use obs::{Collector, Counter, EventKind, Footprint};
 use std::collections::HashMap;
 use std::time::Instant;
 use textsim::{CompiledValue, MultisetArena};
@@ -541,6 +541,9 @@ pub(crate) fn score_pairs(
                 .map(|(ci, slice)| {
                     let (ids, arenas) = (&ids, &arenas);
                     scope.spawn(move |_| {
+                        // one spawn per tile: the chunk index is the
+                        // worker's stable identity for attribution
+                        let t0 = obs.timeline_start();
                         let start = Instant::now();
                         let mut stats = BatchStats::default();
                         let mut tables: Vec<Option<SimTable>> =
@@ -557,7 +560,10 @@ pub(crate) fn score_pairs(
                         obs.add(Counter::PairScoreBatchProbes, stats.probes);
                         obs.add(Counter::PairScoreBatchedUnique, stats.unique);
                         obs.add(Counter::EarlyExitPrunes, stats.prunes);
-                        obs.thread_chunk("prematch", None, ci, slice.len(), start.elapsed());
+                        obs.thread_chunk("prematch", None, ci, ci, slice.len(), start.elapsed());
+                        if let Some(t0) = t0 {
+                            obs.timeline_task(ci, EventKind::PrematchTile, ci as u64, None, t0);
+                        }
                         scored
                     })
                 })
@@ -598,10 +604,14 @@ pub(crate) fn score_pairs(
             .map(|(ci, slice)| {
                 let score_slice = &score_slice;
                 scope.spawn(move |_| {
+                    let t0 = obs.timeline_start();
                     let start = Instant::now();
                     let (scored, prunes) = score_slice(slice);
                     obs.add(Counter::EarlyExitPrunes, prunes);
-                    obs.thread_chunk("prematch", None, ci, slice.len(), start.elapsed());
+                    obs.thread_chunk("prematch", None, ci, ci, slice.len(), start.elapsed());
+                    if let Some(t0) = t0 {
+                        obs.timeline_task(ci, EventKind::PrematchTile, ci as u64, None, t0);
+                    }
                     scored
                 })
             })
@@ -836,7 +846,8 @@ pub fn prematch_with_profiles(
         // sharded engine: pairs are generated per owning blocking key and
         // scored with shard-local similarity tables; the merged result is
         // bit-identical to the unsharded path (see `crate::shard`)
-        let sharded = crate::shard::sharded_candidate_pairs(old, new, year_gap, par, max_age_gap);
+        let sharded =
+            crate::shard::sharded_candidate_pairs(old, new, year_gap, par, max_age_gap, obs);
         obs.add(Counter::BlockingPairsGenerated, sharded.total as u64);
         let matches =
             crate::shard::sharded_scores(&sharded, old_profiles, new_profiles, sim, par, mem, obs);

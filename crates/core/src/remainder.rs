@@ -11,7 +11,7 @@ use crate::pairscore::PairScoreCache;
 use crate::profiles::ProfileCache;
 use crate::simfunc::SimFunc;
 use census_model::{CensusDataset, GroupMapping, PersonRecord, RecordId, RecordMapping};
-use obs::{Collector, Counter};
+use obs::{Collector, Counter, EventKind};
 
 /// Whether a pair is age-plausible: the new age must be within
 /// `max_age_gap` years of `old age + census gap`. Pairs with a missing
@@ -87,6 +87,9 @@ pub fn match_remaining_cached(
     let sim: &SimFunc = &config.sim_func;
     let served = pair_cache.filter(|pc| pc.covers(sim, config.max_age_gap, blocking));
     let mut scored: Vec<(f64, RecordId, RecordId)> = if let Some(pc) = served {
+        // cache-served selection still walks the whole cached pair set:
+        // one worker-0 timeline event covers it, detail = pairs selected
+        let t0 = obs.timeline_start();
         let scored = pc.select_remainder(
             sim,
             config.max_age_gap,
@@ -94,6 +97,9 @@ pub fn match_remaining_cached(
             remaining_old,
             remaining_new,
         );
+        if let Some(t0) = t0 {
+            obs.timeline_task(0, EventKind::RemainderChunk, scored.len() as u64, None, t0);
+        }
         obs.add(Counter::PairCacheHits, scored.len() as u64);
         obs.add(Counter::PairCacheFiltered, (pc.len() - scored.len()) as u64);
         scored
@@ -109,6 +115,7 @@ pub fn match_remaining_cached(
                 year_gap,
                 par,
                 None,
+                obs,
             );
             let mut flat: Vec<(u32, u32)> = sharded.per_shard.into_iter().flatten().collect();
             flat.sort_unstable();
@@ -118,6 +125,10 @@ pub fn match_remaining_cached(
         };
         obs.add(Counter::BlockingPairsGenerated, pairs.len() as u64);
         obs.add(Counter::RemainderPairsScored, pairs.len() as u64);
+        let n_pairs = pairs.len() as u64;
+        // the fresh pass scores serially on the driver thread: one
+        // worker-0 timeline event covering the whole scoring loop
+        let t0 = obs.timeline_start();
         let mut prunes = 0u64;
         let scored = pairs
             .into_iter()
@@ -134,6 +145,9 @@ pub fn match_remaining_cached(
                 .map(|s| (s, o.id, n.id))
             })
             .collect::<Vec<_>>();
+        if let Some(t0) = t0 {
+            obs.timeline_task(0, EventKind::RemainderChunk, n_pairs, None, t0);
+        }
         obs.add(Counter::EarlyExitPrunes, prunes);
         if obs.is_enabled() {
             // cache-served scores were sampled when the cache was built;

@@ -28,7 +28,7 @@ use crate::mem::MemGovernor;
 use crate::prematch::{sample_match_scores, score_shard, ShardScore};
 use crate::simfunc::{CompiledProfile, SimFunc};
 use census_model::PersonRecord;
-use obs::{Collector, Counter, Footprint, ShardStat};
+use obs::{Collector, Counter, EventKind, Footprint, ShardStat};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
@@ -114,6 +114,9 @@ pub(crate) struct ShardedPairs {
     pub keys_per_shard: Vec<usize>,
     /// Total pairs across shards (= the unsharded deduplicated count).
     pub total: usize,
+    /// Predicted pair-weight load per shard from the LPT plan — the
+    /// baseline the timeline's plan-quality ratio measures against.
+    pub plan_loads: Vec<u64>,
 }
 
 /// Generate candidate pairs partitioned into `par.shards` shards.
@@ -130,6 +133,7 @@ pub(crate) fn sharded_candidate_pairs(
     year_gap: i64,
     par: Parallelism,
     max_age_gap: Option<u32>,
+    obs: &Collector,
 ) -> ShardedPairs {
     let shards = par.shards.max(1);
     let old_kf: Vec<KeyFields> = old.iter().map(|r| KeyFields::of(r)).collect();
@@ -164,7 +168,7 @@ pub(crate) fn sharded_candidate_pairs(
         shard_keys[s as usize].push(k);
     }
 
-    let gen_one = |s: usize| -> Vec<(u32, u32)> {
+    let gen_one = |s: usize, _worker: usize| -> Vec<(u32, u32)> {
         let mut out: Vec<(u32, u32)> = Vec::new();
         for &k in &shard_keys[s] {
             let (os, ns) = &buckets[&k];
@@ -198,13 +202,14 @@ pub(crate) fn sharded_candidate_pairs(
         out.dedup();
         out
     };
-    let per_shard = run_sharded(plan.shards(), par.threads, gen_one);
+    let per_shard = run_sharded(plan.shards(), par.threads, obs, gen_one);
     let keys_per_shard = shard_keys.iter().map(Vec::len).collect();
     let total = per_shard.iter().map(Vec::len).sum();
     ShardedPairs {
         per_shard,
         keys_per_shard,
         total,
+        plan_loads: plan.loads().to_vec(),
     }
 }
 
@@ -229,6 +234,9 @@ pub(crate) fn sharded_scores(
         return Vec::new();
     }
     obs.add(Counter::PrematchPairsScored, sharded.total as u64);
+    // first plan of the run wins: this registers the headline prematch
+    // plan the timeline's plan-quality ratio is judged against
+    obs.timeline_plan(&sharded.plan_loads);
     let n_specs = old_profiles
         .first()
         .or(new_profiles.first())
@@ -239,7 +247,8 @@ pub(crate) fn sharded_scores(
     // n_specs tables per shard × concurrently-running shards
     let max_cells = mem.sim_table_max_cells(n_specs * concurrent);
 
-    let score_one = |s: usize| -> (ShardScore, u64) {
+    let score_one = |s: usize, worker: usize| -> (ShardScore, u64, usize) {
+        let t0 = obs.timeline_start();
         let start = Instant::now();
         let score = score_shard(
             &sharded.per_shard[s],
@@ -249,12 +258,18 @@ pub(crate) fn sharded_scores(
             max_cells,
             par.scoring,
         );
-        (score, obs_us(start.elapsed()))
+        let duration_us = obs_us(start.elapsed());
+        if let Some(t0) = t0 {
+            obs.timeline_task(worker, EventKind::Shard, s as u64, None, t0);
+        }
+        (score, duration_us, worker)
     };
-    let results = run_sharded(sharded.per_shard.len(), par.threads, score_one);
+    let results = run_sharded(sharded.per_shard.len(), par.threads, obs, score_one);
 
     // deterministic merge: fold telemetry in shard order, then sort the
-    // concatenated matches into the unsharded (old, new) order
+    // concatenated matches into the unsharded (old, new) order; the
+    // driver thread reports the merge and sort as worker-0 events
+    let merge_t0 = obs.timeline_start();
     let mut merged: Vec<(u32, u32, f64)> = Vec::new();
     let mut prunes = 0u64;
     let mut budget_rejected = 0u64;
@@ -262,7 +277,7 @@ pub(crate) fn sharded_scores(
     let mut arena_fp = Footprint::ZERO;
     let mut batch_probes = 0u64;
     let mut batch_unique = 0u64;
-    for (s, (score, duration_us)) in results.into_iter().enumerate() {
+    for (s, (score, duration_us, worker)) in results.into_iter().enumerate() {
         obs.shard_stat(ShardStat {
             shard: s,
             keys: sharded.keys_per_shard[s] as u64,
@@ -276,6 +291,7 @@ pub(crate) fn sharded_scores(
             "prematch",
             None,
             s,
+            worker,
             sharded.per_shard[s].len(),
             std::time::Duration::from_micros(duration_us),
         );
@@ -287,7 +303,14 @@ pub(crate) fn sharded_scores(
         batch_unique += score.unique;
         merged.extend(score.matched);
     }
+    if let Some(t0) = merge_t0 {
+        obs.timeline_task(0, EventKind::Merge, merged.len() as u64, None, t0);
+    }
+    let sort_t0 = obs.timeline_start();
     merged.sort_unstable_by_key(|m| (m.0, m.1));
+    if let Some(t0) = sort_t0 {
+        obs.timeline_task(0, EventKind::Sort, merged.len() as u64, None, t0);
+    }
     obs.add(Counter::EarlyExitPrunes, prunes);
     obs.add(Counter::PrematchPairsMatched, merged.len() as u64);
     if batch_probes > 0 {
@@ -322,30 +345,44 @@ fn obs_us(d: std::time::Duration) -> u64 {
 /// workers and return the results **in task order**, independent of
 /// completion order — the merge-determinism backbone. With one worker
 /// (or one task) this degenerates to a plain serial loop.
-pub(crate) fn run_sharded<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+///
+/// `f` receives `(task index, worker index)`; the worker index is the
+/// spawn order of the claiming pool thread (0 on the serial path), a
+/// stable identity for timeline and chunk attribution. When the
+/// collector records a timeline the pool also reports the gap between
+/// a worker finishing one task and claiming the next as a
+/// [`EventKind::QueueWait`] event (zero-length gaps are elided).
+pub(crate) fn run_sharded<T, F>(n: usize, threads: usize, obs: &Collector, f: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(usize, usize) -> T + Sync,
 {
     let workers = threads.max(1).min(n.max(1));
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(|i| f(i, 0)).collect();
     }
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let next = &next;
                 let f = &f;
                 scope.spawn(move |_| {
                     let mut done: Vec<(usize, T)> = Vec::new();
+                    let mut last_end: Option<Instant> = None;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        done.push((i, f(i)));
+                        if let Some(prev) = last_end.take() {
+                            obs.timeline_gap(w, prev, i as u64);
+                        }
+                        done.push((i, f(i, w)));
+                        if obs.timeline_enabled() {
+                            last_end = Some(Instant::now());
+                        }
                     }
                     done
                 })
@@ -395,7 +432,14 @@ mod tests {
             let reference =
                 candidate_pairs_filtered(&o, &n, gap, BlockingStrategy::Standard, 1, max_age_gap);
             for shards in [1, 2, 7, 64, 10_000] {
-                let sharded = sharded_candidate_pairs(&o, &n, gap, par(shards), max_age_gap);
+                let sharded = sharded_candidate_pairs(
+                    &o,
+                    &n,
+                    gap,
+                    par(shards),
+                    max_age_gap,
+                    &Collector::disabled(),
+                );
                 assert_eq!(sharded.per_shard.len(), shards);
                 assert_eq!(sharded.total, reference.len(), "{shards} shards");
                 let mut union: Vec<(u32, u32)> =
@@ -416,7 +460,8 @@ mod tests {
         let o: Vec<&PersonRecord> = old.records().iter().collect();
         let n: Vec<&PersonRecord> = new.records().iter().collect();
         let gap = i64::from(new.year - old.year);
-        let sharded = sharded_candidate_pairs(&o, &n, gap, par(10_000), Some(3));
+        let sharded =
+            sharded_candidate_pairs(&o, &n, gap, par(10_000), Some(3), &Collector::disabled());
         let empty = sharded.per_shard.iter().filter(|p| p.is_empty()).count();
         assert!(empty > 0, "expected empty shards with 10k shards");
         assert!(sharded.total > 0);
@@ -424,11 +469,26 @@ mod tests {
 
     #[test]
     fn run_sharded_returns_results_in_task_order() {
+        let obs = Collector::disabled();
         for threads in [1, 2, 5] {
-            let out = run_sharded(17, threads, |i| i * i);
+            let out = run_sharded(17, threads, &obs, |i, _| i * i);
             assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
         }
-        assert!(run_sharded(0, 4, |i| i).is_empty());
+        assert!(run_sharded(0, 4, &obs, |i, _| i).is_empty());
+    }
+
+    #[test]
+    fn run_sharded_hands_each_task_a_valid_worker_index() {
+        let obs = Collector::disabled();
+        for threads in [1, 3] {
+            let workers = run_sharded(20, threads, &obs, |_, w| w);
+            for &w in &workers {
+                assert!(w < threads, "worker index {w} out of range");
+            }
+            if threads == 1 {
+                assert!(workers.iter().all(|&w| w == 0), "serial path is worker 0");
+            }
+        }
     }
 
     proptest! {

@@ -4,7 +4,7 @@
 
 use census_synth::{generate_series, SimConfig};
 use linkage_core::{link, link_traced, LinkageConfig};
-use obs::{Collector, PIPELINE_PHASES};
+use obs::{Collector, EventKind, PIPELINE_PHASES};
 
 fn pair() -> census_synth::CensusSeries {
     generate_series(&SimConfig::small())
@@ -129,6 +129,58 @@ fn pair_cache_scores_each_unique_pair_at_most_once() {
     assert!(result.iterations.len() >= 2, "schedule must iterate");
     assert!(trace.counter("pair_cache_hits") > 0);
     assert!(trace.counter("blocking_pairs_generated") >= scored);
+}
+
+#[test]
+fn timeline_records_worker_events_without_changing_the_result() {
+    let series = pair();
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    // sharded, multi-threaded, with the fan-out cutoff forced low so the
+    // run exercises every event source: shards, merge/sort, subgraph
+    // chunks, the remainder pass and the δ-iteration markers
+    let config = LinkageConfig {
+        shards: 4,
+        threads: 2,
+        parallel_cutoff: 1,
+        ..LinkageConfig::default()
+    };
+    let plain = link(old, new, &config);
+    let obs = Collector::enabled().with_timeline();
+    let timed = link_traced(old, new, &config, &obs);
+    let trace = obs.finish();
+
+    // timeline recording never changes the linkage outcome
+    let a: std::collections::BTreeSet<_> = plain.records.iter().collect();
+    let b: std::collections::BTreeSet<_> = timed.records.iter().collect();
+    assert_eq!(a, b);
+    assert_eq!(plain.remainder_links, timed.remainder_links);
+
+    let tl = trace.timeline.as_ref().expect("timeline recorded");
+    assert!(!tl.events.is_empty());
+    assert!(tl.workers >= 1);
+    assert!(tl.active_us > 0);
+    let kinds: std::collections::BTreeSet<EventKind> = tl.events.iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&EventKind::Shard), "{kinds:?}");
+    assert!(kinds.contains(&EventKind::Merge), "{kinds:?}");
+    assert!(kinds.contains(&EventKind::Sort), "{kinds:?}");
+    assert!(kinds.contains(&EventKind::Iteration), "{kinds:?}");
+    assert!(kinds.contains(&EventKind::RemainderChunk), "{kinds:?}");
+    // one δ-boundary marker per executed iteration, on the driver lane
+    let iter_marks = tl
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Iteration)
+        .count();
+    assert_eq!(iter_marks, timed.iterations.len());
+    // derived analytics are well-formed
+    assert!(tl.mean_utilization() > 0.0 && tl.mean_utilization() <= 1.0);
+    assert!(tl.critical_path_us > 0);
+    assert!(!tl.stragglers.is_empty(), "sharded run yields stragglers");
+    let pq = tl.plan_quality.as_ref().expect("LPT plan registered");
+    assert!(pq.predicted_skew >= 1.0 && pq.actual_skew >= 1.0);
+    // every phase-scoped event sits inside its phase's span windows
+    trace.validate_pipeline().unwrap();
+    trace.validate_basic().unwrap();
 }
 
 #[test]

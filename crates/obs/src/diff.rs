@@ -143,6 +143,14 @@ pub struct DiffReport {
     pub old_has_footprints: bool,
     /// Whether the new trace carries footprint snapshots.
     pub new_has_footprints: bool,
+    /// Mean per-worker utilization of the old trace's timeline section,
+    /// when it has one. A trace written before timelines existed (or a
+    /// run without `--timeline-out`) reads back without the section;
+    /// `timeline:` thresholds then report "absent" instead of failing.
+    pub old_mean_utilization: Option<f64>,
+    /// Mean per-worker utilization of the new trace's timeline section,
+    /// when it has one.
+    pub new_mean_utilization: Option<f64>,
     /// Total wall time of the old trace, microseconds.
     pub old_total_us: u64,
     /// Total wall time of the new trace, microseconds.
@@ -276,6 +284,8 @@ pub fn compare(old: &RunTrace, new: &RunTrace) -> DiffReport {
         new_has_memory: new.memory.is_some(),
         old_has_footprints: !old.footprints.is_empty(),
         new_has_footprints: !new.footprints.is_empty(),
+        old_mean_utilization: old.timeline.as_ref().map(|t| t.mean_utilization()),
+        new_mean_utilization: new.timeline.as_ref().map(|t| t.mean_utilization()),
         old_total_us: old.total_us,
         new_total_us: new.total_us,
     }
@@ -379,6 +389,23 @@ impl DiffReport {
                     f.pct_change()
                 ));
             }
+        }
+        if self.old_mean_utilization.is_some() || self.new_mean_utilization.is_some() {
+            out.push_str("\ntimeline\n");
+            match (self.old_mean_utilization, self.new_mean_utilization) {
+                (None, Some(_)) => out.push_str("  (absent in old trace; new values shown)\n"),
+                (Some(_), None) => out.push_str("  (absent in new trace; old values shown)\n"),
+                _ => {}
+            }
+            let fmt = |u: Option<f64>| {
+                u.map_or_else(|| "absent".to_owned(), |u| format!("{:.1}%", u * 100.0))
+            };
+            out.push_str(&format!(
+                "  {:<28} {:>14} -> {:>14}\n",
+                "mean utilization",
+                fmt(self.old_mean_utilization),
+                fmt(self.new_mean_utilization)
+            ));
         }
         out
     }
@@ -508,6 +535,27 @@ impl DiffReport {
                         }
                     }
                 }
+                Threshold::TimelineUtilization { max_drop_pct } => {
+                    // Like mem: gates, a side without the section is
+                    // "absent", not a failure — pre-timeline baselines
+                    // must keep passing until they are refreshed.
+                    let (Some(old), Some(new)) =
+                        (self.old_mean_utilization, self.new_mean_utilization)
+                    else {
+                        continue;
+                    };
+                    let drop = (old - new) * 100.0;
+                    if drop > *max_drop_pct {
+                        violations.push(Violation {
+                            spec: t.spec(),
+                            message: format!(
+                                "mean worker utilization dropped {drop:.1} points ({:.1}% -> {:.1}%), limit {max_drop_pct}",
+                                old * 100.0,
+                                new * 100.0
+                            ),
+                        });
+                    }
+                }
                 Threshold::Footprint { name, max_pct } => {
                     if !self.old_has_footprints || !self.new_has_footprints {
                         continue;
@@ -607,6 +655,14 @@ pub enum Threshold {
         /// Maximum growth in percent.
         max_pct: f64,
     },
+    /// `timeline:utilization:PCT[%]` — fail when mean per-worker
+    /// utilization drops more than PCT percentage points below the
+    /// baseline. Skipped (not violated) when either trace has no
+    /// timeline section at all.
+    TimelineUtilization {
+        /// Maximum utilization drop in percentage points.
+        max_drop_pct: f64,
+    },
 }
 
 impl Threshold {
@@ -620,7 +676,7 @@ impl Threshold {
             format!(
                 "invalid --fail-on spec '{spec}' (expected counter:NAME:PCT, \
                  phase:NAME:RATIO, hist:NAME:L1MAX, p99:NAME:PCT, mem:NAME:PCT, \
-                 footprint:NAME:PCT or total:RATIO)"
+                 footprint:NAME:PCT, timeline:utilization:PCT or total:RATIO)"
             )
         };
         let mut parts = spec.splitn(3, ':');
@@ -663,6 +719,9 @@ impl Threshold {
                 name,
                 max_pct: number,
             }),
+            "timeline" if name == "utilization" => Ok(Threshold::TimelineUtilization {
+                max_drop_pct: number,
+            }),
             _ => Err(bad()),
         }
     }
@@ -679,6 +738,9 @@ impl Threshold {
             Threshold::Total { max_ratio } => format!("total:{max_ratio}"),
             Threshold::Mem { name, max_pct } => format!("mem:{name}:{max_pct}%"),
             Threshold::Footprint { name, max_pct } => format!("footprint:{name}:{max_pct}%"),
+            Threshold::TimelineUtilization { max_drop_pct } => {
+                format!("timeline:utilization:{max_drop_pct}%")
+            }
         }
     }
 }
@@ -719,6 +781,7 @@ mod tests {
             footprints: vec![],
             events: vec![],
             shards: vec![],
+            timeline: None,
         }
     }
 
@@ -872,6 +935,66 @@ mod tests {
         assert_eq!(v.len(), 2, "{v:?}");
         assert!(v[0].message.contains("'total' grew 50.0%"), "{v:?}");
         assert!(v[1].message.contains("not present"), "{v:?}");
+    }
+
+    fn with_timeline(mut t: RunTrace, busy_us: &[u64]) -> RunTrace {
+        // one shard event per worker, all concurrent from t=0, so the
+        // activity window is the longest event and utilization per
+        // worker is busy/max
+        let events = busy_us
+            .iter()
+            .enumerate()
+            .map(|(w, &busy)| crate::TimelineEvent {
+                worker: w as u32,
+                kind: crate::EventKind::Shard,
+                start_us: 0,
+                duration_us: busy,
+                detail: w as u64,
+                iteration: None,
+            })
+            .collect();
+        t.timeline = Some(crate::Timeline::derive(events, 0, &[], &[]));
+        t
+    }
+
+    #[test]
+    fn timeline_gates_skip_when_either_side_lacks_a_timeline() {
+        let plain = trace(1, 1, &[1]);
+        let timed = with_timeline(trace(1, 1, &[1]), &[100, 100]);
+        let gates = [Threshold::parse("timeline:utilization:10%").unwrap()];
+        let report = compare(&plain, &timed);
+        assert!(report.old_mean_utilization.is_none());
+        assert!(report.new_mean_utilization.is_some());
+        assert!(report.check(&gates).is_empty());
+        assert!(compare(&timed, &plain).check(&gates).is_empty());
+        let rendered = report.render();
+        assert!(rendered.contains("absent in old trace"), "{rendered}");
+        assert!(rendered.contains("mean utilization"), "{rendered}");
+    }
+
+    #[test]
+    fn utilization_drop_trips_the_timeline_gate() {
+        // old: both workers fully busy (100%); new: one worker idles
+        // 80% of the window (mean 60%) — a 40-point drop
+        let old = with_timeline(trace(1, 1, &[1]), &[100, 100]);
+        let new = with_timeline(trace(1, 1, &[1]), &[100, 20]);
+        let report = compare(&old, &new);
+        let v = report.check(&[Threshold::parse("timeline:utilization:25").unwrap()]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("dropped 40.0 points"), "{v:?}");
+        assert!(report
+            .check(&[Threshold::parse("timeline:utilization:50").unwrap()])
+            .is_empty());
+        // improvements never trip
+        assert!(compare(&new, &old)
+            .check(&[Threshold::parse("timeline:utilization:0").unwrap()])
+            .is_empty());
+    }
+
+    #[test]
+    fn timeline_threshold_requires_the_utilization_metric() {
+        assert!(Threshold::parse("timeline:utilization:25%").is_ok());
+        assert!(Threshold::parse("timeline:busy:25%").is_err());
     }
 
     #[test]

@@ -8,7 +8,14 @@
 //!
 //! * [`Collector`] — nested phase spans with wall-clock timing, optional
 //!   per-δ-iteration tagging, atomic pipeline [`Counter`]s, and
-//!   per-thread chunk timings from the parallel scoring loops.
+//!   worker-attributed chunk timings from the parallel scoring loops
+//!   (workers report in completion order; each record carries its
+//!   stable worker id and the trace is sorted deterministically).
+//! * [`timeline`] — an opt-in per-worker event recorder
+//!   ([`Collector::with_timeline`]): bounded rings of fixed-size
+//!   timestamped events drained into a [`Timeline`] trace section with
+//!   derived scheduler analytics (utilization, stragglers, LPT plan
+//!   quality, critical path).
 //! * [`RunTrace`] — the serialisable report assembled by
 //!   [`Collector::finish`]: aggregated phase statistics, a per-iteration
 //!   breakdown, counters, chunk timings and the raw spans. Serialises to
@@ -24,8 +31,10 @@
 //! a single predictable branch on a plain `bool` — no locks, no clock
 //! reads, no allocation — so instrumented hot paths stay within noise of
 //! the uninstrumented code. Spans must be opened and closed from one
-//! thread (the pipeline driver); counters and chunk timings may be
-//! reported from any thread.
+//! thread (the pipeline driver); counters, chunk timings and timeline
+//! events may be reported from any thread. Chunk timings arrive in
+//! completion order, not per-thread order — each record carries the
+//! reporting worker's id for attribution.
 //!
 //! # Example
 //!
@@ -51,6 +60,7 @@ pub mod footprint;
 pub mod hist;
 pub mod progress;
 mod report;
+pub mod timeline;
 
 pub use alloc::{CountingAlloc, MemStats, PhaseMemStat};
 pub use decision::{
@@ -63,6 +73,10 @@ pub use progress::{fmt_bytes, Progress};
 pub use report::{
     ChunkTiming, CounterValue, IterationTrace, LabeledTrace, MemoryStats, MultiTrace, PhaseMem,
     PhaseStat, RunTrace, ShardStat, SpanRecord, TraceEvent, PIPELINE_PHASES,
+};
+pub use timeline::{
+    EventKind, PlanQuality, Straggler, Timeline, TimelineEvent, WorkerUtilization,
+    DEFAULT_EVENT_CAPACITY,
 };
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -137,11 +151,14 @@ pub enum Counter {
     EvolutionAddG,
     /// Evolution: disappearing households (`remove_G`).
     EvolutionRemoveG,
+    /// Timeline events lost to per-worker ring-buffer overflow (oldest
+    /// dropped first; see [`timeline`]).
+    TimelineDropped,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 26] = [
         Counter::PrematchPairsScored,
         Counter::PrematchPairsMatched,
         Counter::EarlyExitPrunes,
@@ -167,6 +184,7 @@ impl Counter {
         Counter::EvolutionPreserveG,
         Counter::EvolutionAddG,
         Counter::EvolutionRemoveG,
+        Counter::TimelineDropped,
     ];
 
     /// Stable snake_case name used in the JSON trace.
@@ -198,6 +216,7 @@ impl Counter {
             Counter::EvolutionPreserveG => "evolution_preserve_g",
             Counter::EvolutionAddG => "evolution_add_g",
             Counter::EvolutionRemoveG => "evolution_remove_g",
+            Counter::TimelineDropped => "timeline_dropped",
         }
     }
 
@@ -251,6 +270,7 @@ pub struct Collector {
     events: Mutex<Vec<TraceEvent>>,
     shard_stats: Mutex<Vec<ShardStat>>,
     progress: Option<Mutex<Progress>>,
+    timeline: Option<timeline::TimelineState>,
 }
 
 impl Collector {
@@ -282,6 +302,7 @@ impl Collector {
             events: Mutex::new(Vec::new()),
             shard_stats: Mutex::new(Vec::new()),
             progress: None,
+            timeline: None,
         }
     }
 
@@ -315,6 +336,127 @@ impl Collector {
             self.progress = Some(Mutex::new(progress));
         }
         self
+    }
+
+    /// Turn on per-worker timeline recording (see [`timeline`]) with
+    /// the default per-worker ring capacity. Has no effect on a
+    /// disabled collector.
+    #[must_use]
+    pub fn with_timeline(self) -> Self {
+        self.with_timeline_capacity(timeline::DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Turn on per-worker timeline recording with an explicit
+    /// per-worker ring capacity (events; at least 1). Overflow drops
+    /// the oldest events and counts them in `timeline_dropped`. Has no
+    /// effect on a disabled collector.
+    #[must_use]
+    pub fn with_timeline_capacity(mut self, capacity: usize) -> Self {
+        if self.enabled {
+            self.timeline = Some(timeline::TimelineState::new(capacity));
+        }
+        self
+    }
+
+    /// Whether timeline recording is on.
+    #[must_use]
+    pub fn timeline_enabled(&self) -> bool {
+        self.timeline.is_some()
+    }
+
+    /// Mark the start of a timed unit of work. Returns `None` — at the
+    /// cost of one branch, no clock read — unless timeline recording is
+    /// on. Pair every `Some` with a [`Collector::timeline_task`] call;
+    /// the busy-worker gauge feeding the live progress utilization line
+    /// counts starts not yet finished.
+    #[must_use]
+    pub fn timeline_start(&self) -> Option<Instant> {
+        let state = self.timeline.as_ref()?;
+        state.task_started();
+        Some(Instant::now())
+    }
+
+    /// Record a completed unit of work that began at `start` (the
+    /// instant handed out by [`Collector::timeline_start`]) into
+    /// `worker`'s ring. Thread-safe.
+    pub fn timeline_task(
+        &self,
+        worker: usize,
+        kind: EventKind,
+        detail: u64,
+        iteration: Option<usize>,
+        start: Instant,
+    ) {
+        let Some(state) = &self.timeline else {
+            return;
+        };
+        let event = TimelineEvent {
+            worker: u32::try_from(worker).unwrap_or(u32::MAX),
+            kind,
+            start_us: as_us(start.duration_since(self.epoch)),
+            duration_us: as_us(start.elapsed()),
+            detail,
+            iteration,
+        };
+        state.push(event);
+        state.task_finished();
+        if let Some(p) = &self.progress {
+            lock_or_recover(p).utilization(state.busy(), state.workers());
+        }
+    }
+
+    /// Record an instant (zero-duration) timeline event at the current
+    /// time. Thread-safe; a no-op unless timeline recording is on.
+    pub fn timeline_instant(
+        &self,
+        worker: usize,
+        kind: EventKind,
+        detail: u64,
+        iteration: Option<usize>,
+    ) {
+        let Some(state) = &self.timeline else {
+            return;
+        };
+        state.push(TimelineEvent {
+            worker: u32::try_from(worker).unwrap_or(u32::MAX),
+            kind,
+            start_us: as_us(self.epoch.elapsed()),
+            duration_us: 0,
+            detail,
+            iteration,
+        });
+    }
+
+    /// Record the queue-wait gap a pool worker spent between `since`
+    /// (when its previous task ended) and now, while waiting to claim
+    /// task `detail`. Gaps that truncate to 0µs are not recorded.
+    /// Thread-safe; a no-op unless timeline recording is on.
+    pub fn timeline_gap(&self, worker: usize, since: Instant, detail: u64) {
+        let Some(state) = &self.timeline else {
+            return;
+        };
+        let duration_us = as_us(since.elapsed());
+        if duration_us == 0 {
+            return;
+        }
+        state.push(TimelineEvent {
+            worker: u32::try_from(worker).unwrap_or(u32::MAX),
+            kind: EventKind::QueueWait,
+            start_us: as_us(since.duration_since(self.epoch)),
+            duration_us,
+            detail,
+            iteration: None,
+        });
+    }
+
+    /// Record the LPT plan's predicted per-shard loads for the
+    /// plan-quality analytics. The first plan of the run wins (the
+    /// headline pre-matching plan; the remainder pass replans a much
+    /// smaller residue). A no-op unless timeline recording is on.
+    pub fn timeline_plan(&self, loads: &[u64]) {
+        if let Some(state) = &self.timeline {
+            state.set_plan(loads);
+        }
     }
 
     /// Turn on bounded decision-provenance recording (see
@@ -522,12 +664,16 @@ impl Collector {
     }
 
     /// Record the wall time one worker spent on one chunk of a parallel
-    /// scoring loop. Thread-safe; a no-op when disabled.
+    /// scoring loop, attributed to the stable `worker` id that ran it.
+    /// Thread-safe; records arrive in completion order and
+    /// [`Collector::finish`] sorts them deterministically. A no-op when
+    /// disabled.
     pub fn thread_chunk(
         &self,
         phase: &'static str,
         iteration: Option<usize>,
         chunk: usize,
+        worker: usize,
         items: usize,
         duration: Duration,
     ) {
@@ -539,6 +685,7 @@ impl Collector {
             phase: phase.to_owned(),
             iteration,
             chunk,
+            worker,
             items,
             duration_us,
         });
@@ -649,7 +796,38 @@ impl Collector {
             let st = lock_or_recover(&self.state);
             st.finished.clone()
         };
-        let chunks = lock_or_recover(&self.chunks).clone();
+        let chunks = {
+            let mut c = lock_or_recover(&self.chunks).clone();
+            // workers report in completion order; sort so identical runs
+            // yield identical traces
+            c.sort_by(|a, b| {
+                (a.phase.as_str(), a.iteration, a.chunk, a.worker).cmp(&(
+                    b.phase.as_str(),
+                    b.iteration,
+                    b.chunk,
+                    b.worker,
+                ))
+            });
+            c
+        };
+        let shard_stats = {
+            let mut s = lock_or_recover(&self.shard_stats).clone();
+            // workers report in completion order; the trace is sorted by
+            // shard id so identical runs yield identical traces
+            s.sort_by_key(|st| st.shard);
+            s
+        };
+        // drain the timeline (and fold ring overflow into its counter)
+        // before snapshotting counters
+        let timeline = self.timeline.as_ref().map(|state| {
+            let (events, dropped, loads) = state.drain();
+            // store (not add) so finishing twice stays consistent with
+            // the re-drained ring counts
+            if dropped > 0 {
+                self.counters[Counter::TimelineDropped.index()].store(dropped, Ordering::Relaxed);
+            }
+            timeline::Timeline::derive(events, dropped, &loads, &shard_stats)
+        });
         let counters = Counter::ALL
             .iter()
             .map(|&c| CounterValue {
@@ -695,13 +873,6 @@ impl Collector {
         };
         let footprints = lock_or_recover(&self.footprints).clone();
         let events = lock_or_recover(&self.events).clone();
-        let shard_stats = {
-            let mut s = lock_or_recover(&self.shard_stats).clone();
-            // workers report in completion order; the trace is sorted by
-            // shard id so identical runs yield identical traces
-            s.sort_by_key(|st| st.shard);
-            s
-        };
         RunTrace::assemble(
             self.enabled,
             total_us,
@@ -713,6 +884,7 @@ impl Collector {
             footprints,
             events,
             shard_stats,
+            timeline,
         )
     }
 }
@@ -810,13 +982,94 @@ mod tests {
         {
             let _a = obs.span("prematch");
             obs.add(Counter::PrematchPairsScored, 100);
-            obs.thread_chunk("prematch", None, 0, 10, Duration::from_millis(1));
+            obs.thread_chunk("prematch", None, 0, 0, 10, Duration::from_millis(1));
+            obs.timeline_plan(&[1, 2, 3]);
+            obs.timeline_instant(0, EventKind::Iteration, 0, Some(0));
         }
         let trace = obs.finish();
         assert!(!trace.enabled);
         assert!(trace.spans.is_empty());
         assert!(trace.chunks.is_empty());
         assert_eq!(trace.counter("prematch_pairs_scored"), 0);
+        assert!(trace.timeline.is_none());
+    }
+
+    #[test]
+    fn timeline_is_opt_in_and_records_worker_events() {
+        // enabled but without with_timeline: starts hand out None and
+        // nothing is recorded
+        let obs = Collector::enabled();
+        assert!(!obs.timeline_enabled());
+        assert!(obs.timeline_start().is_none());
+        obs.timeline_instant(0, EventKind::Iteration, 0, None);
+        assert!(obs.finish().timeline.is_none());
+
+        let obs = Collector::enabled().with_timeline();
+        assert!(obs.timeline_enabled());
+        let t0 = obs.timeline_start().expect("timeline on");
+        std::thread::sleep(Duration::from_millis(2));
+        obs.timeline_task(1, EventKind::Shard, 7, None, t0);
+        obs.timeline_instant(0, EventKind::Iteration, 0, Some(0));
+        let trace = obs.finish();
+        assert_eq!(trace.counter("timeline_dropped"), 0);
+        let tl = trace.timeline.as_ref().expect("timeline section");
+        assert_eq!(tl.workers, 2);
+        assert_eq!(tl.dropped, 0);
+        let shard = tl
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Shard)
+            .expect("shard event");
+        assert_eq!(shard.worker, 1);
+        assert_eq!(shard.detail, 7);
+        assert!(shard.duration_us >= 1_000);
+        assert!(tl.active_us >= shard.duration_us);
+    }
+
+    #[test]
+    fn timeline_ring_overflow_feeds_the_dropped_counter() {
+        let obs = Collector::enabled().with_timeline_capacity(2);
+        for i in 0..5 {
+            let t0 = obs.timeline_start().expect("timeline on");
+            obs.timeline_task(0, EventKind::Shard, i, None, t0);
+        }
+        let trace = obs.finish();
+        let tl = trace.timeline.as_ref().expect("timeline section");
+        assert_eq!(tl.events.len(), 2);
+        assert_eq!(tl.dropped, 3);
+        assert_eq!(trace.counter("timeline_dropped"), 3);
+        // the survivors are the newest events
+        assert_eq!(
+            tl.events.iter().map(|e| e.detail).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        trace.validate_basic().expect("overflow must not corrupt");
+    }
+
+    #[test]
+    fn timeline_events_from_worker_threads_round_trip_through_json() {
+        let obs = Collector::enabled().with_timeline();
+        obs.timeline_plan(&[40, 60]);
+        std::thread::scope(|scope| {
+            for w in 0..3usize {
+                let obs = &obs;
+                scope.spawn(move || {
+                    let t0 = obs.timeline_start().expect("timeline on");
+                    obs.timeline_task(w, EventKind::Shard, w as u64, None, t0);
+                });
+            }
+        });
+        {
+            let _pm = obs.span("prematch");
+        }
+        let trace = obs.finish();
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: RunTrace = serde_json::from_str(&json).unwrap();
+        let tl = back.timeline.as_ref().expect("timeline survives serde");
+        assert_eq!(tl.workers, 3);
+        assert_eq!(tl.events.len(), 3);
+        assert_eq!(tl.utilization.len(), 3);
+        assert_eq!(back.timeline, trace.timeline);
     }
 
     #[test]
@@ -879,13 +1132,25 @@ mod tests {
             for t in 0..4 {
                 let obs = &obs;
                 scope.spawn(move || {
-                    obs.thread_chunk("subgraph", Some(0), t, 100 * t, Duration::from_micros(50));
+                    obs.thread_chunk(
+                        "subgraph",
+                        Some(0),
+                        t,
+                        t,
+                        100 * t,
+                        Duration::from_micros(50),
+                    );
                 });
             }
         });
         let trace = obs.finish();
         assert_eq!(trace.chunks.len(), 4);
         assert!(trace.chunks.iter().all(|c| c.phase == "subgraph"));
+        // completion order is nondeterministic; the trace is sorted
+        assert_eq!(
+            trace.chunks.iter().map(|c| c.worker).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
     }
 
     #[test]
@@ -932,7 +1197,7 @@ mod tests {
             scope
                 .spawn(|| {
                     let _span = obs.span("subgraph");
-                    obs.thread_chunk("subgraph", None, 0, 5, Duration::from_micros(10));
+                    obs.thread_chunk("subgraph", None, 0, 0, 5, Duration::from_micros(10));
                     panic!("worker died mid-span");
                 })
                 .join()

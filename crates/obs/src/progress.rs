@@ -52,6 +52,8 @@ pub struct Progress {
     phase_start: Instant,
     chunk_items: u64,
     chunk_us: u64,
+    busy_workers: usize,
+    total_workers: usize,
 }
 
 impl std::fmt::Debug for Progress {
@@ -83,6 +85,8 @@ impl Progress {
             phase_start: Instant::now(),
             chunk_items: 0,
             chunk_us: 0,
+            busy_workers: 0,
+            total_workers: 0,
         }
     }
 
@@ -122,6 +126,46 @@ impl Progress {
         self.chunk_us += duration_us;
     }
 
+    /// The timeline's busy-worker gauge moved: remember it and emit a
+    /// throttled utilization line (`busy/total` workers plus the current
+    /// phase's idle share, from recorded chunk time against the phase's
+    /// elapsed worker capacity). Only fires when the collector records a
+    /// timeline.
+    pub(crate) fn utilization(&mut self, busy: usize, total: usize) {
+        self.busy_workers = busy;
+        self.total_workers = total;
+        let now = Instant::now();
+        if let Some(last) = self.last_emit {
+            if now.duration_since(last) < self.min_interval {
+                return;
+            }
+        }
+        self.last_emit = Some(now);
+        let mut line = self.header();
+        line.push_str(&format!("  workers {busy}/{total} busy"));
+        if let Some(idle) = self.phase_idle_pct(now) {
+            line.push_str(&format!("  phase idle {idle:.0}%"));
+        }
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    /// Share of the current phase's worker capacity (elapsed time ×
+    /// worker count) not covered by recorded chunk work, in percent.
+    /// `None` until both a worker count and some chunk time exist.
+    fn phase_idle_pct(&self, now: Instant) -> Option<f64> {
+        if self.total_workers == 0 || self.chunk_us == 0 {
+            return None;
+        }
+        let elapsed =
+            u64::try_from(now.duration_since(self.phase_start).as_micros()).unwrap_or(u64::MAX);
+        let capacity = elapsed.saturating_mul(self.total_workers as u64);
+        if capacity == 0 {
+            return None;
+        }
+        let busy = self.chunk_us.min(capacity) as f64 / capacity as f64;
+        Some((1.0 - busy) * 100.0)
+    }
+
     /// Work progressed: emit a throttled status line. `total` of 0
     /// means the denominator is unknown.
     pub(crate) fn tick(&mut self, what: &str, done: u64, total: u64) {
@@ -139,6 +183,12 @@ impl Progress {
             line.push_str(&format!("  {what} {done}/{total} ({pct:.1}%)"));
         } else {
             line.push_str(&format!("  {what} {done}"));
+        }
+        if self.total_workers > 0 {
+            line.push_str(&format!(
+                "  workers {}/{}",
+                self.busy_workers, self.total_workers
+            ));
         }
         if alloc::tracking() {
             line.push_str(&format!("  live {}", fmt_bytes(alloc::live_bytes())));
@@ -233,6 +283,33 @@ mod tests {
         let text = cap.text();
         assert!(text.contains("pairs 17\n"), "{text}");
         assert!(!text.contains("eta"), "{text}");
+    }
+
+    #[test]
+    fn utilization_lines_render_and_throttle() {
+        let cap = Capture::default();
+        let mut p = Progress::with_writer(Box::new(cap.clone()), Duration::ZERO);
+        p.phase_started("prematch", Some(0), Some(0.7));
+        // no chunk time yet: workers only, no idle share
+        p.utilization(2, 4);
+        p.chunk(100, 1); // 1µs of recorded work: phase is nearly all idle
+        std::thread::sleep(Duration::from_millis(2));
+        p.utilization(3, 4);
+        // subsequent ticks carry the last-seen worker gauge
+        p.tick("pairs", 40, 100);
+        let text = cap.text();
+        assert!(text.contains("workers 2/4 busy"), "{text}");
+        assert!(text.contains("workers 3/4 busy  phase idle"), "{text}");
+        assert!(text.contains("pairs 40/100 (40.0%)  workers 3/4"), "{text}");
+
+        // throttled like every other line
+        let cap = Capture::default();
+        let mut p = Progress::with_writer(Box::new(cap.clone()), Duration::from_secs(3600));
+        p.phase_started("prematch", None, None);
+        for _ in 0..50 {
+            p.utilization(1, 4);
+        }
+        assert_eq!(cap.text().lines().count(), 1, "{}", cap.text());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::footprint::FootprintSnapshot;
 use crate::hist::{Histogram, NamedHistogram};
 use crate::progress::fmt_bytes;
+use crate::timeline::{Timeline, ROUNDING_SLACK_US};
 use crate::{Counter, ITERATION_SPAN};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -62,6 +63,9 @@ pub struct CounterValue {
 }
 
 /// Wall time one worker spent on one chunk of a parallel scoring loop.
+/// Records arrive in worker completion order and are sorted
+/// deterministically at [`crate::Collector::finish`]; each carries the
+/// stable id of the worker that ran it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChunkTiming {
     /// Phase the chunk belongs to (e.g. `"subgraph"`).
@@ -70,6 +74,11 @@ pub struct ChunkTiming {
     pub iteration: Option<usize>,
     /// Chunk index within the parallel loop.
     pub chunk: usize,
+    /// Stable id of the worker that ran the chunk (pool spawn index; 0
+    /// for serial loops). Defaults to 0 on traces written before chunk
+    /// records carried worker attribution.
+    #[serde(default)]
+    pub worker: usize,
     /// Items processed by the chunk.
     pub items: usize,
     /// Wall-clock duration, in microseconds.
@@ -166,7 +175,8 @@ pub struct RunTrace {
     pub iterations: Vec<IterationTrace>,
     /// All counters, including zero-valued ones.
     pub counters: Vec<CounterValue>,
-    /// Per-thread chunk timings from parallel scoring loops.
+    /// Worker-attributed chunk timings from parallel scoring loops,
+    /// sorted by `(phase, iteration, chunk, worker)`.
     pub chunks: Vec<ChunkTiming>,
     /// The raw spans, innermost-first within each nest.
     pub spans: Vec<SpanRecord>,
@@ -194,6 +204,11 @@ pub struct RunTrace {
     /// unsharded runs and on older traces.
     #[serde(default)]
     pub shards: Vec<ShardStat>,
+    /// Per-worker execution timeline and derived scheduler analytics,
+    /// when the run recorded one ([`crate::Collector::with_timeline`]).
+    /// Absent otherwise, and on traces written before timelines existed.
+    #[serde(default)]
+    pub timeline: Option<Timeline>,
 }
 
 /// The phase names of a full `link` pipeline run, in execution order.
@@ -214,6 +229,7 @@ impl RunTrace {
         footprints: Vec<FootprintSnapshot>,
         events: Vec<TraceEvent>,
         shards: Vec<ShardStat>,
+        timeline: Option<Timeline>,
     ) -> Self {
         // phases: top-level spans plus direct children of `iteration`
         let is_phase = |s: &SpanRecord| {
@@ -308,6 +324,7 @@ impl RunTrace {
             footprints,
             events,
             shards,
+            timeline,
         }
     }
 
@@ -489,6 +506,16 @@ impl RunTrace {
                 ));
             }
         }
+        if let Some(tl) = &self.timeline {
+            tl.validate(self.total_us)?;
+            let counted = self.counter("timeline_dropped");
+            if tl.dropped != counted {
+                return Err(format!(
+                    "timeline reports {} dropped event(s) but the timeline_dropped counter says {counted}",
+                    tl.dropped
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -522,7 +549,39 @@ impl RunTrace {
                 ));
             }
         }
-        self.validate_disjoint_siblings()
+        self.validate_disjoint_siblings()?;
+        self.validate_timeline_containment()
+    }
+
+    /// Every phase-scoped timeline event must fall inside a span of its
+    /// phase (timestamps truncate independently to whole µs, so the
+    /// window is slackened by [`ROUNDING_SLACK_US`] on both ends).
+    /// Scheduler-level events (iteration boundaries, queue waits) are
+    /// exempt — they can legitimately straddle phase boundaries.
+    fn validate_timeline_containment(&self) -> Result<(), String> {
+        let Some(tl) = &self.timeline else {
+            return Ok(());
+        };
+        for e in &tl.events {
+            let Some(phase) = e.kind.phase() else {
+                continue;
+            };
+            let contained = self.spans.iter().any(|s| {
+                s.name == phase
+                    && e.start_us.saturating_add(ROUNDING_SLACK_US) >= s.start_us
+                    && e.end_us() <= s.start_us + s.duration_us + ROUNDING_SLACK_US
+            });
+            if !contained {
+                return Err(format!(
+                    "timeline event {:?} on worker {} [{}µs..{}µs) falls outside every {phase:?} span",
+                    e.kind.name(),
+                    e.worker,
+                    e.start_us,
+                    e.end_us()
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Reject sibling spans that overlap in wall time. All top-level
@@ -711,6 +770,67 @@ impl RunTrace {
                     fmt_bytes(s.sim_table_bytes),
                     fmt_us(s.duration_us)
                 );
+            }
+        }
+        if let Some(tl) = &self.timeline {
+            let _ = writeln!(
+                out,
+                "\ntimeline: {} event(s) on {} worker(s), active window {}{}",
+                tl.events.len(),
+                tl.workers,
+                fmt_us(tl.active_us),
+                if tl.dropped > 0 {
+                    format!(", {} dropped", tl.dropped)
+                } else {
+                    String::new()
+                }
+            );
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>10} {:>8} {:>8}",
+                "worker", "busy", "events", "util"
+            );
+            for u in &tl.utilization {
+                let _ = writeln!(
+                    out,
+                    "  {:<8} {:>10} {:>8} {:>7.1}%",
+                    u.worker,
+                    fmt_us(u.busy_us),
+                    u.events,
+                    u.utilization * 100.0
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  mean utilization {:.1}%, critical path {}",
+                tl.mean_utilization() * 100.0,
+                fmt_us(tl.critical_path_us)
+            );
+            if let Some(pq) = &tl.plan_quality {
+                let _ = writeln!(
+                    out,
+                    "  plan quality: predicted skew {:.2}×, actual {:.2}×, ratio {:.2}",
+                    pq.predicted_skew, pq.actual_skew, pq.ratio
+                );
+            }
+            if !tl.stragglers.is_empty() {
+                let _ = writeln!(out, "  stragglers (longest shards):");
+                for s in &tl.stragglers {
+                    let _ = writeln!(
+                        out,
+                        "    shard {:<5} worker {:<3} {:>10}  {} pairs, {} keys, {}",
+                        s.shard,
+                        s.worker,
+                        fmt_us(s.duration_us),
+                        s.pairs,
+                        s.keys,
+                        if s.sim_table_cells > 0 {
+                            format!("SimTable {}", fmt_bytes(s.sim_table_bytes))
+                        } else {
+                            "direct compute".to_owned()
+                        }
+                    );
+                }
             }
         }
         if !self.events.is_empty() {
@@ -907,6 +1027,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             Vec::new(),
+            None,
         )
     }
 
@@ -937,6 +1058,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             Vec::new(),
+            None,
         );
         let err = t.validate_pipeline().unwrap_err();
         assert!(err.contains("missing pipeline phase"), "{err}");
@@ -959,6 +1081,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             Vec::new(),
+            None,
         );
         let err = t.validate_basic().unwrap_err();
         assert!(err.contains("exceeding total wall time"), "{err}");
@@ -981,6 +1104,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             Vec::new(),
+            None,
         );
         assert!(t.validate_basic().is_err());
     }
@@ -1007,6 +1131,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             Vec::new(),
+            None,
         );
         let multi = MultiTrace {
             runs: vec![LabeledTrace {
@@ -1081,6 +1206,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             Vec::new(),
+            None,
         );
         t.validate_basic().unwrap();
         let err = t.validate_pipeline().unwrap_err();
@@ -1104,6 +1230,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             Vec::new(),
+            None,
         );
         let err = t.validate_pipeline().unwrap_err();
         assert!(err.contains("sibling spans overlap"), "{err}");
@@ -1126,6 +1253,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             Vec::new(),
+            None,
         );
         t.validate_pipeline().unwrap();
     }
@@ -1163,6 +1291,94 @@ mod tests {
         bad.shards = vec![shard_stat(0, 10, 11)];
         let err = bad.validate_basic().unwrap_err();
         assert!(err.contains("matched"), "{err}");
+    }
+
+    fn timeline_event(
+        worker: u32,
+        kind: crate::EventKind,
+        start_us: u64,
+        duration_us: u64,
+    ) -> crate::TimelineEvent {
+        crate::TimelineEvent {
+            worker,
+            kind,
+            start_us,
+            duration_us,
+            detail: 0,
+            iteration: None,
+        }
+    }
+
+    fn with_timeline(events: Vec<crate::TimelineEvent>) -> RunTrace {
+        let mut t = pipeline_trace();
+        t.timeline = Some(Timeline::derive(events, 0, &[], &[]));
+        t
+    }
+
+    #[test]
+    fn timeline_events_must_fall_inside_their_phase_spans() {
+        // prematch of iteration 0 runs [10µs..30µs); a shard event
+        // inside it passes, one in the subgraph slot fails
+        let t = with_timeline(vec![timeline_event(0, crate::EventKind::Shard, 12, 10)]);
+        t.validate_pipeline().unwrap();
+        let table = t.phase_table();
+        assert!(table.contains("timeline:"), "{table}");
+        assert!(table.contains("mean utilization"), "{table}");
+
+        let bad = with_timeline(vec![timeline_event(0, crate::EventKind::Shard, 40, 10)]);
+        let err = bad.validate_pipeline().unwrap_err();
+        assert!(err.contains("falls outside every"), "{err}");
+
+        // scheduler-level kinds are exempt from containment
+        let t = with_timeline(vec![timeline_event(0, crate::EventKind::QueueWait, 40, 10)]);
+        t.validate_pipeline().unwrap();
+    }
+
+    #[test]
+    fn timeline_events_get_rounding_slack_at_phase_edges() {
+        // remainder runs [120µs..160µs); an event whose truncated end
+        // lands 2µs past the span end must still validate
+        let t = with_timeline(vec![timeline_event(
+            0,
+            crate::EventKind::RemainderChunk,
+            121,
+            41,
+        )]);
+        t.validate_pipeline().unwrap();
+        // but 3µs past is a real violation
+        let bad = with_timeline(vec![timeline_event(
+            0,
+            crate::EventKind::RemainderChunk,
+            121,
+            42,
+        )]);
+        assert!(bad.validate_pipeline().is_err());
+    }
+
+    #[test]
+    fn timeline_dropped_must_agree_with_the_counter() {
+        let mut t = with_timeline(vec![timeline_event(0, crate::EventKind::Shard, 12, 10)]);
+        t.timeline.as_mut().unwrap().dropped = 4;
+        let err = t.validate_basic().unwrap_err();
+        assert!(err.contains("timeline_dropped"), "{err}");
+        t.counters.push(CounterValue {
+            name: "timeline_dropped".into(),
+            value: 4,
+        });
+        t.validate_basic().unwrap();
+    }
+
+    #[test]
+    fn traces_without_timeline_deserialize_as_absent() {
+        let t = with_timeline(vec![timeline_event(0, crate::EventKind::Shard, 12, 10)]);
+        let mut json = serde_json::parse(&serde_json::to_string(&t).unwrap()).unwrap();
+        let serde_json::Value::Map(entries) = &mut json else {
+            panic!("trace must serialize to an object");
+        };
+        entries.retain(|(k, _)| !matches!(k, serde_json::Value::Str(s) if s == "timeline"));
+        let back: RunTrace = serde_json::from_str(&serde_json::to_string(&json).unwrap()).unwrap();
+        assert!(back.timeline.is_none());
+        back.validate_pipeline().unwrap();
     }
 
     #[test]

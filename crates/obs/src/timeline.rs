@@ -1,0 +1,760 @@
+//! Per-worker execution timeline: an opt-in event recorder for the
+//! parallel scoring loops, plus the scheduler analytics derived from it.
+//!
+//! The aggregate phase table says *how long* the pipeline spent in each
+//! phase; the timeline says *when each worker did what* — which is the
+//! only way to see stragglers, queue starvation and LPT plan
+//! misprediction. Worker threads append fixed-size [`TimelineEvent`]s
+//! (one per shard, prematch tile, subgraph chunk, remainder chunk,
+//! δ-iteration boundary, queue-wait gap, merge or sort) into per-worker
+//! ring buffers owned by the collector; [`crate::Collector::finish`]
+//! drains them into a [`Timeline`] section of the trace together with
+//! the derived analytics: per-worker busy/idle utilization over the
+//! run's parallel activity window, the top-k straggler shards joined
+//! with their [`ShardStat`] rows, the LPT plan-quality ratio and a
+//! critical-path estimate for the parallel phases.
+//!
+//! # Overhead discipline
+//!
+//! Recording is off unless [`crate::Collector::with_timeline`] was
+//! applied, and an untimed call costs one branch on an `Option`. Events
+//! are coarse — one per *chunk* of work, never per pair — so even the
+//! recording path is a handful of ring pushes per phase. Each ring is
+//! written by exactly one worker at a time (worker ids are stable per
+//! parallel region), so its mutex is uncontended on the fast path; the
+//! registry of rings takes a read lock per event and a write lock only
+//! when a new worker id first appears. Rings are bounded: overflow
+//! drops the *oldest* events and counts them in [`Timeline::dropped`]
+//! (mirrored by the `timeline_dropped` counter) rather than growing or
+//! corrupting the trace.
+
+use crate::report::ShardStat;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// Default per-worker ring capacity (events). At one event per chunk of
+/// work this covers runs far larger than the XL bench scale; overflow
+/// drops oldest and is counted, never fatal.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// How many straggler shards [`Timeline::derive`] keeps.
+pub const STRAGGLER_TOP_K: usize = 5;
+
+/// Span and event timestamps truncate independently to whole
+/// microseconds, so an event can appear to outlive its enclosing phase
+/// span by up to this much. Containment checks allow the slack.
+pub const ROUNDING_SLACK_US: u64 = 2;
+
+/// What one [`TimelineEvent`] measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// One shard scored on the sharded scoring pool (`detail` = shard id).
+    Shard,
+    /// One tile/chunk of the parallel pre-matching kernel
+    /// (`detail` = chunk index).
+    PrematchTile,
+    /// One chunk of parallel subgraph scoring (`detail` = chunk index).
+    SubgraphChunk,
+    /// The remainder pass's fresh scoring loop (`detail` = pairs scored).
+    RemainderChunk,
+    /// A δ-iteration boundary (instant; `detail` = iteration index).
+    Iteration,
+    /// A gap a pool worker spent between finishing one task and starting
+    /// the next (`detail` = the task index it was waiting to claim).
+    QueueWait,
+    /// The driver's deterministic merge of per-shard results
+    /// (`detail` = shard count).
+    Merge,
+    /// The driver's global sort re-establishing unsharded order
+    /// (`detail` = matches sorted).
+    Sort,
+}
+
+impl EventKind {
+    /// Stable snake_case name (Chrome trace event name, Gantt legend).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Shard => "shard",
+            EventKind::PrematchTile => "prematch_tile",
+            EventKind::SubgraphChunk => "subgraph_chunk",
+            EventKind::RemainderChunk => "remainder_chunk",
+            EventKind::Iteration => "iteration",
+            EventKind::QueueWait => "queue_wait",
+            EventKind::Merge => "merge",
+            EventKind::Sort => "sort",
+        }
+    }
+
+    /// The pipeline phase whose span must enclose events of this kind
+    /// (`None` for scheduler-level kinds that can occur anywhere).
+    #[must_use]
+    pub fn phase(self) -> Option<&'static str> {
+        match self {
+            EventKind::Shard | EventKind::PrematchTile | EventKind::Merge | EventKind::Sort => {
+                Some("prematch")
+            }
+            EventKind::SubgraphChunk => Some("subgraph"),
+            EventKind::RemainderChunk => Some("remainder"),
+            EventKind::Iteration | EventKind::QueueWait => None,
+        }
+    }
+
+    /// Whether events of this kind are instants (zero duration).
+    #[must_use]
+    pub fn is_instant(self) -> bool {
+        matches!(self, EventKind::Iteration)
+    }
+
+    /// One-character glyph for the ASCII Gantt chart.
+    #[must_use]
+    pub fn glyph(self) -> char {
+        match self {
+            EventKind::Shard => 'S',
+            EventKind::PrematchTile => 'P',
+            EventKind::SubgraphChunk => 'G',
+            EventKind::RemainderChunk => 'R',
+            EventKind::Iteration => '|',
+            EventKind::QueueWait => '.',
+            EventKind::Merge => 'M',
+            EventKind::Sort => 'O',
+        }
+    }
+
+    /// Every kind, in legend order.
+    pub const ALL: [EventKind; 8] = [
+        EventKind::Shard,
+        EventKind::PrematchTile,
+        EventKind::SubgraphChunk,
+        EventKind::RemainderChunk,
+        EventKind::Iteration,
+        EventKind::QueueWait,
+        EventKind::Merge,
+        EventKind::Sort,
+    ];
+}
+
+/// One fixed-size timestamped record of work done by one worker.
+/// Timestamps are microseconds since the collector's epoch, matching
+/// [`crate::SpanRecord::start_us`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineEvent {
+    /// Stable worker id within the run (pool spawn index, chunk index
+    /// for one-thread-per-chunk regions, 0 for serial/driver work).
+    pub worker: u32,
+    /// What was measured.
+    pub kind: EventKind,
+    /// Start, µs since the collector epoch.
+    pub start_us: u64,
+    /// Duration in µs (0 for instants).
+    pub duration_us: u64,
+    /// Kind-specific payload — see each [`EventKind`] variant.
+    pub detail: u64,
+    /// The δ-iteration the event belongs to, where known.
+    pub iteration: Option<usize>,
+}
+
+impl TimelineEvent {
+    /// End of the event, µs since the collector epoch (saturating).
+    #[must_use]
+    pub fn end_us(&self) -> u64 {
+        self.start_us.saturating_add(self.duration_us)
+    }
+}
+
+/// Bounded per-worker event buffer: overflow overwrites the oldest
+/// event and bumps the drop count.
+struct WorkerRing {
+    capacity: usize,
+    buf: Vec<TimelineEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl WorkerRing {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            buf: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, event: TimelineEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events oldest-first.
+    fn drain(&self) -> Vec<TimelineEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+/// The collector-owned recording state (one per run; see the module
+/// docs for the locking discipline).
+pub(crate) struct TimelineState {
+    capacity: usize,
+    rings: RwLock<Vec<Mutex<WorkerRing>>>,
+    /// Predicted per-shard loads of the run's first LPT plan (the
+    /// pre-matching plan; later plans — e.g. the remainder pass's — keep
+    /// the first so plan quality measures the headline scoring phase).
+    plan_loads: Mutex<Vec<u64>>,
+    /// Workers currently inside a timed task, for the live progress
+    /// utilization line. Display-only — a panicking worker may leak one.
+    busy: AtomicUsize,
+}
+
+impl TimelineState {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            rings: RwLock::new(Vec::new()),
+            plan_loads: Mutex::new(Vec::new()),
+            busy: AtomicUsize::new(0),
+        }
+    }
+
+    /// Append an event to `event.worker`'s ring, growing the registry on
+    /// first sight of a worker id.
+    pub(crate) fn push(&self, event: TimelineEvent) {
+        let worker = event.worker as usize;
+        {
+            let rings = self
+                .rings
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(ring) = rings.get(worker) {
+                crate::lock_or_recover(ring).push(event);
+                return;
+            }
+        }
+        let mut rings = self
+            .rings
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while rings.len() <= worker {
+            rings.push(Mutex::new(WorkerRing::new(self.capacity)));
+        }
+        crate::lock_or_recover(&rings[worker]).push(event);
+    }
+
+    /// Record the predicted per-shard loads; the first plan of the run
+    /// wins.
+    pub(crate) fn set_plan(&self, loads: &[u64]) {
+        let mut guard = crate::lock_or_recover(&self.plan_loads);
+        if guard.is_empty() {
+            guard.extend_from_slice(loads);
+        }
+    }
+
+    pub(crate) fn task_started(&self) {
+        self.busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn task_finished(&self) {
+        // saturating: a leaked increment (panicked worker) must not wrap
+        let _ = self
+            .busy
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                Some(b.saturating_sub(1))
+            });
+    }
+
+    /// Workers currently inside a timed task.
+    pub(crate) fn busy(&self) -> usize {
+        self.busy.load(Ordering::Relaxed)
+    }
+
+    /// Worker ids seen so far.
+    pub(crate) fn workers(&self) -> usize {
+        self.rings
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Drain every ring: events sorted by `(worker, start)`, the total
+    /// drop count, and the recorded plan loads.
+    pub(crate) fn drain(&self) -> (Vec<TimelineEvent>, u64, Vec<u64>) {
+        let rings = self
+            .rings
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        for ring in rings.iter() {
+            let guard = crate::lock_or_recover(ring);
+            events.extend(guard.drain());
+            dropped += guard.dropped;
+        }
+        events.sort_by_key(|e| (e.worker, e.start_us, e.duration_us));
+        let loads = crate::lock_or_recover(&self.plan_loads).clone();
+        (events, dropped, loads)
+    }
+}
+
+/// One worker's share of the run's parallel activity window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerUtilization {
+    /// Worker id.
+    pub worker: u32,
+    /// Total time inside timed tasks (queue waits excluded), µs.
+    pub busy_us: u64,
+    /// Events this worker recorded.
+    pub events: usize,
+    /// `busy_us / Timeline::active_us` — the share of the run's parallel
+    /// activity window this worker spent working. In `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// One of the longest-running shards, joined with its [`ShardStat`] row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Straggler {
+    /// Shard id.
+    pub shard: u64,
+    /// Worker that scored it.
+    pub worker: u32,
+    /// Start, µs since the collector epoch.
+    pub start_us: u64,
+    /// Scoring wall time, µs.
+    pub duration_us: u64,
+    /// Candidate pairs the shard scored (from its [`ShardStat`] row).
+    pub pairs: u64,
+    /// Blocking keys the shard owned.
+    pub keys: u64,
+    /// Similarity-table cells the shard allocated — `0` means the shard
+    /// scored every pair by direct computation (no memoisation).
+    pub sim_table_cells: u64,
+    /// Similarity-table bytes the shard allocated.
+    pub sim_table_bytes: u64,
+}
+
+/// How well the LPT plan's predicted per-shard loads anticipated the
+/// measured per-shard scoring times, compared skew-to-skew.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanQuality {
+    /// `max / mean` over the plan's predicted non-zero shard loads.
+    pub predicted_skew: f64,
+    /// `max / mean` over the measured per-shard scoring durations.
+    pub actual_skew: f64,
+    /// `actual_skew / predicted_skew` — `1.0` means the plan predicted
+    /// the imbalance exactly; above it the schedule was more skewed than
+    /// the plan promised (weights mispredict per-pair cost).
+    pub ratio: f64,
+}
+
+/// The timeline section of a [`crate::RunTrace`]: the drained raw
+/// events plus the derived scheduler analytics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// All recorded events, sorted by `(worker, start_us)`.
+    pub events: Vec<TimelineEvent>,
+    /// Distinct worker ids that recorded at least one event.
+    pub workers: usize,
+    /// Events lost to ring-buffer overflow (oldest dropped first);
+    /// mirrored by the `timeline_dropped` counter.
+    pub dropped: u64,
+    /// Length of the union of all busy intervals, µs — the run's
+    /// parallel activity window and the utilization denominator. Idle
+    /// stretches between parallel regions don't count against workers.
+    pub active_us: u64,
+    /// Per-worker busy time and utilization, sorted by worker id.
+    #[serde(default)]
+    pub utilization: Vec<WorkerUtilization>,
+    /// The [`STRAGGLER_TOP_K`] longest shards, longest first.
+    #[serde(default)]
+    pub stragglers: Vec<Straggler>,
+    /// LPT plan quality, when a sharded plan ran under the timeline.
+    #[serde(default)]
+    pub plan_quality: Option<PlanQuality>,
+    /// Σ over parallel phases of the busiest worker's time in that
+    /// phase — a lower bound on the parallel phases' wall time under the
+    /// observed work split.
+    pub critical_path_us: u64,
+}
+
+fn skew(values: impl Iterator<Item = u64>) -> Option<f64> {
+    let vals: Vec<u64> = values.filter(|&v| v > 0).collect();
+    if vals.is_empty() {
+        return None;
+    }
+    let max = *vals.iter().max().expect("non-empty") as f64;
+    let mean = vals.iter().sum::<u64>() as f64 / vals.len() as f64;
+    Some(max / mean.max(1e-9))
+}
+
+impl Timeline {
+    /// Assemble the section from drained state: derive utilization,
+    /// stragglers, plan quality and the critical path. `shard_stats`
+    /// must be sorted by shard id (as [`crate::Collector::finish`]
+    /// leaves them).
+    #[must_use]
+    pub(crate) fn derive(
+        mut events: Vec<TimelineEvent>,
+        dropped: u64,
+        plan_loads: &[u64],
+        shard_stats: &[ShardStat],
+    ) -> Self {
+        events.sort_by_key(|e| (e.worker, e.start_us, e.duration_us));
+        let busy_events =
+            |e: &&TimelineEvent| !e.kind.is_instant() && e.kind != EventKind::QueueWait;
+
+        // union of busy intervals = the parallel activity window
+        let mut intervals: Vec<(u64, u64)> = events
+            .iter()
+            .filter(busy_events)
+            .map(|e| (e.start_us, e.end_us()))
+            .collect();
+        intervals.sort_unstable();
+        let mut active_us = 0u64;
+        let mut cursor = 0u64;
+        for &(s, e) in &intervals {
+            let s = s.max(cursor);
+            if e > s {
+                active_us += e - s;
+                cursor = e;
+            }
+            cursor = cursor.max(e);
+        }
+
+        // per-worker busy time (events are sorted by worker already)
+        let workers = events
+            .iter()
+            .map(|e| e.worker as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut utilization: Vec<WorkerUtilization> = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let mine = events.iter().filter(|e| e.worker as usize == w);
+            let events_n = mine.clone().count();
+            let busy_us: u64 = mine.filter(busy_events).map(|e| e.duration_us).sum();
+            utilization.push(WorkerUtilization {
+                worker: w as u32,
+                busy_us,
+                events: events_n,
+                utilization: if active_us == 0 {
+                    0.0
+                } else {
+                    (busy_us as f64 / active_us as f64).min(1.0)
+                },
+            });
+        }
+
+        // straggler top-k: longest shard events, joined with ShardStat
+        let mut shard_events: Vec<&TimelineEvent> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Shard)
+            .collect();
+        shard_events.sort_by(|a, b| {
+            b.duration_us
+                .cmp(&a.duration_us)
+                .then(a.detail.cmp(&b.detail))
+                .then(a.worker.cmp(&b.worker))
+        });
+        let stragglers = shard_events
+            .iter()
+            .take(STRAGGLER_TOP_K)
+            .map(|e| {
+                let stat = shard_stats
+                    .binary_search_by_key(&(e.detail as usize), |s| s.shard)
+                    .ok()
+                    .map(|i| &shard_stats[i]);
+                Straggler {
+                    shard: e.detail,
+                    worker: e.worker,
+                    start_us: e.start_us,
+                    duration_us: e.duration_us,
+                    pairs: stat.map_or(0, |s| s.pairs),
+                    keys: stat.map_or(0, |s| s.keys),
+                    sim_table_cells: stat.map_or(0, |s| s.sim_table_cells),
+                    sim_table_bytes: stat.map_or(0, |s| s.sim_table_bytes),
+                }
+            })
+            .collect();
+
+        // plan quality: predicted load skew vs measured duration skew
+        let mut actual_by_shard: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::new();
+        for e in events.iter().filter(|e| e.kind == EventKind::Shard) {
+            *actual_by_shard.entry(e.detail).or_insert(0) += e.duration_us;
+        }
+        let plan_quality = match (
+            skew(plan_loads.iter().copied()),
+            skew(actual_by_shard.values().copied()),
+        ) {
+            (Some(predicted_skew), Some(actual_skew)) => Some(PlanQuality {
+                predicted_skew,
+                actual_skew,
+                ratio: actual_skew / predicted_skew.max(1e-9),
+            }),
+            _ => None,
+        };
+
+        // critical path: the busiest worker per parallel phase, summed
+        let critical_path_us = crate::report::PIPELINE_PHASES
+            .iter()
+            .map(|&phase| {
+                (0..workers)
+                    .map(|w| {
+                        events
+                            .iter()
+                            .filter(|e| e.worker as usize == w && e.kind.phase() == Some(phase))
+                            .map(|e| e.duration_us)
+                            .sum::<u64>()
+                    })
+                    .max()
+                    .unwrap_or(0)
+            })
+            .sum();
+
+        Self {
+            events,
+            workers,
+            dropped,
+            active_us,
+            utilization,
+            stragglers,
+            plan_quality,
+            critical_path_us,
+        }
+    }
+
+    /// Mean per-worker utilization (0 with no workers). The
+    /// `census timeline --min-utilization` gate compares against this.
+    #[must_use]
+    pub fn mean_utilization(&self) -> f64 {
+        if self.utilization.is_empty() {
+            return 0.0;
+        }
+        self.utilization.iter().map(|u| u.utilization).sum::<f64>() / self.utilization.len() as f64
+    }
+
+    /// Structural invariants of the section, independent of the span
+    /// tree: per-worker monotone start times, events inside the run
+    /// window, utilization in range, derived fields consistent with the
+    /// raw events.
+    pub(crate) fn validate(&self, total_us: u64) -> Result<(), String> {
+        let mut last: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for e in &self.events {
+            if e.kind.is_instant() && e.duration_us != 0 {
+                return Err(format!(
+                    "instant timeline event {:?} has duration {}µs",
+                    e.kind, e.duration_us
+                ));
+            }
+            if e.end_us() > total_us.saturating_add(ROUNDING_SLACK_US) {
+                return Err(format!(
+                    "timeline event {:?} on worker {} ends at {}µs, after the {}µs run",
+                    e.kind,
+                    e.worker,
+                    e.end_us(),
+                    total_us
+                ));
+            }
+            let prev = last.entry(e.worker).or_insert(0);
+            if e.start_us < *prev {
+                return Err(format!(
+                    "worker {} timeline not monotone: {}µs after {}µs",
+                    e.worker, e.start_us, prev
+                ));
+            }
+            *prev = e.start_us;
+            if e.worker as usize >= self.workers {
+                return Err(format!(
+                    "timeline event on worker {} but the section claims {} worker(s)",
+                    e.worker, self.workers
+                ));
+            }
+        }
+        for u in &self.utilization {
+            if !(0.0..=1.0).contains(&u.utilization) {
+                return Err(format!(
+                    "worker {} utilization {} outside [0, 1]",
+                    u.worker, u.utilization
+                ));
+            }
+            if u.busy_us > self.active_us {
+                return Err(format!(
+                    "worker {} busy {}µs exceeds the {}µs activity window",
+                    u.worker, u.busy_us, self.active_us
+                ));
+            }
+        }
+        if let Some(pq) = &self.plan_quality {
+            if pq.predicted_skew < 1.0 || pq.actual_skew < 1.0 || pq.ratio <= 0.0 {
+                return Err("plan-quality skews must be ≥ 1 and the ratio positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        worker: u32,
+        kind: EventKind,
+        start_us: u64,
+        duration_us: u64,
+        detail: u64,
+    ) -> TimelineEvent {
+        TimelineEvent {
+            worker,
+            kind,
+            start_us,
+            duration_us,
+            detail,
+            iteration: None,
+        }
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let mut ring = WorkerRing::new(3);
+        for i in 0..5 {
+            ring.push(ev(0, EventKind::Shard, i * 10, 5, i));
+        }
+        assert_eq!(ring.dropped, 2);
+        let out = ring.drain();
+        assert_eq!(out.len(), 3);
+        // oldest two (details 0, 1) were dropped; order is oldest-first
+        assert_eq!(
+            out.iter().map(|e| e.detail).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn state_registers_workers_lazily_and_drains_sorted() {
+        let state = TimelineState::new(8);
+        state.push(ev(2, EventKind::Shard, 30, 5, 7));
+        state.push(ev(0, EventKind::Shard, 10, 5, 3));
+        state.push(ev(0, EventKind::QueueWait, 20, 2, 0));
+        assert_eq!(state.workers(), 3);
+        let (events, dropped, _) = state.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            events
+                .iter()
+                .map(|e| (e.worker, e.start_us))
+                .collect::<Vec<_>>(),
+            vec![(0, 10), (0, 20), (2, 30)]
+        );
+    }
+
+    #[test]
+    fn plan_first_wins() {
+        let state = TimelineState::new(8);
+        state.set_plan(&[10, 20]);
+        state.set_plan(&[99]);
+        let (_, _, loads) = state.drain();
+        assert_eq!(loads, vec![10, 20]);
+    }
+
+    #[test]
+    fn derive_computes_union_window_and_utilization() {
+        // worker 0 busy [0,10) and [20,30); worker 1 busy [0,30);
+        // union = 30µs, so utilizations are 20/30 and 30/30
+        let events = vec![
+            ev(0, EventKind::Shard, 0, 10, 0),
+            ev(0, EventKind::QueueWait, 10, 10, 1), // waits never count
+            ev(0, EventKind::Shard, 20, 10, 1),
+            ev(1, EventKind::Shard, 0, 30, 2),
+        ];
+        let tl = Timeline::derive(events, 0, &[], &[]);
+        assert_eq!(tl.active_us, 30);
+        assert_eq!(tl.workers, 2);
+        assert!((tl.utilization[0].utilization - 2.0 / 3.0).abs() < 1e-9);
+        assert!((tl.utilization[1].utilization - 1.0).abs() < 1e-9);
+        assert!((tl.mean_utilization() - 5.0 / 6.0).abs() < 1e-9);
+        // all three shards are prematch work on two workers: the busiest
+        // carries 30µs
+        assert_eq!(tl.critical_path_us, 30);
+        tl.validate(30).unwrap();
+    }
+
+    #[test]
+    fn derive_joins_stragglers_with_shard_stats() {
+        let stats = vec![
+            ShardStat {
+                shard: 0,
+                keys: 4,
+                pairs: 100,
+                matched: 10,
+                sim_table_bytes: 64,
+                sim_table_cells: 8,
+                duration_us: 50,
+            },
+            ShardStat {
+                shard: 1,
+                keys: 2,
+                pairs: 900,
+                matched: 90,
+                sim_table_bytes: 0,
+                sim_table_cells: 0,
+                duration_us: 400,
+            },
+        ];
+        let events = vec![
+            ev(0, EventKind::Shard, 0, 50, 0),
+            ev(1, EventKind::Shard, 0, 400, 1),
+        ];
+        let tl = Timeline::derive(events, 0, &[100, 900], &stats);
+        assert_eq!(tl.stragglers.len(), 2);
+        assert_eq!(tl.stragglers[0].shard, 1);
+        assert_eq!(tl.stragglers[0].pairs, 900);
+        assert_eq!(tl.stragglers[0].sim_table_cells, 0); // direct compute
+        assert_eq!(tl.stragglers[1].shard, 0);
+        assert_eq!(tl.stragglers[1].sim_table_cells, 8); // memoized
+        let pq = tl.plan_quality.as_ref().expect("plan recorded");
+        // predicted skew 900/500 = 1.8; actual 400/225 ≈ 1.78
+        assert!((pq.predicted_skew - 1.8).abs() < 1e-9);
+        assert!((pq.ratio - pq.actual_skew / 1.8).abs() < 1e-9);
+        tl.validate(1000).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_non_monotone_and_out_of_window() {
+        let tl = Timeline::derive(
+            vec![
+                ev(0, EventKind::Shard, 20, 5, 0),
+                ev(0, EventKind::Shard, 10, 5, 1),
+            ],
+            0,
+            &[],
+            &[],
+        );
+        // derive sorts, so corrupt the order by hand (a tampered trace)
+        let mut bad = tl.clone();
+        bad.events.swap(0, 1);
+        assert!(bad.validate(100).unwrap_err().contains("not monotone"));
+        assert!(tl.validate(10).unwrap_err().contains("after the 10µs run"));
+        tl.validate(100).unwrap();
+    }
+
+    #[test]
+    fn empty_timeline_derives_cleanly() {
+        let tl = Timeline::derive(Vec::new(), 0, &[], &[]);
+        assert_eq!(tl.workers, 0);
+        assert_eq!(tl.active_us, 0);
+        assert!(tl.utilization.is_empty());
+        assert!(tl.stragglers.is_empty());
+        assert!(tl.plan_quality.is_none());
+        assert_eq!(tl.mean_utilization(), 0.0);
+        tl.validate(0).unwrap();
+    }
+}
