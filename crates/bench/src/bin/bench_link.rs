@@ -27,14 +27,18 @@
 //! Per scale the harness also measures observability overhead — the
 //! incremental pipeline with the collector disabled, enabled, enabled
 //! with decision logging, enabled with the worker timeline recorder,
-//! and enabled with allocation tracking — plus a memory summary (peak
-//! live bytes, per-phase allocation, footprint snapshots) from one
+//! enabled with allocation tracking, and enabled with ground-truth
+//! quality telemetry — plus a memory summary (peak live bytes,
+//! per-phase allocation, footprint snapshots) from one
 //! memory-and-timeline-tracked run whose scheduler analytics (worker
 //! utilization, LPT plan quality, critical path) land in a `timeline`
 //! block per row, and embeds the enabled run's histogram summaries.
-//! `--trace-out FILE` writes the memory-tracked run's full trace of
-//! the *last* scale measured, for `trace-diff` CI gating on timing,
-//! counter, memory and timeline-utilization thresholds alike.
+//! The memory-tracked run also carries the generator's ground truth,
+//! so its trace embeds the `quality` section (recall-loss funnel and
+//! strata). `--trace-out FILE` writes that run's full trace of the
+//! *last* scale measured, for `trace-diff` CI gating on timing,
+//! counter, memory, timeline-utilization and quality-drop thresholds
+//! alike.
 //!
 //! `--before` embeds externally measured per-scale `link` totals (e.g.
 //! from running this harness's loop against an older commit) so the
@@ -43,7 +47,7 @@
 
 use census_synth::{generate_series, SimConfig};
 use linkage_core::{link_traced, LinkageConfig, ScoringKernel};
-use obs::{Collector, DecisionConfig, RunTrace};
+use obs::{Collector, DecisionConfig, RunTrace, TruthConfig};
 use serde_json::{json, Value};
 use std::time::Instant;
 
@@ -133,8 +137,9 @@ fn keep_best(best: &mut Option<Measurement>, m: Measurement) {
 /// The observability cost ladder: disabled collector, enabled
 /// collector, enabled collector with decision logging, enabled
 /// collector with the timeline recorder, enabled collector with
-/// allocation tracking. The five rungs are sampled *interleaved* —
-/// disabled, enabled, +decisions, +timeline, +mem, repeat — so their
+/// allocation tracking, enabled collector with ground-truth quality
+/// telemetry. The six rungs are sampled *interleaved* — disabled,
+/// enabled, +decisions, +timeline, +mem, +quality, repeat — so their
 /// best-of minima come from the same machine-state window and host
 /// noise cancels out of the overhead percentages (the same discipline
 /// as the kernel rung; sequential best-of blocks on a busy host can
@@ -144,6 +149,7 @@ fn obs_overhead_json(
     old: &census_model::CensusDataset,
     new: &census_model::CensusDataset,
     config: &LinkageConfig,
+    truth: &TruthConfig,
 ) -> Value {
     let one = |make_obs: &dyn Fn() -> Collector| {
         let obs = make_obs();
@@ -152,37 +158,45 @@ fn obs_overhead_json(
         let us = start.elapsed().as_micros() as u64;
         assert!(!result.records.is_empty());
         // finishing matters for the memory rung: tracking is a process
-        // global window that only `finish` closes
+        // global window that only `finish` closes — and for the quality
+        // rung, whose oracle replay runs inside the timed pipeline
         let _ = obs.finish();
         us
     };
-    let rungs: [&dyn Fn() -> Collector; 5] = [
+    let with_truth = || Collector::enabled().with_truth(truth.clone());
+    let rungs: [&dyn Fn() -> Collector; 6] = [
         &Collector::disabled,
         &Collector::enabled,
         &|| Collector::enabled().with_decisions(DecisionConfig::default()),
         &|| Collector::enabled().with_timeline(),
         &|| Collector::enabled().with_memory(),
+        &with_truth,
     ];
-    let mut best = [u64::MAX; 5];
+    let mut best = [u64::MAX; 6];
     for _ in 0..iters.max(1) {
         for (slot, make_obs) in best.iter_mut().zip(rungs) {
             *slot = (*slot).min(one(make_obs));
         }
     }
-    let [disabled, enabled, decisions, timeline, memory] = best;
+    let [disabled, enabled, decisions, timeline, memory, quality] = best;
     let pct = |us: u64| (us as f64 - disabled as f64) / disabled.max(1) as f64 * 100.0;
-    // the timeline rung is the enabled collector plus the recorder, so
-    // its marginal cost over the enabled rung isolates the recorder
-    // itself (the ≤3% target) from the cost of the base collector
-    let timeline_marginal = (timeline as f64 - enabled as f64) / enabled.max(1) as f64 * 100.0;
+    // the timeline and quality rungs are the enabled collector plus one
+    // subsystem, so their marginal cost over the enabled rung isolates
+    // that subsystem (the ≤3% target) from the cost of the base
+    // collector
+    let marginal = |us: u64| (us as f64 - enabled as f64) / enabled.max(1) as f64 * 100.0;
+    let timeline_marginal = marginal(timeline);
+    let quality_marginal = marginal(quality);
     eprintln!(
         "  obs overhead: disabled {:.1} ms, enabled {:+.2}%, +decisions {:+.2}%, \
-         +timeline {:+.2}% ({timeline_marginal:+.2}% over enabled), +mem {:+.2}%",
+         +timeline {:+.2}% ({timeline_marginal:+.2}% over enabled), +mem {:+.2}%, \
+         +quality {:+.2}% ({quality_marginal:+.2}% over enabled)",
         disabled as f64 / 1000.0,
         pct(enabled),
         pct(decisions),
         pct(timeline),
-        pct(memory)
+        pct(memory),
+        pct(quality)
     );
     json!({
         "disabled_total_us": (disabled),
@@ -190,11 +204,14 @@ fn obs_overhead_json(
         "decisions_total_us": (decisions),
         "timeline_total_us": (timeline),
         "memory_total_us": (memory),
+        "quality_total_us": (quality),
         "enabled_overhead_pct": (pct(enabled)),
         "decisions_overhead_pct": (pct(decisions)),
         "timeline_overhead_pct": (pct(timeline)),
         "timeline_marginal_pct": (timeline_marginal),
-        "memory_overhead_pct": (pct(memory))
+        "memory_overhead_pct": (pct(memory)),
+        "quality_overhead_pct": (pct(quality)),
+        "quality_marginal_pct": (quality_marginal)
     })
 }
 
@@ -205,11 +222,17 @@ fn memory_summary(
     old: &census_model::CensusDataset,
     new: &census_model::CensusDataset,
     config: &LinkageConfig,
+    truth: &TruthConfig,
 ) -> (Value, RunTrace) {
-    // the memory-tracked run also records the worker timeline, so the
-    // baseline trace and the per-scale rows carry scheduler analytics
-    // (utilization, LPT plan quality) from a real sharded run
-    let obs = Collector::enabled().with_memory().with_timeline();
+    // the memory-tracked run also records the worker timeline and the
+    // generator's ground truth, so the baseline trace and the per-scale
+    // rows carry scheduler analytics (utilization, LPT plan quality)
+    // and the quality section (recall-loss funnel) from a real sharded
+    // run
+    let obs = Collector::enabled()
+        .with_memory()
+        .with_timeline()
+        .with_truth(truth.clone());
     let result = link_traced(old, new, config, &obs);
     assert!(!result.records.is_empty());
     let trace = obs.finish();
@@ -353,6 +376,22 @@ fn timeline_json(trace: &RunTrace) -> Value {
     Value::Map(entries)
 }
 
+/// Quality headline of the memory-tracked, truth-carrying run: P/R/F1
+/// at both mapping levels plus the funnel's recovered/total counts.
+fn quality_json(trace: &RunTrace) -> Value {
+    let Some(q) = trace.quality.as_ref() else {
+        return Value::Null;
+    };
+    json!({
+        "record_precision": (q.records.quality.precision),
+        "record_recall": (q.records.quality.recall),
+        "record_f1": (q.records.quality.f1),
+        "group_f1": (q.groups.quality.f1),
+        "truth_pairs": (q.funnel.total),
+        "recovered": (q.funnel.recovered())
+    })
+}
+
 /// Prematch phase time of a measurement (0 if the phase is missing).
 fn prematch_us(m: &Measurement) -> u64 {
     m.phases
@@ -492,6 +531,19 @@ fn main() {
         };
         let series = generate_series(&sim);
         let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+        let truth = series.truth_between(0, 1).expect("adjacent snapshots");
+        let truth_config = TruthConfig {
+            record_pairs: truth
+                .records
+                .iter()
+                .map(|(o, n)| (o.raw(), n.raw()))
+                .collect(),
+            group_pairs: truth
+                .groups
+                .iter()
+                .map(|(o, n)| (o.raw(), n.raw()))
+                .collect(),
+        };
 
         let mut incremental_config = LinkageConfig::default();
         if let Some(t) = threads {
@@ -536,7 +588,15 @@ fn main() {
         let sharded = sharded.expect("at least one iteration");
         // the memory-tracked run uses the sharded engine so the trace
         // carries the per-shard table summaries alongside the footprints
-        let (memory, mem_trace) = memory_summary(old, new, &sharded_config);
+        let (memory, mem_trace) = memory_summary(old, new, &sharded_config, &truth_config);
+        if let Some(q) = &mem_trace.quality {
+            let [p, r, f] = q.records.quality.percent_row();
+            eprintln!(
+                "  quality: records P {p}% R {r}% F1 {f}%, {} of {} true pair(s) recovered",
+                q.funnel.recovered(),
+                q.funnel.total
+            );
+        }
         let mut row = json!({
             "scale": (scale.label),
             "records_old": (old.records().len()),
@@ -544,7 +604,8 @@ fn main() {
             "sharded": (mode_json(&sharded)),
             "shards": (shard_stats_json(&sharded.trace)),
             "memory": (memory),
-            "timeline": (timeline_json(&mem_trace))
+            "timeline": (timeline_json(&mem_trace)),
+            "quality": (quality_json(&mem_trace))
         });
         if let Some(incremental) = &incremental {
             assert_eq!(
@@ -592,7 +653,7 @@ fn main() {
                 ));
                 entries.push((
                     Value::Str("obs_overhead".into()),
-                    obs_overhead_json(iters, old, new, &incremental_config),
+                    obs_overhead_json(iters, old, new, &incremental_config, &truth_config),
                 ));
             }
         }

@@ -9,7 +9,7 @@
 //!                [--threads N] [--shards N] [--parallel-cutoff N] [--delta-low D]
 //!                [--scoring scalar|batch] [--mem-budget BYTES]
 //!                [--trace-out FILE.json] [--timeline-out FILE.json] [--trace-mem]
-//!                [--decisions-out DIR] [--progress] [--verbose]
+//!                [--decisions-out DIR] [--truth DIR|PREFIX] [--progress] [--verbose]
 //! census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
 //!                [--threads N] [--shards N] [--parallel-cutoff N] [--delta-low D]
 //!                [--scoring scalar|batch] [--mem-budget BYTES]
@@ -17,7 +17,10 @@
 //! census-linkage trace-check FILE.json
 //! census-linkage trace-diff OLD.json NEW.json [--fail-on SPEC]...
 //! census-linkage timeline TRACE.json [--min-utilization PCT]
+//! census-linkage quality-report TRACE.json
 //! census-linkage explain link --decisions DIR --group OLD:NEW
+//! census-linkage explain miss OLD.csv NEW.csv --old-year Y --new-year Y
+//!                --truth DIR|PREFIX --record OLD:NEW
 //! ```
 //!
 //! All subcommand logic — including argument parsing, via [`run_cli`] —
@@ -37,7 +40,7 @@ use linkage_core::{link_traced, LinkageConfig, MemGovernor, ScoringKernel};
 use obs::diff::{compare, Threshold};
 use obs::{
     Collector, Counter, DecisionConfig, DecisionRecord, MultiTrace, Progress, RunTrace, TraceSink,
-    PIPELINE_PHASES,
+    TruthConfig, PIPELINE_PHASES,
 };
 use std::fmt::Write as _;
 use std::fs::File;
@@ -80,6 +83,14 @@ pub struct LinkOptions {
     /// Record decision provenance and write it as JSONL into this
     /// directory (`--decisions-out`, `link` only).
     pub decisions_out: Option<PathBuf>,
+    /// Load ground-truth mappings and embed the quality section — P/R/F1
+    /// plus the recall-loss funnel — in the trace (`--truth DIR|PREFIX`,
+    /// `link` only). A directory resolves to
+    /// `DIR/truth_records_{Y1}_{Y2}.csv` and
+    /// `DIR/truth_groups_{Y1}_{Y2}.csv` (what `generate` writes); any
+    /// other path is used as a filename prefix. Truth telemetry never
+    /// changes the produced mappings.
+    pub truth: Option<PathBuf>,
     /// Memory budget in bytes for the run's caches (`--mem-budget`);
     /// over-budget caches degrade to recomputation, never changing the
     /// linkage output.
@@ -159,6 +170,41 @@ fn parse_bytes(s: &str) -> Result<u64, CliError> {
         .ok()
         .and_then(|n| n.checked_mul(unit))
         .ok_or_else(|| format!("bad byte count {s:?} (expected e.g. 1048576, 512M or 2G)"))
+}
+
+/// Resolve a `--truth DIR|PREFIX` spec to the record and group truth CSV
+/// paths for one year pair: a directory uses the filenames `generate`
+/// writes, anything else is a literal filename prefix (so
+/// `--truth data/truth_` finds `data/truth_records_1851_1861.csv`).
+fn resolve_truth_paths(spec: &Path, old_year: i32, new_year: i32) -> (PathBuf, PathBuf) {
+    if spec.is_dir() {
+        (
+            spec.join(format!("truth_records_{old_year}_{new_year}.csv")),
+            spec.join(format!("truth_groups_{old_year}_{new_year}.csv")),
+        )
+    } else {
+        let prefix = spec.to_string_lossy();
+        (
+            PathBuf::from(format!("{prefix}records_{old_year}_{new_year}.csv")),
+            PathBuf::from(format!("{prefix}groups_{old_year}_{new_year}.csv")),
+        )
+    }
+}
+
+fn load_truth_config(spec: &Path, old_year: i32, new_year: i32) -> Result<TruthConfig, CliError> {
+    let (rec_path, grp_path) = resolve_truth_paths(spec, old_year, new_year);
+    let f = File::open(&rec_path)
+        .map_err(|e| io_err(&format!("opening truth records {}", rec_path.display()), e))?;
+    let records = read_record_mapping(BufReader::new(f))
+        .map_err(|e| io_err(&format!("parsing {}", rec_path.display()), e))?;
+    let f = File::open(&grp_path)
+        .map_err(|e| io_err(&format!("opening truth groups {}", grp_path.display()), e))?;
+    let groups = read_group_mapping(BufReader::new(f))
+        .map_err(|e| io_err(&format!("parsing {}", grp_path.display()), e))?;
+    Ok(TruthConfig {
+        record_pairs: records.iter().map(|(o, n)| (o.raw(), n.raw())).collect(),
+        group_pairs: groups.iter().map(|(o, n)| (o.raw(), n.raw())).collect(),
+    })
 }
 
 fn write_trace_json<T: serde::Serialize>(path: &Path, value: &T) -> Result<(), CliError> {
@@ -259,7 +305,8 @@ pub fn cmd_link(
         opts.tracing_enabled()
             || opts.decisions_out.is_some()
             || opts.progress
-            || opts.timeline_out.is_some(),
+            || opts.timeline_out.is_some()
+            || opts.truth.is_some(),
     );
     if opts.trace_mem {
         obs = obs.with_memory();
@@ -269,6 +316,9 @@ pub fn cmd_link(
     }
     if opts.progress {
         obs = obs.with_progress(Progress::stderr());
+    }
+    if let Some(spec) = &opts.truth {
+        obs = obs.with_truth(load_truth_config(spec, old_year, new_year)?);
     }
     if opts.decisions_out.is_some() {
         let (caps, tightened) =
@@ -338,6 +388,28 @@ pub fn cmd_link(
         // finishing also stops allocation tracking when --trace-mem
         // started it, so always finish an enabled collector
         let trace = obs.finish();
+        if let Some(q) = &trace.quality {
+            let [p, r, f] = q.records.quality.percent_row();
+            let _ = writeln!(
+                summary,
+                "quality: records P {p}% R {r}% F1 {f}%  ({} of {} true pair(s) recovered)",
+                q.funnel.recovered(),
+                q.funnel.total
+            );
+            let [p, r, f] = q.groups.quality.percent_row();
+            let _ = writeln!(summary, "quality: groups  P {p}% R {r}% F1 {f}%");
+            let _ = writeln!(
+                summary,
+                "quality: losses — never blocked {}, age filter {}, below δ floor {}, \
+                 selection {}, remainder {}, missing endpoint {}",
+                q.funnel.not_blocked,
+                q.funnel.age_filtered,
+                q.funnel.below_delta,
+                q.funnel.lost_selection,
+                q.funnel.lost_remainder,
+                q.funnel.missing_endpoint
+            );
+        }
         if let Some(path) = &opts.trace_out {
             write_trace_json(path, &trace)?;
             let _ = writeln!(summary, "wrote {}", path.display());
@@ -461,6 +533,9 @@ pub fn cmd_evolve(
     }
     if opts.timeline_out.is_some() {
         return Err("--timeline-out is only supported by link".into());
+    }
+    if opts.truth.is_some() {
+        return Err("--truth is only supported by link".into());
     }
     let mut snapshots = Vec::new();
     for (i, file) in files.iter().enumerate() {
@@ -694,6 +769,65 @@ pub fn cmd_trace_diff(
     }
     let _ = writeln!(out, "{} threshold(s) violated", violations.len());
     Err(out)
+}
+
+/// `quality-report`: read a trace JSON file written by `link --trace-out`
+/// for a run made with `--truth`, re-validate the quality section's
+/// funnel invariants, and render the full quality report — P/R/F1 at
+/// both levels, the recall-loss funnel with its blocking and selection
+/// detail, and the per-iteration / per-shard / per-band strata.
+///
+/// # Errors
+///
+/// Fails on I/O or parse errors, on traces without a quality section, or
+/// on a section violating the funnel invariants.
+pub fn cmd_quality_report(file: &Path) -> Result<String, CliError> {
+    let trace = load_run_trace(file)?;
+    let Some(q) = &trace.quality else {
+        return Err(format!(
+            "{} has no quality section; re-run link with --truth DIR|PREFIX",
+            file.display()
+        ));
+    };
+    q.validate()
+        .map_err(|e| format!("invalid quality section: {e}"))?;
+    Ok(q.render())
+}
+
+/// `explain miss`: relink two snapshots with single-pair truth telemetry
+/// and report where in the pipeline the queried true pair died (or which
+/// phase recovered it), with the oracle-replayed evidence — `agg_sim`
+/// against the executed δ floor, blocking-key agreement per family, and
+/// where each endpoint actually ended up linked.
+///
+/// The pair must be present in the loaded truth record mapping — this is
+/// a forensics tool for true pairs, not arbitrary id pairs.
+///
+/// # Errors
+///
+/// Fails on I/O or parse errors, or when the pair is not in the truth
+/// mapping.
+pub fn cmd_explain_miss(
+    old_file: &Path,
+    new_file: &Path,
+    old_year: i32,
+    new_year: i32,
+    truth: &Path,
+    pair: (u64, u64),
+) -> Result<String, CliError> {
+    let tc = load_truth_config(truth, old_year, new_year)?;
+    let (o, n) = pair;
+    if !tc.record_pairs.contains(&(o, n)) {
+        return Err(format!(
+            "record pair {o}:{n} is not in the truth mapping ({} true pair(s) loaded); \
+             explain miss diagnoses true pairs",
+            tc.record_pairs.len()
+        ));
+    }
+    let old = load(old_file, old_year)?;
+    let new = load(new_file, new_year)?;
+    let report = linkage_core::explain_miss(&old, &new, &LinkageConfig::default(), o, n);
+    Ok(report.render())
 }
 
 /// Width of the `timeline` subcommand's ASCII Gantt lanes, in cells.
@@ -991,7 +1125,7 @@ USAGE:
                  [--threads N] [--shards N] [--parallel-cutoff N] [--delta-low D]
                  [--scoring scalar|batch] [--mem-budget BYTES]
                  [--trace-out FILE.json] [--timeline-out FILE.json] [--trace-mem]
-                 [--decisions-out DIR] [--progress] [--verbose]
+                 [--decisions-out DIR] [--truth DIR|PREFIX] [--progress] [--verbose]
   census-linkage evolve FILE.csv... --start-year Y [--interval N] [--out DIR]
                  [--threads N] [--shards N] [--parallel-cutoff N] [--delta-low D]
                  [--scoring scalar|batch] [--mem-budget BYTES]
@@ -1003,8 +1137,12 @@ USAGE:
                      | hist:NAME:L1MAX | p99:NAME:PCT | total:RATIO
                      | mem:NAME:PCT | footprint:NAME:PCT
                      | timeline:utilization:PCT
+                     | quality:recall:PCT | quality:precision:PCT
   census-linkage timeline TRACE.json [--min-utilization PCT]
+  census-linkage quality-report TRACE.json
   census-linkage explain link --decisions DIR (--group OLD:NEW | --record OLD:NEW)
+  census-linkage explain miss OLD.csv NEW.csv --old-year Y --new-year Y
+                 --truth DIR|PREFIX --record OLD:NEW
 ";
 
 fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
@@ -1093,6 +1231,7 @@ fn take_link_options(args: &mut Vec<String>) -> Result<LinkOptions, CliError> {
     let trace_out = take_value(args, "--trace-out")?.map(PathBuf::from);
     let timeline_out = take_value(args, "--timeline-out")?.map(PathBuf::from);
     let decisions_out = take_value(args, "--decisions-out")?.map(PathBuf::from);
+    let truth = take_value(args, "--truth")?.map(PathBuf::from);
     let mem_budget = take_value(args, "--mem-budget")?
         .map(|s| parse_bytes(&s))
         .transpose()?;
@@ -1108,6 +1247,7 @@ fn take_link_options(args: &mut Vec<String>) -> Result<LinkOptions, CliError> {
         trace_out,
         timeline_out,
         decisions_out,
+        truth,
         mem_budget,
         trace_mem,
         progress,
@@ -1211,28 +1351,57 @@ pub fn run_cli(mut args: Vec<String>) -> Result<String, CliError> {
             expect_positionals(&args, "timeline", 1, "one TRACE.json argument")?;
             cmd_timeline(&PathBuf::from(&args[0]), min)
         }
-        "explain" => {
-            let decisions =
-                take_value(&mut args, "--decisions")?.ok_or("explain needs --decisions DIR")?;
-            let group = take_value(&mut args, "--group")?;
-            let record = take_value(&mut args, "--record")?;
-            reject_unknown_flags(&args, "explain")?;
-            expect_positionals(&args, "explain", 1, "the target `link`")?;
-            if args[0] != "link" {
-                return Err(format!("explain knows only `link`, got {:?}", args[0]));
-            }
-            let (group, record) = match (group, record) {
-                (Some(g), None) => (Some(parse_id_pair(&g)?), None),
-                (None, Some(r)) => (None, Some(parse_id_pair(&r)?)),
-                _ => {
-                    return Err(
-                        "explain link needs exactly one of --group OLD:NEW or --record OLD:NEW"
-                            .into(),
-                    )
-                }
-            };
-            cmd_explain_link(&PathBuf::from(decisions), group, record)
+        "quality-report" => {
+            reject_unknown_flags(&args, "quality-report")?;
+            expect_positionals(&args, "quality-report", 1, "one TRACE.json argument")?;
+            cmd_quality_report(&PathBuf::from(&args[0]))
         }
+        "explain" => match args.first().map(String::as_str) {
+            Some("link") => {
+                args.remove(0);
+                let decisions = take_value(&mut args, "--decisions")?
+                    .ok_or("explain link needs --decisions DIR")?;
+                let group = take_value(&mut args, "--group")?;
+                let record = take_value(&mut args, "--record")?;
+                reject_unknown_flags(&args, "explain link")?;
+                expect_positionals(&args, "explain link", 0, "no positional arguments")?;
+                let (group, record) = match (group, record) {
+                    (Some(g), None) => (Some(parse_id_pair(&g)?), None),
+                    (None, Some(r)) => (None, Some(parse_id_pair(&r)?)),
+                    _ => {
+                        return Err(
+                            "explain link needs exactly one of --group OLD:NEW or --record OLD:NEW"
+                                .into(),
+                        )
+                    }
+                };
+                cmd_explain_link(&PathBuf::from(decisions), group, record)
+            }
+            Some("miss") => {
+                args.remove(0);
+                let old_year =
+                    take_value(&mut args, "--old-year")?.ok_or("explain miss needs --old-year")?;
+                let new_year =
+                    take_value(&mut args, "--new-year")?.ok_or("explain miss needs --new-year")?;
+                let truth = take_value(&mut args, "--truth")?
+                    .ok_or("explain miss needs --truth DIR|PREFIX")?;
+                let record = take_value(&mut args, "--record")?
+                    .ok_or("explain miss needs --record OLD:NEW")?;
+                reject_unknown_flags(&args, "explain miss")?;
+                expect_positionals(&args, "explain miss", 2, "OLD.csv and NEW.csv")?;
+                cmd_explain_miss(
+                    &PathBuf::from(&args[0]),
+                    &PathBuf::from(&args[1]),
+                    parse_i32(&old_year, "old-year")?,
+                    parse_i32(&new_year, "new-year")?,
+                    &PathBuf::from(truth),
+                    parse_id_pair(&record)?,
+                )
+            }
+            other => Err(format!(
+                "explain knows `link` and `miss`, got {other:?}\n\n{USAGE}"
+            )),
+        },
         "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
@@ -2020,6 +2189,10 @@ mod tests {
                 timeline_out: Some(PathBuf::from("/tmp/tl.json")),
                 ..LinkOptions::default()
             },
+            LinkOptions {
+                truth: Some(PathBuf::from("/tmp/truth")),
+                ..LinkOptions::default()
+            },
         ] {
             let err = cmd_evolve(
                 &[PathBuf::from("a.csv"), PathBuf::from("b.csv")],
@@ -2237,6 +2410,268 @@ mod tests {
         ])
         .unwrap();
         assert!(report.contains("absent in old trace"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truth_link_quality_report_and_gates_end_to_end() {
+        let dir = tmp_dir("quality");
+        cmd_generate(&dir, "small", Some(47)).unwrap();
+        let old = dir.join("census_1851.csv");
+        let new = dir.join("census_1861.csv");
+        let trace_path = dir.join("trace.json");
+        let link = |out: &Path, truth_spec: &str, trace: &Path| {
+            cli(&[
+                "link",
+                old.to_str().unwrap(),
+                new.to_str().unwrap(),
+                "--old-year",
+                "1851",
+                "--new-year",
+                "1861",
+                "--out",
+                out.to_str().unwrap(),
+                "--truth",
+                truth_spec,
+                "--trace-out",
+                trace.to_str().unwrap(),
+            ])
+            .unwrap()
+        };
+        // --truth as a directory: the summary reports quality inline and
+        // the trace embeds a valid quality section
+        let summary = link(&dir.join("linked"), dir.to_str().unwrap(), &trace_path);
+        assert!(summary.contains("quality: records P "), "{summary}");
+        assert!(summary.contains("true pair(s) recovered"), "{summary}");
+        assert!(summary.contains("quality: losses"), "{summary}");
+        let report = cmd_trace_check(&trace_path).unwrap();
+        assert!(report.contains("trace OK"), "{report}");
+        let trace: RunTrace =
+            serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        let q = trace.quality.as_ref().expect("quality section embedded");
+        q.validate().unwrap();
+        assert!(q.records.quality.f1 > 0.8, "F1 {}", q.records.quality.f1);
+
+        // --truth as a filename prefix resolves the same files
+        let prefix = format!("{}/truth_", dir.to_str().unwrap());
+        let prefix_trace = dir.join("prefix_trace.json");
+        link(&dir.join("linked2"), &prefix, &prefix_trace);
+        let t2: RunTrace =
+            serde_json::from_str(&std::fs::read_to_string(&prefix_trace).unwrap()).unwrap();
+        assert_eq!(t2.quality.as_ref().unwrap(), q, "prefix form diverged");
+
+        // quality-report renders the funnel from the written trace
+        let rendered = cli(&["quality-report", trace_path.to_str().unwrap()]).unwrap();
+        assert!(rendered.contains("recall-loss funnel"), "{rendered}");
+        assert!(rendered.contains("recovered: selection"), "{rendered}");
+
+        // identical traces pass the quality gates
+        let p = trace_path.to_str().unwrap();
+        cli(&[
+            "trace-diff",
+            p,
+            p,
+            "--fail-on",
+            "quality:recall:1",
+            "--fail-on",
+            "quality:precision:1",
+        ])
+        .unwrap();
+
+        // an injected recall drop trips the gate
+        let mut doctored = trace.clone();
+        doctored.quality.as_mut().unwrap().records.quality.recall -= 0.10;
+        let doctored_path = dir.join("doctored.json");
+        write_trace_json(&doctored_path, &doctored).unwrap();
+        let err = cli(&[
+            "trace-diff",
+            p,
+            doctored_path.to_str().unwrap(),
+            "--fail-on",
+            "quality:recall:5",
+        ])
+        .unwrap_err();
+        assert!(err.contains("FAIL quality:recall"), "{err}");
+
+        // a run without --truth writes a trace with no quality section,
+        // and quality-report refuses it with a pointer to --truth
+        let plain_trace = dir.join("plain_trace.json");
+        cli(&[
+            "link",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--old-year",
+            "1851",
+            "--new-year",
+            "1861",
+            "--out",
+            dir.join("plain").to_str().unwrap(),
+            "--trace-out",
+            plain_trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        let err = cli(&["quality-report", plain_trace.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("no quality section"), "{err}");
+
+        // a missing truth file fails loudly up front
+        let err = cli(&[
+            "link",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--old-year",
+            "1851",
+            "--new-year",
+            "1861",
+            "--out",
+            dir.join("x").to_str().unwrap(),
+            "--truth",
+            dir.join("nowhere").to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("opening truth records"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truth_link_does_not_change_the_mappings() {
+        let dir = tmp_dir("truthneutral");
+        cmd_generate(&dir, "small", Some(53)).unwrap();
+        let old = dir.join("census_1851.csv");
+        let new = dir.join("census_1861.csv");
+        let link = |out: &Path, extra: &[&str]| {
+            let mut args = vec![
+                "link",
+                old.to_str().unwrap(),
+                new.to_str().unwrap(),
+                "--old-year",
+                "1851",
+                "--new-year",
+                "1861",
+                "--out",
+                out.to_str().unwrap(),
+            ];
+            args.extend_from_slice(extra);
+            cli(&args).unwrap()
+        };
+        let plain = dir.join("plain");
+        link(&plain, &[]);
+        let truthed = dir.join("truthed");
+        link(&truthed, &["--truth", dir.to_str().unwrap()]);
+        for file in ["record_mapping.csv", "group_mapping.csv"] {
+            assert_eq!(
+                std::fs::read_to_string(plain.join(file)).unwrap(),
+                std::fs::read_to_string(truthed.join(file)).unwrap(),
+                "{file} changed under --truth"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traces_without_quality_diff_as_absent() {
+        let dir = tmp_dir("qcompat");
+        cmd_generate(&dir, "small", Some(59)).unwrap();
+        let trace_path = dir.join("trace.json");
+        cli(&[
+            "link",
+            dir.join("census_1851.csv").to_str().unwrap(),
+            dir.join("census_1861.csv").to_str().unwrap(),
+            "--old-year",
+            "1851",
+            "--new-year",
+            "1861",
+            "--out",
+            dir.join("linked").to_str().unwrap(),
+            "--truth",
+            dir.to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        // strip the quality key, simulating a baseline trace from a
+        // build that predates quality telemetry (or a run without
+        // --truth): the gates must skip as absent, not fail
+        let mut v: serde_json::Value =
+            serde_json::parse(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        match &mut v {
+            serde_json::Value::Map(entries) => {
+                entries.retain(|(k, _)| !matches!(k, serde_json::Value::Str(s) if s == "quality"))
+            }
+            other => panic!("trace JSON is not an object: {other:?}"),
+        }
+        let old_path = dir.join("pre_quality.json");
+        std::fs::write(&old_path, serde_json::to_string(&v).unwrap()).unwrap();
+
+        let report = cmd_trace_check(&old_path).unwrap();
+        assert!(report.contains("trace OK"), "{report}");
+        let report = cli(&[
+            "trace-diff",
+            old_path.to_str().unwrap(),
+            trace_path.to_str().unwrap(),
+            "--fail-on",
+            "quality:recall:1",
+            "--fail-on",
+            "quality:precision:1",
+        ])
+        .unwrap();
+        assert!(report.contains("absent in old trace"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explain_miss_resolves_true_pairs() {
+        let dir = tmp_dir("explainmiss");
+        cmd_generate(&dir, "small", Some(61)).unwrap();
+        let old = dir.join("census_1851.csv");
+        let new = dir.join("census_1861.csv");
+
+        // a true pair the run recovered explains as recovered, with its
+        // linked endpoints
+        let f = File::open(dir.join("truth_records_1851_1861.csv")).unwrap();
+        let truth = read_record_mapping(BufReader::new(f)).unwrap();
+        let (o, n) = truth.iter().next().unwrap();
+        let text = cli(&[
+            "explain",
+            "miss",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--old-year",
+            "1851",
+            "--new-year",
+            "1861",
+            "--truth",
+            dir.to_str().unwrap(),
+            "--record",
+            &format!("{}:{}", o.raw(), n.raw()),
+        ])
+        .unwrap();
+        assert!(
+            text.contains(&format!("true pair {} -> {}", o.raw(), n.raw())),
+            "{text}"
+        );
+
+        // a pair outside the truth mapping is refused
+        let err = cli(&[
+            "explain",
+            "miss",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--old-year",
+            "1851",
+            "--new-year",
+            "1861",
+            "--truth",
+            dir.to_str().unwrap(),
+            "--record",
+            "999999999:999999999",
+        ])
+        .unwrap_err();
+        assert!(err.contains("not in the truth mapping"), "{err}");
+
+        // unknown explain targets fail loudly
+        let err = cli(&["explain", "nothing"]).unwrap_err();
+        assert!(err.contains("explain knows `link` and `miss`"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -203,6 +203,36 @@ pub(crate) fn owner_key(old: KeyFields, new: KeyFields, year_gap: i64) -> Option
     None
 }
 
+/// Per-family blocking disagreement for a record pair, as
+/// `[surname_first, surname_sex, firstname_age]`: a family is `true`
+/// when both sides emitted a key for it but the keys did not collide —
+/// the family actively rejected the pair, as opposed to being
+/// unavailable because a side is missing the underlying field. Quality
+/// telemetry uses this to attribute `not_blocked` losses; a pair with
+/// `owner_key == None` can still show `false` for a family whose key one
+/// side could not produce.
+pub(crate) fn family_disagreement(old: KeyFields, new: KeyFields, year_gap: i64) -> [bool; 3] {
+    let miss = |a: Option<u64>, b: Option<u64>| matches!((a, b), (Some(x), Some(y)) if x != y);
+    let sf = miss(old.surname_first_key(), new.surname_first_key());
+    let ss = miss(old.surname_sex_key(), new.surname_sex_key());
+    let fa = match (old.firstname_age_base(), new.firstname_age_base()) {
+        (Some(a), Some(b)) => {
+            a != b
+                || match (old.age, new.age) {
+                    (Some(oa), Some(na)) => {
+                        let ob = (i64::from(oa) + year_gap).div_euclid(AGE_BAND);
+                        let nb = band_bits(i64::from(na).div_euclid(AGE_BAND));
+                        ![ob, ob + 1, ob - 1].into_iter().any(|w| band_bits(w) == nb)
+                    }
+                    (None, None) => false,
+                    _ => true, // mixed presence never collides (HAS_AGE bit)
+                }
+        }
+        _ => false,
+    };
+    [sf, ss, fa]
+}
+
 /// Capacity to pre-allocate for a `Full` cross product. `checked_mul`
 /// guards against overflow on huge (or adversarial) inputs, and the
 /// clamp keeps a legitimate but enormous product from reserving the

@@ -45,6 +45,7 @@ mod pairscore;
 mod pipeline;
 mod prematch;
 mod profiles;
+mod quality;
 mod remainder;
 mod selection;
 mod shard;
@@ -64,6 +65,7 @@ pub use pairscore::PairScoreCache;
 pub use pipeline::{link, link_series, link_traced, IterationStats, LinkPhase, LinkageResult};
 pub use prematch::{prematch, prematch_with_profiles, PreMatch};
 pub use profiles::ProfileCache;
+pub use quality::{explain_miss, MissReport};
 pub use remainder::{match_remaining, match_remaining_cached};
 pub use selection::{select_group_links, RejectReason, ScoredSubgroup, SelectionOutcome};
 pub use simfunc::{AttributeSpec, CompiledProfile, SimFunc};

@@ -25,7 +25,7 @@ use obs::{
     Collector, Counter, DecisionRecord, EventKind, Footprint, GroupDecision, Histogram, LiveHist,
     LosingCandidate, MemoryFootprint, RejectedCandidate, RejectionReason, ITERATION_SPAN,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Injects confirmed record links into a [`PreMatch`] as high-confidence
@@ -580,7 +580,10 @@ impl<'a> Linker<'a> {
             let _selection = obs.span("selection");
             let records_before = records.len();
             let groups_before = groups.len();
-            let audit = obs.decisions_enabled();
+            // truth telemetry reuses the audit plumbing: rejections are
+            // recorded either way, and `select_and_extract` is
+            // audit-neutral, so the mappings stay bit-identical
+            let audit = obs.decisions_enabled() || obs.truth_enabled();
             let outcome = select_and_extract(
                 &candidates,
                 &pm,
@@ -599,8 +602,23 @@ impl<'a> Linker<'a> {
                     },
                 );
             }
-            if audit {
+            if obs.decisions_enabled() {
                 emit_group_decisions(config, delta, iter_idx, &candidates, &outcome, obs);
+            }
+            if obs.truth_enabled() {
+                for &(idx, reason) in &outcome.rejections {
+                    let c = &candidates[idx];
+                    let why = match reason {
+                        RejectReason::LowerGSim { .. } => RejectionReason::LowerGSim,
+                        RejectReason::TieBreak { .. } => RejectionReason::TieBreak,
+                        RejectReason::BelowMinGSim => RejectionReason::BelowMinGSim,
+                        RejectReason::EmptySubgraph => RejectionReason::EmptySubgraph,
+                    };
+                    obs.truth_rejected(c.old.raw(), c.new.raw(), why);
+                }
+                for &(o, n, _) in &outcome.added {
+                    obs.truth_added(o.raw(), n.raw());
+                }
             }
             let record_links = records.len() - records_before;
             let group_links = groups.len() - groups_before;
@@ -633,6 +651,15 @@ impl<'a> Linker<'a> {
             }
         }
 
+        // snapshot which records reach the remainder pass unlinked — the
+        // funnel's lost_remainder / lost_selection boundary
+        let remainder_entry: Option<(HashSet<RecordId>, HashSet<RecordId>)> =
+            obs.truth_enabled().then(|| {
+                (
+                    remaining_old.iter().map(|r| r.id).collect(),
+                    remaining_new.iter().map(|r| r.id).collect(),
+                )
+            });
         let remainder_added = {
             let _remainder = obs.span("remainder");
             match_remaining_cached(
@@ -652,9 +679,27 @@ impl<'a> Linker<'a> {
         };
         for &(o, n) in &remainder_added {
             provenance.insert((o, n), LinkPhase::Remainder);
+            obs.truth_added(o.raw(), n.raw());
         }
         obs.add(Counter::ProfilesBuilt, cache.built() as u64);
         obs.add(Counter::ProfilesReused, cache.reused() as u64);
+
+        if let Some((rem_old, rem_new)) = &remainder_entry {
+            crate::quality::finalize_quality(
+                &crate::quality::QualityInputs {
+                    old: self.old,
+                    new: self.new,
+                    config,
+                    records: &records,
+                    groups: &groups,
+                    iterations: &iterations,
+                    provenance: &provenance,
+                    remainder_old: rem_old,
+                    remainder_new: rem_new,
+                },
+                obs,
+            );
+        }
 
         LinkageResult {
             records,

@@ -161,6 +161,31 @@ pub(crate) fn sharded_candidate_pairs(
     let plan = ShardPlan::build(&weights, shards);
     debug_assert!(plan.loads().iter().all(|&l| l <= plan.balance_bound()));
 
+    // truth telemetry: attribute each true record pair to the shard that
+    // owns its blocking key. The collector keeps the first map of the
+    // run (the δ-schedule's full-population prematch); later replans
+    // over residues are ignored, so the check avoids recomputing them.
+    if obs.truth_enabled() && obs.truth_shard_map().is_none() {
+        if let Some(tc) = obs.truth_config() {
+            let old_at: HashMap<u64, usize> =
+                old.iter().enumerate().map(|(i, r)| (r.id.raw(), i)).collect();
+            let new_at: HashMap<u64, usize> =
+                new.iter().enumerate().map(|(j, r)| (r.id.raw(), j)).collect();
+            let mut map = Vec::new();
+            for &(o, n) in &tc.record_pairs {
+                let (Some(&i), Some(&j)) = (old_at.get(&o), new_at.get(&n)) else {
+                    continue;
+                };
+                if let Some(s) =
+                    owner_key(old_kf[i], new_kf[j], year_gap).and_then(|k| plan.shard_of(k))
+                {
+                    map.push((o, n, s));
+                }
+            }
+            obs.truth_shard_map_set(map);
+        }
+    }
+
     // per-shard key lists, in key order (deterministic regardless of the
     // bucket map's iteration order)
     let mut shard_keys: Vec<Vec<u64>> = vec![Vec::new(); plan.shards()];

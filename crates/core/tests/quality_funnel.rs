@@ -1,0 +1,139 @@
+//! End-to-end invariants of the ground-truth quality telemetry: the
+//! recall-loss funnel must partition the truth set exactly, across every
+//! execution mode (serial/parallel × shard counts × scoring kernels),
+//! and turning truth telemetry on must not change the produced mappings.
+
+use census_synth::{generate_series, SimConfig};
+use linkage_core::{link_traced, LinkageConfig, ScoringKernel};
+use obs::{Collector, TruthConfig};
+use std::collections::BTreeSet;
+
+fn truth_config(series: &census_synth::CensusSeries) -> TruthConfig {
+    let truth = series.truth_between(0, 1).unwrap();
+    TruthConfig {
+        record_pairs: truth
+            .records
+            .iter()
+            .map(|(o, n)| (o.raw(), n.raw()))
+            .collect(),
+        group_pairs: truth
+            .groups
+            .iter()
+            .map(|(o, n)| (o.raw(), n.raw()))
+            .collect(),
+    }
+}
+
+#[test]
+fn funnel_partitions_truth_exactly_in_every_execution_mode() {
+    let series = generate_series(&SimConfig::small());
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let tc = truth_config(&series);
+    let truth_records: BTreeSet<(u64, u64)> = tc.record_pairs.iter().copied().collect();
+
+    let mut sections = Vec::new();
+    for threads in [1, 4] {
+        for shards in [1, 0] {
+            for scoring in [ScoringKernel::Scalar, ScoringKernel::Batch] {
+                let config = LinkageConfig {
+                    threads,
+                    shards,
+                    scoring,
+                    ..LinkageConfig::default()
+                };
+                let obs = Collector::enabled().with_truth(tc.clone());
+                let result = link_traced(old, new, &config, &obs);
+                let trace = obs.finish();
+                let q = trace
+                    .quality
+                    .unwrap_or_else(|| panic!("no quality section ({threads}t {shards}s)"));
+                q.validate().unwrap_or_else(|e| {
+                    panic!("invalid quality section ({threads}t {shards}s {scoring:?}): {e}")
+                });
+                assert_eq!(
+                    q.funnel.total,
+                    truth_records.len() as u64,
+                    "funnel total must cover every distinct true pair"
+                );
+                assert_eq!(q.records.found, result.records.len() as u64);
+                assert_eq!(q.groups.found, result.groups.len() as u64);
+                // the funnel recovers decent recall on clean synthetic data
+                assert!(q.funnel.recovered() * 2 > q.funnel.total);
+                // sharded runs attribute blocked pairs across real shards
+                let resolved =
+                    config.resolved_shards(old.records().len() + new.records().len());
+                if resolved > 1 {
+                    assert!(
+                        !q.per_shard.is_empty(),
+                        "sharded run recorded no shard attribution"
+                    );
+                } else {
+                    assert!(q.per_shard.iter().all(|s| s.shard == 0));
+                }
+                sections.push(((threads, shards, scoring), q));
+            }
+        }
+    }
+    // the funnel classification itself is execution-mode invariant
+    let (_, first) = &sections[0];
+    for (mode, q) in &sections[1..] {
+        assert_eq!(q.funnel, first.funnel, "funnel diverged in mode {mode:?}");
+        assert_eq!(q.records, first.records, "counts diverged in mode {mode:?}");
+        assert_eq!(q.bands, first.bands, "bands diverged in mode {mode:?}");
+    }
+}
+
+#[test]
+fn truth_telemetry_does_not_change_the_mappings() {
+    let series = generate_series(&SimConfig::small());
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let tc = truth_config(&series);
+
+    for shards in [1, 0] {
+        let config = LinkageConfig {
+            threads: 2,
+            shards,
+            ..LinkageConfig::default()
+        };
+        let plain = link_traced(old, new, &config, &Collector::disabled());
+        let obs = Collector::enabled().with_truth(tc.clone());
+        let with_truth = link_traced(old, new, &config, &obs);
+
+        let a: BTreeSet<_> = plain.records.iter().collect();
+        let b: BTreeSet<_> = with_truth.records.iter().collect();
+        assert_eq!(a, b, "record mapping changed under truth telemetry");
+        let ga: BTreeSet<_> = plain.groups.iter().collect();
+        let gb: BTreeSet<_> = with_truth.groups.iter().collect();
+        assert_eq!(ga, gb, "group mapping changed under truth telemetry");
+        assert_eq!(plain.remainder_links, with_truth.remainder_links);
+    }
+}
+
+#[test]
+fn funnel_agrees_with_independent_quality_arithmetic() {
+    let series = generate_series(&SimConfig::small());
+    let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+    let truth = series.truth_between(0, 1).unwrap();
+    let tc = truth_config(&series);
+    let config = LinkageConfig::default();
+
+    let obs = Collector::enabled().with_truth(tc);
+    let result = link_traced(old, new, &config, &obs);
+    let q = obs.finish().quality.unwrap();
+
+    let correct = result
+        .records
+        .iter()
+        .filter(|&(o, n)| truth.records.contains(o, n))
+        .count() as u64;
+    assert_eq!(q.records.correct, correct);
+    assert_eq!(q.funnel.recovered(), correct);
+    let recall = correct as f64 / truth.records.len() as f64;
+    assert!((q.records.quality.recall - recall).abs() < 1e-12);
+    // losses are the recall complement, pair for pair
+    assert_eq!(
+        q.funnel.losses(),
+        truth.records.len() as u64 - correct,
+        "loss buckets must sum to the recall complement"
+    );
+}

@@ -1,55 +1,13 @@
 //! Precision / recall / F-measure against ground truth.
+//!
+//! The [`Quality`] triple itself lives in `obs::quality` (shared with the
+//! trace stack's ground-truth telemetry) and is re-exported here, so the
+//! paper-table experiments and a run's `quality` trace section can never
+//! compute P/R/F differently.
 
 use census_model::{GroupMapping, RecordMapping};
-use serde::{Deserialize, Serialize};
 
-/// Standard linkage quality triple, in `[0, 1]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct Quality {
-    /// Fraction of found links that are correct.
-    pub precision: f64,
-    /// Fraction of true links that were found.
-    pub recall: f64,
-    /// Harmonic mean of precision and recall.
-    pub f1: f64,
-}
-
-impl Quality {
-    /// Build from raw counts.
-    #[must_use]
-    pub fn from_counts(found: usize, truth: usize, correct: usize) -> Self {
-        let precision = if found == 0 {
-            0.0
-        } else {
-            correct as f64 / found as f64
-        };
-        let recall = if truth == 0 {
-            0.0
-        } else {
-            correct as f64 / truth as f64
-        };
-        let f1 = if precision + recall == 0.0 {
-            0.0
-        } else {
-            2.0 * precision * recall / (precision + recall)
-        };
-        Self {
-            precision,
-            recall,
-            f1,
-        }
-    }
-
-    /// Render as `P/R/F` percentages.
-    #[must_use]
-    pub fn percent_row(&self) -> [String; 3] {
-        [
-            format!("{:.1}", self.precision * 100.0),
-            format!("{:.1}", self.recall * 100.0),
-            format!("{:.1}", self.f1 * 100.0),
-        ]
-    }
-}
+pub use obs::Quality;
 
 /// Evaluate a found record mapping against the true one.
 #[must_use]
@@ -126,5 +84,39 @@ mod tests {
     fn percent_row_formats() {
         let q = Quality::from_counts(100, 100, 95);
         assert_eq!(q.percent_row(), ["95.0", "95.0", "95.0"]);
+    }
+
+    #[test]
+    fn trace_quality_section_matches_evaluate_functions() {
+        // differential pin: the P/R/F a run's quality trace section
+        // reports must equal what the eval harness computes from the
+        // same mapping and truth — shared `Quality`, same counts
+        use census_synth::{generate_series, SimConfig};
+        use linkage_core::{link_traced, LinkageConfig};
+        use obs::{Collector, TruthConfig};
+
+        let series = generate_series(&SimConfig::small());
+        let (old, new) = (&series.snapshots[0], &series.snapshots[1]);
+        let truth = series.truth_between(0, 1).unwrap();
+        let obs = Collector::enabled().with_truth(TruthConfig {
+            record_pairs: truth
+                .records
+                .iter()
+                .map(|(o, n)| (o.raw(), n.raw()))
+                .collect(),
+            group_pairs: truth
+                .groups
+                .iter()
+                .map(|(o, n)| (o.raw(), n.raw()))
+                .collect(),
+        });
+        let result = link_traced(old, new, &LinkageConfig::default(), &obs);
+        let q = obs.finish().quality.expect("truth telemetry was enabled");
+
+        let rec = evaluate_record_mapping(&result.records, &truth.records);
+        let grp = evaluate_group_mapping(&result.groups, &truth.groups);
+        assert_eq!(q.records.quality, rec);
+        assert_eq!(q.groups.quality, grp);
+        assert!(rec.f1 > 0.8, "sanity: synthetic pair links well");
     }
 }

@@ -420,6 +420,31 @@ mod tests {
     }
 
     #[test]
+    fn mapping_malformed_id_reports_offending_line() {
+        let e = read_record_mapping("old_record_id,new_record_id\n1,abc\n".as_bytes())
+            .unwrap_err();
+        match e {
+            ModelError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("\"abc\""), "{message}");
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        let e = read_group_mapping("old_household_id,new_household_id\n5,6\nx,2\n".as_bytes())
+            .unwrap_err();
+        match e {
+            ModelError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("\"x\""), "{message}");
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        // a missing comma is also attributed to its line
+        let e = read_record_mapping("old_record_id,new_record_id\n7\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, ModelError::Parse { line: 2, .. }));
+    }
+
+    #[test]
     fn blank_lines_skipped() {
         let mut buf = Vec::new();
         write_dataset(&sample(), &mut buf).unwrap();

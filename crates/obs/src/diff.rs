@@ -151,6 +151,17 @@ pub struct DiffReport {
     /// Mean per-worker utilization of the new trace's timeline section,
     /// when it has one.
     pub new_mean_utilization: Option<f64>,
+    /// Record-level recall of the old trace's quality section, when it
+    /// has one. A trace written before quality telemetry existed (or a
+    /// run without `--truth`) reads back without the section; `quality:`
+    /// thresholds then report "absent" instead of failing.
+    pub old_quality_recall: Option<f64>,
+    /// Record-level recall of the new trace's quality section.
+    pub new_quality_recall: Option<f64>,
+    /// Record-level precision of the old trace's quality section.
+    pub old_quality_precision: Option<f64>,
+    /// Record-level precision of the new trace's quality section.
+    pub new_quality_precision: Option<f64>,
     /// Total wall time of the old trace, microseconds.
     pub old_total_us: u64,
     /// Total wall time of the new trace, microseconds.
@@ -286,6 +297,10 @@ pub fn compare(old: &RunTrace, new: &RunTrace) -> DiffReport {
         new_has_footprints: !new.footprints.is_empty(),
         old_mean_utilization: old.timeline.as_ref().map(|t| t.mean_utilization()),
         new_mean_utilization: new.timeline.as_ref().map(|t| t.mean_utilization()),
+        old_quality_recall: old.quality.as_ref().map(|q| q.records.quality.recall),
+        new_quality_recall: new.quality.as_ref().map(|q| q.records.quality.recall),
+        old_quality_precision: old.quality.as_ref().map(|q| q.records.quality.precision),
+        new_quality_precision: new.quality.as_ref().map(|q| q.records.quality.precision),
         old_total_us: old.total_us,
         new_total_us: new.total_us,
     }
@@ -406,6 +421,36 @@ impl DiffReport {
                 fmt(self.old_mean_utilization),
                 fmt(self.new_mean_utilization)
             ));
+        }
+        if self.old_quality_recall.is_some() || self.new_quality_recall.is_some() {
+            out.push_str("\nquality\n");
+            match (self.old_quality_recall, self.new_quality_recall) {
+                (None, Some(_)) => out.push_str("  (absent in old trace; new values shown)\n"),
+                (Some(_), None) => out.push_str("  (absent in new trace; old values shown)\n"),
+                _ => {}
+            }
+            let fmt = |u: Option<f64>| {
+                u.map_or_else(|| "absent".to_owned(), |u| format!("{:.2}%", u * 100.0))
+            };
+            for (name, old, new) in [
+                (
+                    "record recall",
+                    self.old_quality_recall,
+                    self.new_quality_recall,
+                ),
+                (
+                    "record precision",
+                    self.old_quality_precision,
+                    self.new_quality_precision,
+                ),
+            ] {
+                out.push_str(&format!(
+                    "  {:<28} {:>14} -> {:>14}\n",
+                    name,
+                    fmt(old),
+                    fmt(new)
+                ));
+            }
         }
         out
     }
@@ -556,6 +601,34 @@ impl DiffReport {
                         });
                     }
                 }
+                Threshold::Quality {
+                    metric,
+                    max_drop_pct,
+                } => {
+                    // Like timeline: gates, a side without the section is
+                    // "absent", not a failure — pre-quality baselines (and
+                    // runs without --truth) must keep passing until they
+                    // are refreshed.
+                    let (old, new) = if metric == "recall" {
+                        (self.old_quality_recall, self.new_quality_recall)
+                    } else {
+                        (self.old_quality_precision, self.new_quality_precision)
+                    };
+                    let (Some(old), Some(new)) = (old, new) else {
+                        continue;
+                    };
+                    let drop = (old - new) * 100.0;
+                    if drop > *max_drop_pct {
+                        violations.push(Violation {
+                            spec: t.spec(),
+                            message: format!(
+                                "record {metric} dropped {drop:.2} points ({:.2}% -> {:.2}%), limit {max_drop_pct}",
+                                old * 100.0,
+                                new * 100.0
+                            ),
+                        });
+                    }
+                }
                 Threshold::Footprint { name, max_pct } => {
                     if !self.old_has_footprints || !self.new_has_footprints {
                         continue;
@@ -663,6 +736,16 @@ pub enum Threshold {
         /// Maximum utilization drop in percentage points.
         max_drop_pct: f64,
     },
+    /// `quality:recall:PCT[%]` / `quality:precision:PCT[%]` — fail when
+    /// the record-level quality metric drops more than PCT percentage
+    /// points below the baseline. Skipped (not violated) when either
+    /// trace has no quality section at all.
+    Quality {
+        /// Metric name (`"recall"` or `"precision"`).
+        metric: String,
+        /// Maximum drop in percentage points.
+        max_drop_pct: f64,
+    },
 }
 
 impl Threshold {
@@ -676,7 +759,8 @@ impl Threshold {
             format!(
                 "invalid --fail-on spec '{spec}' (expected counter:NAME:PCT, \
                  phase:NAME:RATIO, hist:NAME:L1MAX, p99:NAME:PCT, mem:NAME:PCT, \
-                 footprint:NAME:PCT, timeline:utilization:PCT or total:RATIO)"
+                 footprint:NAME:PCT, timeline:utilization:PCT, \
+                 quality:recall:PCT, quality:precision:PCT or total:RATIO)"
             )
         };
         let mut parts = spec.splitn(3, ':');
@@ -722,6 +806,10 @@ impl Threshold {
             "timeline" if name == "utilization" => Ok(Threshold::TimelineUtilization {
                 max_drop_pct: number,
             }),
+            "quality" if name == "recall" || name == "precision" => Ok(Threshold::Quality {
+                metric: name,
+                max_drop_pct: number,
+            }),
             _ => Err(bad()),
         }
     }
@@ -741,6 +829,10 @@ impl Threshold {
             Threshold::TimelineUtilization { max_drop_pct } => {
                 format!("timeline:utilization:{max_drop_pct}%")
             }
+            Threshold::Quality {
+                metric,
+                max_drop_pct,
+            } => format!("quality:{metric}:{max_drop_pct}%"),
         }
     }
 }
@@ -782,6 +874,7 @@ mod tests {
             events: vec![],
             shards: vec![],
             timeline: None,
+            quality: None,
         }
     }
 
@@ -995,6 +1088,88 @@ mod tests {
     fn timeline_threshold_requires_the_utilization_metric() {
         assert!(Threshold::parse("timeline:utilization:25%").is_ok());
         assert!(Threshold::parse("timeline:busy:25%").is_err());
+    }
+
+    fn with_quality(mut t: RunTrace, precision: f64, recall: f64) -> RunTrace {
+        use crate::quality::*;
+        t.quality = Some(QualitySection {
+            records: QualityCounts {
+                found: 100,
+                truth: 100,
+                correct: 90,
+                quality: Quality {
+                    precision,
+                    recall,
+                    f1: 0.0,
+                },
+            },
+            groups: QualityCounts::from_counts(0, 0, 0),
+            funnel: RecallFunnel {
+                total: 100,
+                recovered_selection: 90,
+                recovered_remainder: 0,
+                missing_endpoint: 0,
+                not_blocked: 10,
+                age_filtered: 0,
+                below_delta: 0,
+                lost_selection: 0,
+                lost_remainder: 0,
+                delta_floor: 0.5,
+                blocking: BlockingMisses::default(),
+                selection: SelectionLosses::default(),
+            },
+            per_iteration: vec![],
+            per_shard: vec![],
+            bands: vec![],
+        });
+        t
+    }
+
+    #[test]
+    fn quality_gates_skip_when_either_side_lacks_a_quality_section() {
+        let plain = trace(1, 1, &[1]);
+        let measured = with_quality(trace(1, 1, &[1]), 0.95, 0.88);
+        let gates = [
+            Threshold::parse("quality:recall:1").unwrap(),
+            Threshold::parse("quality:precision:1").unwrap(),
+        ];
+        let report = compare(&plain, &measured);
+        assert!(report.old_quality_recall.is_none());
+        assert!(report.new_quality_recall.is_some());
+        assert!(report.check(&gates).is_empty());
+        assert!(compare(&measured, &plain).check(&gates).is_empty());
+        let rendered = report.render();
+        assert!(rendered.contains("\nquality\n"), "{rendered}");
+        assert!(rendered.contains("absent in old trace"), "{rendered}");
+        assert!(rendered.contains("record recall"), "{rendered}");
+    }
+
+    #[test]
+    fn quality_drop_trips_the_gate() {
+        // recall falls 0.90 -> 0.84: a 6-point drop
+        let old = with_quality(trace(1, 1, &[1]), 0.95, 0.90);
+        let new = with_quality(trace(1, 1, &[1]), 0.95, 0.84);
+        let report = compare(&old, &new);
+        let v = report.check(&[Threshold::parse("quality:recall:5%").unwrap()]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("recall dropped 6.00 points"), "{v:?}");
+        assert!(report
+            .check(&[Threshold::parse("quality:recall:10").unwrap()])
+            .is_empty());
+        // precision is unchanged, and improvements never trip
+        assert!(report
+            .check(&[Threshold::parse("quality:precision:0").unwrap()])
+            .is_empty());
+        assert!(compare(&new, &old)
+            .check(&[Threshold::parse("quality:recall:0").unwrap()])
+            .is_empty());
+    }
+
+    #[test]
+    fn quality_threshold_requires_recall_or_precision() {
+        assert!(Threshold::parse("quality:recall:1%").is_ok());
+        assert!(Threshold::parse("quality:precision:2").is_ok());
+        assert!(Threshold::parse("quality:f1:1").is_err());
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod diff;
 pub mod footprint;
 pub mod hist;
 pub mod progress;
+pub mod quality;
 mod report;
 pub mod timeline;
 
@@ -70,6 +71,10 @@ pub use decision::{
 pub use footprint::{Footprint, FootprintSnapshot, MemoryFootprint};
 pub use hist::{score_bp, Histogram, LiveHist, NamedHistogram, HIST_BUCKETS};
 pub use progress::{fmt_bytes, Progress};
+pub use quality::{
+    BlockingMisses, IterationQuality, Quality, QualityCounts, QualitySection, RecallFunnel,
+    SelectionLosses, ShardQuality, SimBand, TruthConfig,
+};
 pub use report::{
     ChunkTiming, CounterValue, IterationTrace, LabeledTrace, MemoryStats, MultiTrace, PhaseMem,
     PhaseStat, RunTrace, ShardStat, SpanRecord, TraceEvent, PIPELINE_PHASES,
@@ -243,6 +248,19 @@ struct SpanState {
     finished: Vec<SpanRecord>,
 }
 
+/// Ground-truth state behind [`Collector::with_truth`]: the loaded truth
+/// mappings, the live taps (selection rejections, shard attribution, the
+/// recovered-pairs gauge feeding `--progress`), and the finalised
+/// [`QualitySection`] once the pipeline computes it.
+struct TruthState {
+    config: quality::TruthConfig,
+    record_set: std::collections::HashSet<(u64, u64)>,
+    rejections: Vec<(u64, u64, RejectionReason)>,
+    shard_map: Option<Vec<(u64, u64, usize)>>,
+    recovered: u64,
+    quality: Option<quality::QualitySection>,
+}
+
 /// Lock a mutex, recovering the data if a panicking thread poisoned it.
 /// The collector's state stays structurally valid mid-operation (every
 /// push/pop is a single call), so the data behind a poisoned lock is
@@ -271,6 +289,7 @@ pub struct Collector {
     shard_stats: Mutex<Vec<ShardStat>>,
     progress: Option<Mutex<Progress>>,
     timeline: Option<timeline::TimelineState>,
+    truth: Option<Mutex<TruthState>>,
 }
 
 impl Collector {
@@ -303,6 +322,7 @@ impl Collector {
             shard_stats: Mutex::new(Vec::new()),
             progress: None,
             timeline: None,
+            truth: None,
         }
     }
 
@@ -467,6 +487,112 @@ impl Collector {
             self.decisions = Some(Mutex::new(DecisionLog::new(config)));
         }
         self
+    }
+
+    /// Load ground-truth mappings for quality telemetry (see
+    /// [`quality`]): the pipeline classifies every true record pair into
+    /// the recall-loss funnel and [`Collector::finish`] attaches a
+    /// [`QualitySection`] to the trace. Has no effect on a disabled
+    /// collector.
+    #[must_use]
+    pub fn with_truth(mut self, config: quality::TruthConfig) -> Self {
+        if self.enabled {
+            let record_set = config.record_pairs.iter().copied().collect();
+            self.truth = Some(Mutex::new(TruthState {
+                config,
+                record_set,
+                rejections: Vec::new(),
+                shard_map: None,
+                recovered: 0,
+                quality: None,
+            }));
+        }
+        self
+    }
+
+    /// Whether ground-truth quality telemetry is on.
+    #[must_use]
+    pub fn truth_enabled(&self) -> bool {
+        self.truth.is_some()
+    }
+
+    /// A copy of the loaded ground-truth mappings, or `None` when truth
+    /// telemetry is off.
+    #[must_use]
+    pub fn truth_config(&self) -> Option<quality::TruthConfig> {
+        self.truth
+            .as_ref()
+            .map(|t| lock_or_recover(t).config.clone())
+    }
+
+    /// Record a selection rejection of a true-relevant household pair
+    /// (raw ids), for the funnel's `lost_selection` reason join. A no-op
+    /// unless truth telemetry is on.
+    pub fn truth_rejected(&self, old_group: u64, new_group: u64, reason: RejectionReason) {
+        if let Some(t) = &self.truth {
+            lock_or_recover(t)
+                .rejections
+                .push((old_group, new_group, reason));
+        }
+    }
+
+    /// The recorded selection rejections, in arrival order.
+    #[must_use]
+    pub fn truth_rejections(&self) -> Vec<(u64, u64, RejectionReason)> {
+        self.truth
+            .as_ref()
+            .map_or_else(Vec::new, |t| lock_or_recover(t).rejections.clone())
+    }
+
+    /// Record the blocking layer's shard attribution of true record
+    /// pairs (raw old id, raw new id, owning shard). The first map of
+    /// the run wins — the remainder pass replans a smaller residue. A
+    /// no-op unless truth telemetry is on.
+    pub fn truth_shard_map_set(&self, map: Vec<(u64, u64, usize)>) {
+        if let Some(t) = &self.truth {
+            let mut guard = lock_or_recover(t);
+            if guard.shard_map.is_none() {
+                guard.shard_map = Some(map);
+            }
+        }
+    }
+
+    /// The recorded shard attribution, if any pass reported one.
+    #[must_use]
+    pub fn truth_shard_map(&self) -> Option<Vec<(u64, u64, usize)>> {
+        self.truth
+            .as_ref()
+            .and_then(|t| lock_or_recover(t).shard_map.clone())
+    }
+
+    /// Report a record link the pipeline just accepted. Counts it
+    /// towards the live truth-coverage gauge if the pair is true, and
+    /// feeds the `--progress` readout. A no-op unless truth telemetry
+    /// is on.
+    pub fn truth_added(&self, old_record: u64, new_record: u64) {
+        let Some(t) = &self.truth else {
+            return;
+        };
+        let (recovered, total) = {
+            let mut guard = lock_or_recover(t);
+            if !guard.record_set.contains(&(old_record, new_record)) {
+                return;
+            }
+            guard.recovered += 1;
+            (guard.recovered, guard.record_set.len() as u64)
+        };
+        if let Some(p) = &self.progress {
+            lock_or_recover(p).truth_coverage(recovered, total);
+        }
+    }
+
+    /// Attach the finalised quality section computed by the pipeline;
+    /// [`Collector::finish`] copies it into the trace. A no-op unless
+    /// truth telemetry is on.
+    pub fn set_quality(&self, section: quality::QualitySection) {
+        if let Some(t) = &self.truth {
+            lock_or_recover(t).quality = Some(section);
+        }
     }
 
     /// Whether this collector records anything.
@@ -873,6 +999,10 @@ impl Collector {
         };
         let footprints = lock_or_recover(&self.footprints).clone();
         let events = lock_or_recover(&self.events).clone();
+        let quality = self
+            .truth
+            .as_ref()
+            .and_then(|t| lock_or_recover(t).quality.clone());
         RunTrace::assemble(
             self.enabled,
             total_us,
@@ -885,6 +1015,7 @@ impl Collector {
             events,
             shard_stats,
             timeline,
+            quality,
         )
     }
 }
@@ -1283,6 +1414,87 @@ mod tests {
         let off = Collector::disabled().with_decisions(DecisionConfig::default());
         assert!(!off.decisions_enabled());
         assert!(off.take_decisions().is_none());
+    }
+
+    #[test]
+    fn truth_telemetry_is_opt_in_and_flows_into_the_trace() {
+        // enabled but without with_truth: every tap is a no-op
+        let obs = Collector::enabled();
+        assert!(!obs.truth_enabled());
+        assert!(obs.truth_config().is_none());
+        obs.truth_rejected(1, 2, RejectionReason::TieBreak);
+        obs.truth_added(1, 2);
+        obs.truth_shard_map_set(vec![(1, 2, 0)]);
+        assert!(obs.truth_rejections().is_empty());
+        assert!(obs.truth_shard_map().is_none());
+        assert!(obs.finish().quality.is_none());
+
+        let obs = Collector::enabled().with_truth(TruthConfig {
+            record_pairs: vec![(1, 2), (3, 4)],
+            group_pairs: vec![(10, 20)],
+        });
+        assert!(obs.truth_enabled());
+        assert_eq!(obs.truth_config().unwrap().record_pairs.len(), 2);
+        obs.truth_rejected(10, 20, RejectionReason::LowerGSim);
+        assert_eq!(obs.truth_rejections().len(), 1);
+        // first shard map wins
+        obs.truth_shard_map_set(vec![(1, 2, 3)]);
+        obs.truth_shard_map_set(vec![(1, 2, 7)]);
+        assert_eq!(obs.truth_shard_map().unwrap(), vec![(1, 2, 3)]);
+        // only true pairs count towards the coverage gauge
+        obs.truth_added(9, 9);
+        obs.truth_added(1, 2);
+        // no quality section unless the pipeline finalised one
+        assert!(obs.finish().quality.is_none());
+        let section = QualitySection {
+            records: QualityCounts::from_counts(1, 2, 1),
+            groups: QualityCounts::from_counts(1, 1, 1),
+            funnel: RecallFunnel {
+                total: 2,
+                recovered_selection: 1,
+                recovered_remainder: 0,
+                missing_endpoint: 0,
+                not_blocked: 1,
+                age_filtered: 0,
+                below_delta: 0,
+                lost_selection: 0,
+                lost_remainder: 0,
+                delta_floor: 0.5,
+                blocking: BlockingMisses::default(),
+                selection: SelectionLosses::default(),
+            },
+            per_iteration: vec![IterationQuality {
+                iteration: 0,
+                delta: 0.7,
+                recovered: 1,
+            }],
+            per_shard: Vec::new(),
+            bands: vec![
+                SimBand {
+                    lo_bp: 3000,
+                    hi_bp: 3500,
+                    truth_pairs: 1,
+                    recovered: 0,
+                },
+                SimBand {
+                    lo_bp: 9000,
+                    hi_bp: 9500,
+                    truth_pairs: 1,
+                    recovered: 1,
+                },
+            ],
+        };
+        obs.set_quality(section.clone());
+        let trace = obs.finish();
+        assert_eq!(trace.quality.as_ref(), Some(&section));
+        trace.validate_basic().unwrap();
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: RunTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.quality, trace.quality);
+
+        // a disabled collector never tracks truth, even when asked
+        let off = Collector::disabled().with_truth(TruthConfig::default());
+        assert!(!off.truth_enabled());
     }
 
     #[test]

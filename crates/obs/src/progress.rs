@@ -54,6 +54,8 @@ pub struct Progress {
     chunk_us: u64,
     busy_workers: usize,
     total_workers: usize,
+    truth_recovered: u64,
+    truth_total: u64,
 }
 
 impl std::fmt::Debug for Progress {
@@ -87,6 +89,8 @@ impl Progress {
             chunk_us: 0,
             busy_workers: 0,
             total_workers: 0,
+            truth_recovered: 0,
+            truth_total: 0,
         }
     }
 
@@ -166,6 +170,15 @@ impl Progress {
         Some((1.0 - busy) * 100.0)
     }
 
+    /// The truth-coverage gauge moved: remember how many true record
+    /// pairs the run has recovered so far, out of how many exist.
+    /// Rendered on subsequent ticks; only fires when the collector
+    /// loaded ground truth.
+    pub(crate) fn truth_coverage(&mut self, recovered: u64, total: u64) {
+        self.truth_recovered = recovered;
+        self.truth_total = total;
+    }
+
     /// Work progressed: emit a throttled status line. `total` of 0
     /// means the denominator is unknown.
     pub(crate) fn tick(&mut self, what: &str, done: u64, total: u64) {
@@ -188,6 +201,12 @@ impl Progress {
             line.push_str(&format!(
                 "  workers {}/{}",
                 self.busy_workers, self.total_workers
+            ));
+        }
+        if self.truth_total > 0 {
+            line.push_str(&format!(
+                "  truth {}/{}",
+                self.truth_recovered, self.truth_total
             ));
         }
         if alloc::tracking() {
@@ -310,6 +329,20 @@ mod tests {
             p.utilization(1, 4);
         }
         assert_eq!(cap.text().lines().count(), 1, "{}", cap.text());
+    }
+
+    #[test]
+    fn truth_coverage_renders_on_ticks_once_set() {
+        let cap = Capture::default();
+        let mut p = Progress::with_writer(Box::new(cap.clone()), Duration::ZERO);
+        p.phase_started("selection", Some(0), Some(0.7));
+        // no truth loaded: no segment
+        p.tick("household pairs", 10, 0);
+        assert!(!cap.text().contains("truth"), "{}", cap.text());
+        p.truth_coverage(12, 400);
+        p.tick("household pairs", 20, 0);
+        let text = cap.text();
+        assert!(text.contains("  truth 12/400"), "{text}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::footprint::FootprintSnapshot;
 use crate::hist::{Histogram, NamedHistogram};
 use crate::progress::fmt_bytes;
+use crate::quality::QualitySection;
 use crate::timeline::{Timeline, ROUNDING_SLACK_US};
 use crate::{Counter, ITERATION_SPAN};
 use serde::{Deserialize, Serialize};
@@ -209,6 +210,12 @@ pub struct RunTrace {
     /// Absent otherwise, and on traces written before timelines existed.
     #[serde(default)]
     pub timeline: Option<Timeline>,
+    /// Ground-truth quality telemetry — precision/recall/F1 and the
+    /// recall-loss funnel — when the run loaded truth mappings
+    /// ([`crate::Collector::with_truth`]). Absent otherwise, and on
+    /// traces written before quality telemetry existed.
+    #[serde(default)]
+    pub quality: Option<QualitySection>,
 }
 
 /// The phase names of a full `link` pipeline run, in execution order.
@@ -230,6 +237,7 @@ impl RunTrace {
         events: Vec<TraceEvent>,
         shards: Vec<ShardStat>,
         timeline: Option<Timeline>,
+        quality: Option<QualitySection>,
     ) -> Self {
         // phases: top-level spans plus direct children of `iteration`
         let is_phase = |s: &SpanRecord| {
@@ -325,6 +333,7 @@ impl RunTrace {
             events,
             shards,
             timeline,
+            quality,
         }
     }
 
@@ -515,6 +524,9 @@ impl RunTrace {
                     tl.dropped
                 ));
             }
+        }
+        if let Some(q) = &self.quality {
+            q.validate().map_err(|e| format!("quality: {e}"))?;
         }
         Ok(())
     }
@@ -833,6 +845,10 @@ impl RunTrace {
                 }
             }
         }
+        if let Some(q) = &self.quality {
+            let _ = writeln!(out);
+            out.push_str(&q.render());
+        }
         if !self.events.is_empty() {
             let _ = writeln!(out, "\nevents:");
             for e in &self.events {
@@ -1028,6 +1044,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             None,
+            None,
         )
     }
 
@@ -1059,6 +1076,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             None,
+            None,
         );
         let err = t.validate_pipeline().unwrap_err();
         assert!(err.contains("missing pipeline phase"), "{err}");
@@ -1082,6 +1100,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             None,
+            None,
         );
         let err = t.validate_basic().unwrap_err();
         assert!(err.contains("exceeding total wall time"), "{err}");
@@ -1104,6 +1123,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             Vec::new(),
+            None,
             None,
         );
         assert!(t.validate_basic().is_err());
@@ -1131,6 +1151,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             Vec::new(),
+            None,
             None,
         );
         let multi = MultiTrace {
@@ -1207,6 +1228,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             None,
+            None,
         );
         t.validate_basic().unwrap();
         let err = t.validate_pipeline().unwrap_err();
@@ -1231,6 +1253,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             None,
+            None,
         );
         let err = t.validate_pipeline().unwrap_err();
         assert!(err.contains("sibling spans overlap"), "{err}");
@@ -1253,6 +1276,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             Vec::new(),
+            None,
             None,
         );
         t.validate_pipeline().unwrap();
@@ -1392,6 +1416,74 @@ mod tests {
         entries.retain(|(k, _)| !matches!(k, serde_json::Value::Str(s) if s == "shards"));
         let back: RunTrace = serde_json::from_str(&serde_json::to_string(&json).unwrap()).unwrap();
         assert!(back.shards.is_empty());
+    }
+
+    fn quality_section() -> QualitySection {
+        use crate::quality::*;
+        QualitySection {
+            records: QualityCounts::from_counts(4, 5, 3),
+            groups: QualityCounts::from_counts(2, 2, 2),
+            funnel: RecallFunnel {
+                total: 5,
+                recovered_selection: 2,
+                recovered_remainder: 1,
+                missing_endpoint: 0,
+                not_blocked: 1,
+                age_filtered: 0,
+                below_delta: 1,
+                lost_selection: 0,
+                lost_remainder: 0,
+                delta_floor: 0.5,
+                blocking: BlockingMisses::default(),
+                selection: SelectionLosses::default(),
+            },
+            per_iteration: vec![IterationQuality {
+                iteration: 0,
+                delta: 0.7,
+                recovered: 2,
+            }],
+            per_shard: vec![ShardQuality {
+                shard: 0,
+                truth_pairs: 5,
+                recovered: 3,
+            }],
+            bands: vec![SimBand {
+                lo_bp: 8000,
+                hi_bp: 8500,
+                truth_pairs: 5,
+                recovered: 3,
+            }],
+        }
+    }
+
+    #[test]
+    fn quality_section_validates_and_renders_in_the_phase_table() {
+        let mut t = pipeline_trace();
+        t.quality = Some(quality_section());
+        t.validate_pipeline().unwrap();
+        let table = t.phase_table();
+        assert!(table.contains("quality (against ground truth):"), "{table}");
+        assert!(table.contains("recall-loss funnel"), "{table}");
+
+        // a broken funnel fails trace validation with a quality: prefix
+        let mut bad = t.clone();
+        bad.quality.as_mut().unwrap().funnel.not_blocked += 1;
+        let err = bad.validate_basic().unwrap_err();
+        assert!(err.starts_with("quality:"), "{err}");
+    }
+
+    #[test]
+    fn traces_without_quality_deserialize_as_absent() {
+        let mut t = pipeline_trace();
+        t.quality = Some(quality_section());
+        let mut json = serde_json::parse(&serde_json::to_string(&t).unwrap()).unwrap();
+        let serde_json::Value::Map(entries) = &mut json else {
+            panic!("trace must serialize to an object");
+        };
+        entries.retain(|(k, _)| !matches!(k, serde_json::Value::Str(s) if s == "quality"));
+        let back: RunTrace = serde_json::from_str(&serde_json::to_string(&json).unwrap()).unwrap();
+        assert!(back.quality.is_none());
+        back.validate_pipeline().unwrap();
     }
 
     #[test]
